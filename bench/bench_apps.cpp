@@ -1,0 +1,78 @@
+// EXTENSION: application kernels on the cycle-accurate PolyMem — the
+// "proof-of-concept, systematic use of MAX-PolyMem for more complex
+// applications" the paper's conclusion announces as future work.
+//
+// Every kernel is verified against a host reference during the run; the
+// table reports simulated cycles and the realised speedup over a scalar
+// one-element-per-cycle memory.
+#include <iostream>
+#include <numeric>
+
+#include "apps/matvec_app.hpp"
+#include "apps/stencil_app.hpp"
+#include "apps/transpose_app.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace polymem;
+  TextTable table("Application kernels on MAX-PolyMem (8 lanes, latency 14)");
+  table.set_header({"kernel", "problem", "scheme", "cycles", "reads",
+                    "writes", "elem/cycle", "speedup vs scalar",
+                    "verified"});
+  bool all_ok = true;
+
+  auto add = [&](const char* name, const char* problem, const char* scheme,
+                 const apps::AppReport& r) {
+    all_ok = all_ok && r.verified;
+    table.add_row({name, problem, scheme, TextTable::num(r.cycles),
+                   TextTable::num(r.parallel_reads),
+                   TextTable::num(r.parallel_writes),
+                   TextTable::num(r.elements_per_cycle(), 2),
+                   TextTable::num(r.speedup_vs_scalar(), 1) + "x",
+                   r.verified ? "yes" : "NO"});
+  };
+
+  {  // Transpose: the ReTr showcase, read+write concurrent.
+    for (std::int64_t n : {16, 64, 128}) {
+      apps::TransposeApp app(n);
+      std::vector<hw::Word> src(static_cast<std::size_t>(n * n));
+      std::iota(src.begin(), src.end(), 0u);
+      app.load_source(src);
+      add("transpose", (std::to_string(n) + "x" + std::to_string(n)).c_str(),
+          "ReTr", app.run());
+    }
+  }
+  {  // Stencil: unaligned rectangles, gather redundancy visible.
+    for (std::int64_t n : {16, 64}) {
+      apps::StencilApp app(n);
+      std::vector<double> grid(static_cast<std::size_t>(n * n));
+      for (std::int64_t i = 0; i < n; ++i)
+        for (std::int64_t j = 0; j < n; ++j)
+          grid[static_cast<std::size_t>(i * n + j)] = 0.1 * i + 0.2 * j;
+      app.load_grid(grid);
+      add("stencil-9pt",
+          (std::to_string(n) + "x" + std::to_string(n)).c_str(), "ReO",
+          app.run());
+    }
+  }
+  {  // MatVec: the pure-bandwidth kernel, 8 and 16 lanes.
+    for (auto [n, q] : {std::pair<std::int64_t, unsigned>{64, 4}, {64, 8}}) {
+      apps::MatVecApp app(n, 2, q);
+      std::vector<double> a(static_cast<std::size_t>(n * n), 0.5);
+      app.load_matrix(a);
+      std::vector<double> x(static_cast<std::size_t>(n), 2.0);
+      std::vector<double> y(static_cast<std::size_t>(n));
+      add("matvec",
+          (std::to_string(n) + "x" + std::to_string(n) + " " +
+           std::to_string(2 * q) + "L")
+              .c_str(),
+          "ReRo", app.run(x, y));
+    }
+  }
+
+  std::cout << table
+            << "  transpose moves 2 elements/cycle/lane (concurrent R+W);\n"
+               "  stencil pays gather overlap (32 fetched for 24 useful);\n"
+               "  matvec saturates the read port at 1 access/cycle.\n";
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Reproduces paper Table III: the DSE parameter grid and its validity
+// rule, listing every synthesisable design point with its derived
+// characteristics (the configuration summary of Sec. IV-A).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "dse/explorer.hpp"
+#include "synth/fmax_model.hpp"
+
+int main() {
+  using namespace polymem;
+
+  std::cout << "Table III: DSE parameters\n"
+            << "  Total size [KB]      : 512, 1024, 2048, 4096\n"
+            << "  Number of lanes (pxq): 8 (2x4), 16 (2x8)\n"
+            << "  Number of read ports : 1, 2, 3, 4\n"
+            << "  validity             : size x ports <= 4MB of BRAM;\n"
+            << "                         16-lane designs route <= 2 ports\n\n";
+
+  TextTable table("Valid design points (18 columns x 5 schemes = 90)");
+  table.set_header({"Size", "Lanes", "Ports", "phys. data", "banks",
+                    "words/bank", "space HxW", "model MHz (ReRo)"});
+  const dse::DseExplorer explorer;
+  int valid = 0, invalid = 0;
+  for (unsigned size : {512u, 1024u, 2048u, 4096u}) {
+    for (unsigned lanes : {8u, 16u}) {
+      for (unsigned ports = 1; ports <= 4; ++ports) {
+        if (!synth::dse_point_valid(size, lanes, ports)) {
+          ++invalid;
+          continue;
+        }
+        ++valid;
+        const synth::DsePoint point{maf::Scheme::kReRo, size, lanes, ports};
+        const auto cfg = synth::FmaxModel::make_config(point);
+        const auto r = explorer.evaluate(point);
+        table.add_row(
+            {format_capacity(size * KiB), TextTable::num(static_cast<int>(lanes)),
+             TextTable::num(static_cast<int>(ports)),
+             format_capacity(cfg.physical_bytes()),
+             TextTable::num(static_cast<int>(cfg.lanes())),
+             TextTable::num(static_cast<std::uint64_t>(cfg.words_per_bank())),
+             std::to_string(cfg.height) + "x" + std::to_string(cfg.width),
+             TextTable::num(r.fmax_mhz, 0)});
+      }
+    }
+  }
+  std::cout << table << "\n";
+  std::cout << "valid (size, lanes, ports) columns: " << valid
+            << "  rejected: " << invalid << "\n\n";
+
+  // Which configurations are actually worth choosing: the Pareto frontier
+  // of aggregated read bandwidth vs BRAM cost.
+  TextTable pareto("Pareto frontier: read bandwidth vs BRAM blocks (model)");
+  pareto.set_header({"Size", "Lanes", "Ports", "Scheme", "read GB/s",
+                     "BRAM36", "BRAM %"});
+  for (const auto& r : explorer.pareto_read_bw_vs_bram()) {
+    pareto.add_row({format_capacity(r.point.size_kb * KiB),
+                    TextTable::num(static_cast<int>(r.point.lanes)),
+                    TextTable::num(static_cast<int>(r.point.ports)),
+                    maf::scheme_name(r.point.scheme),
+                    TextTable::num(r.read_bw_bytes_per_s / GB, 2),
+                    TextTable::num(r.resources.bram36),
+                    TextTable::num(r.resources.bram_pct, 1)});
+  }
+  std::cout << pareto;
+  return valid == 18 ? 0 : 1;
+}

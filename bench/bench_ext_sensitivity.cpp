@@ -1,0 +1,69 @@
+// EXTENSION: sensitivity of the Fig. 10 curve to the two platform
+// parameters the paper measured — the host-call overhead (~300ns) and the
+// PolyMem read latency (14 cycles).
+//
+// The sweep shows the causal structure of the curve: overhead moves the
+// half-peak knee (small-copy regime), latency only shifts the constant
+// cycle offset, and neither touches the saturated bandwidth.
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "stream/host.hpp"
+
+namespace {
+
+// Copied-KB at which the measured rate first exceeds half of peak, plus
+// the saturated rate, for a given overhead/latency variant.
+struct Knee {
+  double half_peak_kb = -1;
+  double max_rate_mbs = 0;
+};
+
+Knee measure(double overhead_ns, unsigned latency) {
+  using namespace polymem;
+  stream::StreamDesignConfig cfg;
+  cfg.vector_capacity = 32768;
+  cfg.width = 512;
+  cfg.read_latency = latency;
+  stream::StreamHost host(cfg);
+  // Override the PCIe overhead via a custom link.
+  host.dfe().pcie() = maxsim::PcieLink(2.0e9, overhead_ns);
+  std::vector<double> v(32768, 1.0);
+  host.load(v, v, v);
+  const double peak = host.theoretical_peak_bytes_per_s(stream::Mode::kCopy);
+  Knee knee;
+  for (std::int64_t n = 8; n <= 32768; n *= 2) {
+    const auto r = host.run(stream::Mode::kCopy, n, 1);
+    const double rate = r.best_rate_bytes_per_s();
+    knee.max_rate_mbs = std::max(knee.max_rate_mbs, rate / 1e6);
+    if (knee.half_peak_kb < 0 && rate > 0.5 * peak)
+      knee.half_peak_kb = n * 8.0 / 1024;
+  }
+  return knee;
+}
+
+}  // namespace
+
+int main() {
+  using namespace polymem;
+  TextTable table(
+      "Extension: Fig. 10 sensitivity to overhead and read latency");
+  table.set_header({"overhead ns", "latency cyc", "half-peak at KB",
+                    "max rate MB/s"});
+  for (double overhead : {100.0, 300.0, 1000.0}) {
+    for (unsigned latency : {7u, 14u, 28u}) {
+      const Knee knee = measure(overhead, latency);
+      table.add_row({TextTable::num(overhead, 0),
+                     TextTable::num(static_cast<int>(latency)),
+                     TextTable::num(knee.half_peak_kb, 2),
+                     TextTable::num(knee.max_rate_mbs, 0)});
+    }
+  }
+  std::cout << table
+            << "  -> the knee scales with the call overhead (the paper's\n"
+               "     300ns explains its Fig. 10 ramp); latency only adds a\n"
+               "     constant; the plateau is overhead- and latency-"
+               "independent.\n";
+  return 0;
+}

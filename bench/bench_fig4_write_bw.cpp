@@ -1,0 +1,31 @@
+// Reproduces paper Fig. 4: write bandwidth per port (GB/s) across the DSE
+// grid — model series plus the paper-derived reference (Table IV frequency
+// x lanes x 8 bytes) and the headline peaks.
+#include <iostream>
+
+#include "common/units.hpp"
+#include "dse/report.hpp"
+
+int main() {
+  using namespace polymem;
+  const dse::DseExplorer explorer;
+  const auto results = explorer.explore();
+  std::cout << dse::fig4_write_bandwidth(results) << "\n";
+
+  // Paper-derived reference series for comparison.
+  std::cout << dse::figure_series(
+                   results, "Fig. 4 reference (paper Table IV frequencies)",
+                   [](const dse::DseResult& r) {
+                     return *r.write_bw_paper / GB;
+                   })
+            << "\n";
+
+  const auto best = explorer.best_write_bandwidth();
+  std::cout << "Peak write bandwidth (model): "
+            << format_bandwidth(best.write_bw_bytes_per_s, true) << " at "
+            << best.point.size_kb << "KB, " << best.point.lanes << " lanes, "
+            << maf::scheme_name(best.point.scheme) << "\n"
+            << "Paper: 'peak write bandwidth ... exceeds 22GB/s for the "
+               "512KB, 16-lane, ReO configuration'\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces paper Fig. 5: aggregated read bandwidth (GB/s) across the
+// DSE grid, including the port-scaling observations of Sec. IV-B.
+#include <iostream>
+
+#include "common/units.hpp"
+#include "dse/report.hpp"
+
+int main() {
+  using namespace polymem;
+  const dse::DseExplorer explorer;
+  const auto results = explorer.explore();
+  std::cout << dse::fig5_read_bandwidth(results) << "\n";
+  std::cout << dse::figure_series(
+                   results, "Fig. 5 reference (paper Table IV frequencies)",
+                   [](const dse::DseResult& r) {
+                     return *r.read_bw_paper / GB;
+                   })
+            << "\n";
+
+  const auto best = explorer.best_read_bandwidth();
+  std::cout << "Peak aggregated read bandwidth (model): "
+            << format_bandwidth(best.read_bw_bytes_per_s, true) << " at "
+            << best.point.size_kb << "KB, " << best.point.lanes << " lanes, "
+            << best.point.ports << " ports, "
+            << maf::scheme_name(best.point.scheme) << "\n"
+            << "Paper: 'The peak bandwidth is 32GB/s achieved by the 512KB, "
+               "8-lane, 4-port ReTr scheme.'\n\n";
+
+  // Port scaling at 512KB / 8 lanes (ReRo): 1->2 scales well, 3-4 show
+  // diminishing returns (Sec. IV-B).
+  std::cout << "Port scaling, 512KB 8-lane ReRo (paper-derived):\n";
+  double prev = 0;
+  for (unsigned ports = 1; ports <= 4; ++ports) {
+    const auto r = explorer.evaluate({maf::Scheme::kReRo, 512, 8, ports});
+    std::cout << "  " << ports << " port(s): "
+              << format_bandwidth(*r.read_bw_paper, true);
+    if (prev > 0)
+      std::cout << "  (x" << TextTable::num(*r.read_bw_paper / prev, 2)
+                << " vs previous)";
+    prev = *r.read_bw_paper;
+    std::cout << "\n";
+  }
+  return 0;
+}

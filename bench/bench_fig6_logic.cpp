@@ -1,0 +1,32 @@
+// Reproduces paper Fig. 6: logic utilisation (%) across the DSE grid,
+// plus the Sec. IV-C text anchors.
+#include <iostream>
+
+#include "dse/report.hpp"
+
+int main() {
+  using namespace polymem;
+  const dse::DseExplorer explorer;
+  const auto results = explorer.explore();
+  std::cout << dse::fig6_logic_utilisation(results) << "\n";
+
+  auto logic = [&](maf::Scheme s, unsigned kb, unsigned l, unsigned p) {
+    return explorer.evaluate({s, kb, l, p}).resources.logic_pct;
+  };
+  std::cout << "Sec. IV-C anchors (paper -> model):\n"
+            << "  512KB ReO  8L 1P : 10.58% -> "
+            << TextTable::num(logic(maf::Scheme::kReO, 512, 8, 1), 2) << "%\n"
+            << "  4MB  RoCo  8L 1P : 13.05% -> "
+            << TextTable::num(logic(maf::Scheme::kRoCo, 4096, 8, 1), 2)
+            << "%\n"
+            << "  512KB ReRo 8L 1P : 10.78% -> "
+            << TextTable::num(logic(maf::Scheme::kReRo, 512, 8, 1), 2)
+            << "%\n"
+            << "  512KB ReRo 8L 4P : 22.34% -> "
+            << TextTable::num(logic(maf::Scheme::kReRo, 512, 8, 4), 2)
+            << "%\n"
+            << "  512KB ReRo 16L 1P: 23.73% -> "
+            << TextTable::num(logic(maf::Scheme::kReRo, 512, 16, 1), 2)
+            << "%  (supra-linear in lanes)\n";
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Reproduces paper Fig. 7: LUT utilisation (%) across the DSE grid.
+// The paper reports "similar trends to the logic utilization ... varying
+// between 7% and 28%".
+#include <algorithm>
+#include <iostream>
+
+#include "dse/report.hpp"
+
+int main() {
+  using namespace polymem;
+  const dse::DseExplorer explorer;
+  const auto results = explorer.explore();
+  std::cout << dse::fig7_lut_utilisation(results) << "\n";
+
+  double lo = 100, hi = 0;
+  for (const auto& r : results) {
+    lo = std::min(lo, r.resources.lut_pct);
+    hi = std::max(hi, r.resources.lut_pct);
+  }
+  std::cout << "LUT utilisation range (model): "
+            << TextTable::num(lo, 1) << "% .. " << TextTable::num(hi, 1)
+            << "%   (paper: 7% .. 28%)\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces paper Fig. 8: BRAM utilisation (%) across the DSE grid, with
+// the Sec. IV-C anchors and the scheme-independence observation.
+#include <algorithm>
+#include <iostream>
+
+#include "dse/report.hpp"
+
+int main() {
+  using namespace polymem;
+  const dse::DseExplorer explorer;
+  const auto results = explorer.explore();
+  std::cout << dse::fig8_bram_utilisation(results) << "\n";
+
+  auto bram = [&](unsigned kb, unsigned l, unsigned p) {
+    return explorer.evaluate({maf::Scheme::kReRo, kb, l, p}).resources
+        .bram_pct;
+  };
+  std::cout << "Sec. IV-C anchors (paper -> model):\n"
+            << "  512KB  8L 1P: 16.07% -> " << TextTable::num(bram(512, 8, 1), 2)
+            << "%\n"
+            << "  512KB 16L 1P: 19.31% -> " << TextTable::num(bram(512, 16, 1), 2)
+            << "%\n"
+            << "  512KB  8L 2P: 29.04% -> " << TextTable::num(bram(512, 8, 2), 2)
+            << "%\n"
+            << "  2MB   16L 2P: 97.00% -> " << TextTable::num(bram(2048, 16, 2), 2)
+            << "%\n";
+
+  // "the memory scheme has no influence on the amount of BRAMs used".
+  bool scheme_independent = true;
+  for (const auto& col : synth::table4_columns()) {
+    const auto ref = explorer
+                         .evaluate({maf::Scheme::kReO, col.size_kb, col.lanes,
+                                    col.ports})
+                         .resources.bram36;
+    for (maf::Scheme s : maf::kAllSchemes)
+      scheme_independent =
+          scheme_independent &&
+          explorer.evaluate({s, col.size_kb, col.lanes, col.ports})
+                  .resources.bram36 == ref;
+  }
+  std::cout << "BRAM count independent of scheme: "
+            << (scheme_independent ? "yes" : "NO") << " (paper: yes)\n";
+  return 0;
+}

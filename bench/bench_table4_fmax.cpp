@@ -1,0 +1,33 @@
+// Reproduces paper Table IV: maximum clock frequencies of all 90 DSE
+// design points, as predicted by the calibrated synthesis model, next to
+// the paper's published values, with per-scheme error statistics.
+//
+// Usage: bench_table4_fmax [csv-output-dir]
+// With a directory argument, also writes every DSE table/figure as CSV.
+#include <iostream>
+
+#include "dse/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace polymem;
+  const dse::DseExplorer explorer;
+  const auto results = explorer.explore();
+  if (argc > 1) {
+    const auto written = dse::write_all_csv(argv[1], results);
+    std::cout << "wrote " << written.size() << " CSV artefacts to " << argv[1]
+              << "\n";
+  }
+  std::cout << dse::table4_model(results) << "\n";
+  std::cout << dse::table4_paper() << "\n";
+  std::cout << dse::table4_error(results) << "\n";
+  std::cout << "Paper headline checks:\n"
+            << "  highest frequency (paper): 202 MHz, 512KB 8-lane 1-port ReO\n"
+            << "  model for that point     : "
+            << TextTable::num(
+                   explorer
+                       .evaluate({maf::Scheme::kReO, 512, 8, 1})
+                       .fmax_mhz,
+                   0)
+            << " MHz\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// A 9-point stencil sweep backed by PolyMem — the scientific-computing
+// workload class the paper's introduction motivates.
+//
+// Each output tile needs a (p+2) x (q+2) input halo. With a ReO PolyMem,
+// the halo is gathered with four unaligned rectangle reads (all
+// conflict-free at arbitrary anchors), instead of (p+2)*(q+2) scalar
+// loads — and the example counts exactly that advantage.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/layout.hpp"
+#include "core/polymem.hpp"
+
+using namespace polymem;
+
+namespace {
+
+constexpr std::int64_t kN = 64;  // grid is kN x kN
+
+double host_ref(const std::vector<double>& grid, std::int64_t i,
+                std::int64_t j) {
+  double sum = 0;
+  for (std::int64_t di = -1; di <= 1; ++di)
+    for (std::int64_t dj = -1; dj <= 1; ++dj)
+      sum += grid[static_cast<std::size_t>((i + di) * kN + (j + dj))];
+  return sum / 9.0;
+}
+
+}  // namespace
+
+int main() {
+  // 64x64 doubles = 32KB; ReO gives unaligned rectangles, which is all a
+  // stencil gather needs.
+  auto config = core::PolyMemConfig::with_capacity(
+      static_cast<std::uint64_t>(kN * kN * 8), maf::Scheme::kReO, 2, 4);
+  core::PolyMem mem(config);
+
+  // Initialise the grid with a smooth function.
+  std::vector<double> grid(kN * kN);
+  for (std::int64_t i = 0; i < kN; ++i)
+    for (std::int64_t j = 0; j < kN; ++j) {
+      grid[static_cast<std::size_t>(i * kN + j)] =
+          0.25 * i + 0.5 * j + 0.01 * i * j;
+      mem.store({i, j}, core::pack_double(grid[static_cast<std::size_t>(
+                            i * kN + j)]));
+    }
+
+  // Sweep output tiles of p x q = 2x4. The 4x6 halo around a tile is
+  // fetched as four 2x4 rectangle accesses (one covers 8 of the 24 halo
+  // elements; 24/8 = 3 would be the lower bound, 4 keeps the gather
+  // regular: rows {top, middle-left, middle-right, bottom}).
+  std::uint64_t parallel_accesses = 0;
+  std::uint64_t scalar_loads_equiv = 0;
+  double checksum = 0, max_err = 0;
+
+  std::vector<double> halo(4 * 6);
+  for (std::int64_t ti = 1; ti + 2 <= kN - 1; ti += 2) {
+    for (std::int64_t tj = 1; tj + 4 <= kN - 1; tj += 4) {
+      // Gather the (ti-1..ti+2) x (tj-1..tj+4) halo with 4 rect reads.
+      const access::Coord anchors[4] = {
+          {ti - 1, tj - 1}, {ti - 1, tj + 1}, {ti + 1, tj - 1},
+          {ti + 1, tj + 1}};
+      // Fetch into a local 4x6 tile buffer.
+      for (const auto& anchor : anchors) {
+        const auto words = mem.read({access::PatternKind::kRect, anchor});
+        const auto coords =
+            access::expand({access::PatternKind::kRect, anchor}, 2, 4);
+        for (unsigned k = 0; k < words.size(); ++k) {
+          const std::int64_t u = coords[k].i - (ti - 1);
+          const std::int64_t v = coords[k].j - (tj - 1);
+          halo[static_cast<std::size_t>(u * 6 + v)] =
+              core::unpack_double(words[k]);
+        }
+        ++parallel_accesses;
+      }
+      scalar_loads_equiv += 4 * 6;
+
+      // Compute the 2x4 output tile from the halo and check against the
+      // host reference.
+      for (std::int64_t u = 0; u < 2; ++u) {
+        for (std::int64_t v = 0; v < 4; ++v) {
+          double sum = 0;
+          for (std::int64_t di = 0; di <= 2; ++di)
+            for (std::int64_t dj = 0; dj <= 2; ++dj)
+              sum += halo[static_cast<std::size_t>((u + di) * 6 + (v + dj))];
+          const double out = sum / 9.0;
+          const double ref = host_ref(grid, ti + u, tj + v);
+          max_err = std::max(max_err, std::abs(out - ref));
+          checksum += out;
+        }
+      }
+    }
+  }
+
+  std::printf("9-point stencil on a %lldx%lld grid via %s\n",
+              static_cast<long long>(kN), static_cast<long long>(kN),
+              config.describe().c_str());
+  std::printf("  parallel accesses issued : %llu\n",
+              static_cast<unsigned long long>(parallel_accesses));
+  std::printf("  scalar loads replaced    : %llu (%.1fx fewer cycles)\n",
+              static_cast<unsigned long long>(scalar_loads_equiv),
+              static_cast<double>(scalar_loads_equiv) / parallel_accesses);
+  std::printf("  checksum %.3f, max |err| vs host reference = %.3g\n",
+              checksum, max_err);
+  return max_err < 1e-12 ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Blocked matrix transpose with the ReTr scheme.
+//
+// ReTr keeps BOTH the p x q rectangle and its q x p transpose
+// conflict-free, so a transpose kernel reads a p x q tile and writes it
+// back as a q x p tile — every cycle moving p*q elements, with no bank
+// conflicts in either direction. This is the access pair no other scheme
+// serves (Table I).
+#include <cstdio>
+#include <vector>
+
+#include "core/polymem.hpp"
+
+using namespace polymem;
+
+int main() {
+  constexpr std::int64_t kN = 32;  // transpose a 32x32 matrix
+  // One PolyMem holds both matrices: source in rows [0, kN), transposed
+  // destination in rows [kN, 2*kN).
+  core::PolyMemConfig config;
+  config.scheme = maf::Scheme::kReTr;
+  config.p = 2;
+  config.q = 4;
+  config.height = 2 * kN;
+  config.width = kN;
+  config.validate();
+  core::PolyMem mem(config);
+  std::printf("Transpose %lldx%lld via %s\n", static_cast<long long>(kN),
+              static_cast<long long>(kN), config.describe().c_str());
+
+  for (std::int64_t i = 0; i < kN; ++i)
+    for (std::int64_t j = 0; j < kN; ++j)
+      mem.store({i, j}, static_cast<core::Word>(1000 * i + j));
+
+  // For each 2x4 source tile: one rect read, one trect write at the
+  // mirrored destination anchor. Lane permutation between the two
+  // canonical orders does the in-tile transpose:
+  // rect lane (u, v) -> trect lane (v, u).
+  using access::PatternKind;
+  std::uint64_t accesses = 0;
+  for (std::int64_t bi = 0; bi < kN; bi += 2) {
+    for (std::int64_t bj = 0; bj < kN; bj += 4) {
+      const auto rect = mem.read({PatternKind::kRect, {bi, bj}});
+      std::vector<core::Word> trect(8);
+      for (int u = 0; u < 2; ++u)
+        for (int v = 0; v < 4; ++v)
+          trect[static_cast<std::size_t>(v * 2 + u)] =
+              rect[static_cast<std::size_t>(u * 4 + v)];
+      mem.write({PatternKind::kTRect, {kN + bj, bi}}, trect);
+      accesses += 2;
+    }
+  }
+
+  // Verify: destination element (kN + i, j) holds the original (j, i).
+  std::uint64_t errors = 0;
+  for (std::int64_t i = 0; i < kN; ++i)
+    for (std::int64_t j = 0; j < kN; ++j)
+      if (mem.load({kN + i, j}) != static_cast<core::Word>(1000 * j + i))
+        ++errors;
+
+  std::printf("  %llu parallel accesses (%.1f elements per access)\n",
+              static_cast<unsigned long long>(accesses),
+              2.0 * kN * kN / static_cast<double>(accesses));
+  std::printf("  scalar equivalent: %lld loads + %lld stores\n",
+              static_cast<long long>(kN * kN), static_cast<long long>(kN * kN));
+  std::printf("  verification: %llu mismatches\n",
+              static_cast<unsigned long long>(errors));
+  return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,40 @@
+// 2D coordinates in PolyMem's logical address space.
+//
+// PolyMem exposes a two-dimensional address space so that matrices and
+// vectors can be placed directly, without linear index arithmetic
+// (paper Sec. I). Coordinates are signed: secondary-diagonal accesses
+// walk towards smaller columns and intermediate values may be computed
+// below an anchor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace polymem::access {
+
+struct Coord {
+  std::int64_t i = 0;  ///< row
+  std::int64_t j = 0;  ///< column
+
+  friend bool operator==(const Coord&, const Coord&) = default;
+  friend auto operator<=>(const Coord&, const Coord&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Coord& c) {
+  return os << '(' << c.i << ',' << c.j << ')';
+}
+
+struct CoordHash {
+  std::size_t operator()(const Coord& c) const {
+    // 2D -> 1D mix; splitmix-style avalanche of the packed pair.
+    std::uint64_t x = static_cast<std::uint64_t>(c.i) * 0x9E3779B97F4A7C15ull ^
+                      static_cast<std::uint64_t>(c.j);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace polymem::access

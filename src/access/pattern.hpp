@@ -1,0 +1,76 @@
+// Parallel access patterns (paper Table I / Fig. 2).
+//
+// A parallel access touches exactly p*q elements in one clock cycle. Its
+// *shape* is one of six patterns; which shapes are conflict-free depends on
+// the memory scheme (see polymem::maf). For p x q memory banks:
+//
+//   Row       : 1 x (p*q)   elements (i, j..j+pq-1)
+//   Col       : (p*q) x 1   elements (i..i+pq-1, j)
+//   Rect      : p x q       block anchored at (i, j)
+//   TRect     : q x p       transposed block anchored at (i, j)
+//   MainDiag  : p*q         elements (i+k, j+k)
+//   SecDiag   : p*q         elements (i+k, j-k)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "access/coord.hpp"
+
+namespace polymem::access {
+
+enum class PatternKind : std::uint8_t {
+  kRow,
+  kCol,
+  kRect,
+  kTRect,
+  kMainDiag,
+  kSecDiag,
+};
+
+inline constexpr PatternKind kAllPatterns[] = {
+    PatternKind::kRow,  PatternKind::kCol,      PatternKind::kRect,
+    PatternKind::kTRect, PatternKind::kMainDiag, PatternKind::kSecDiag,
+};
+
+/// Short name used in tables and config files ("row", "rect", ...).
+const char* pattern_name(PatternKind kind);
+
+/// Inverse of pattern_name; throws InvalidArgument on unknown names.
+PatternKind pattern_from_name(const std::string& name);
+
+/// A parallel access: a pattern anchored at a coordinate. The access shape
+/// is fully determined once the bank geometry (p, q) is known.
+struct ParallelAccess {
+  PatternKind kind = PatternKind::kRect;
+  Coord anchor;
+
+  friend bool operator==(const ParallelAccess&, const ParallelAccess&) = default;
+};
+
+/// Number of rows/cols the pattern spans for bank geometry (p, q).
+/// E.g. Rect spans p rows and q cols; a Row spans 1 row and p*q cols.
+struct PatternExtent {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  /// Column offset of the leftmost element relative to the anchor
+  /// (negative for the secondary diagonal, which walks left).
+  std::int64_t col_offset = 0;
+};
+PatternExtent pattern_extent(PatternKind kind, unsigned p, unsigned q);
+
+/// Expands an access into its p*q element coordinates in *canonical order*:
+/// the order in which data words appear on the DataIn/DataOut port
+/// (left-to-right, top-to-bottom; paper Sec. III-B).
+std::vector<Coord> expand(const ParallelAccess& access, unsigned p, unsigned q);
+
+/// Appends expansion to `out` (cleared first); allocation-free steady state.
+void expand_into(const ParallelAccess& access, unsigned p, unsigned q,
+                 std::vector<Coord>& out);
+
+/// True when every element of the access lies inside the H x W space.
+bool fits(const ParallelAccess& access, unsigned p, unsigned q,
+          std::int64_t height, std::int64_t width);
+
+}  // namespace polymem::access

@@ -1,0 +1,150 @@
+#include "access/region.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace polymem::access {
+
+const char* region_shape_name(RegionShape shape) {
+  switch (shape) {
+    case RegionShape::kMatrix: return "matrix";
+    case RegionShape::kRowVec: return "rowvec";
+    case RegionShape::kColVec: return "colvec";
+    case RegionShape::kMainDiag: return "maindiag";
+    case RegionShape::kSecDiag: return "secdiag";
+  }
+  throw InvalidArgument("unknown region shape");
+}
+
+Region Region::matrix(Coord origin, std::int64_t rows, std::int64_t cols) {
+  POLYMEM_REQUIRE(rows >= 1 && cols >= 1, "matrix region must be non-empty");
+  return Region{RegionShape::kMatrix, origin, rows, cols};
+}
+
+Region Region::row_vec(Coord origin, std::int64_t length) {
+  POLYMEM_REQUIRE(length >= 1, "vector region must be non-empty");
+  return Region{RegionShape::kRowVec, origin, 1, length};
+}
+
+Region Region::col_vec(Coord origin, std::int64_t length) {
+  POLYMEM_REQUIRE(length >= 1, "vector region must be non-empty");
+  return Region{RegionShape::kColVec, origin, length, 1};
+}
+
+Region Region::main_diag(Coord origin, std::int64_t length) {
+  POLYMEM_REQUIRE(length >= 1, "diagonal region must be non-empty");
+  return Region{RegionShape::kMainDiag, origin, length, length};
+}
+
+Region Region::sec_diag(Coord origin, std::int64_t length) {
+  POLYMEM_REQUIRE(length >= 1, "diagonal region must be non-empty");
+  return Region{RegionShape::kSecDiag, origin, length, length};
+}
+
+std::int64_t Region::element_count() const {
+  switch (shape) {
+    case RegionShape::kMatrix: return rows * cols;
+    case RegionShape::kRowVec: return cols;
+    case RegionShape::kColVec: return rows;
+    case RegionShape::kMainDiag:
+    case RegionShape::kSecDiag: return rows;
+  }
+  throw InvalidArgument("unknown region shape");
+}
+
+std::vector<Coord> Region::elements() const {
+  std::vector<Coord> out;
+  out.reserve(static_cast<std::size_t>(element_count()));
+  switch (shape) {
+    case RegionShape::kMatrix:
+      for (std::int64_t u = 0; u < rows; ++u)
+        for (std::int64_t v = 0; v < cols; ++v)
+          out.push_back({origin.i + u, origin.j + v});
+      break;
+    case RegionShape::kRowVec:
+      for (std::int64_t k = 0; k < cols; ++k)
+        out.push_back({origin.i, origin.j + k});
+      break;
+    case RegionShape::kColVec:
+      for (std::int64_t k = 0; k < rows; ++k)
+        out.push_back({origin.i + k, origin.j});
+      break;
+    case RegionShape::kMainDiag:
+      for (std::int64_t k = 0; k < rows; ++k)
+        out.push_back({origin.i + k, origin.j + k});
+      break;
+    case RegionShape::kSecDiag:
+      for (std::int64_t k = 0; k < rows; ++k)
+        out.push_back({origin.i + k, origin.j - k});
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+// Tiles a 1D walk of `length` elements with steps of n = p*q accesses whose
+// anchors advance along the walk direction.
+std::vector<ParallelAccess> tile_walk(PatternKind pattern, Coord origin,
+                                      std::int64_t length, std::int64_t n,
+                                      std::int64_t di, std::int64_t dj) {
+  std::vector<ParallelAccess> out;
+  const std::int64_t steps = polymem::ceil_div(length, n);
+  out.reserve(static_cast<std::size_t>(steps));
+  for (std::int64_t s = 0; s < steps; ++s)
+    out.push_back(
+        {pattern, {origin.i + s * n * di, origin.j + s * n * dj}});
+  return out;
+}
+
+}  // namespace
+
+std::vector<ParallelAccess> tile_region(const Region& region,
+                                        PatternKind pattern, unsigned p,
+                                        unsigned q) {
+  const std::int64_t n = static_cast<std::int64_t>(p) * q;
+  switch (region.shape) {
+    case RegionShape::kMatrix: {
+      const PatternExtent ext = pattern_extent(pattern, p, q);
+      POLYMEM_SUPPORTED(pattern == PatternKind::kRect ||
+                            pattern == PatternKind::kTRect ||
+                            pattern == PatternKind::kRow ||
+                            pattern == PatternKind::kCol,
+                        "matrix regions tile with rect/trect/row/col");
+      std::vector<ParallelAccess> out;
+      const std::int64_t tr = polymem::ceil_div(region.rows, ext.rows);
+      const std::int64_t tc = polymem::ceil_div(region.cols, ext.cols);
+      out.reserve(static_cast<std::size_t>(tr * tc));
+      for (std::int64_t u = 0; u < tr; ++u)
+        for (std::int64_t v = 0; v < tc; ++v)
+          out.push_back({pattern,
+                         {region.origin.i + u * ext.rows,
+                          region.origin.j + v * ext.cols}});
+      return out;
+    }
+    case RegionShape::kRowVec:
+      POLYMEM_SUPPORTED(pattern == PatternKind::kRow,
+                        "row-vector regions tile with row accesses");
+      return tile_walk(pattern, region.origin, region.cols, n, 0, 1);
+    case RegionShape::kColVec:
+      POLYMEM_SUPPORTED(pattern == PatternKind::kCol,
+                        "column-vector regions tile with column accesses");
+      return tile_walk(pattern, region.origin, region.rows, n, 1, 0);
+    case RegionShape::kMainDiag:
+      POLYMEM_SUPPORTED(pattern == PatternKind::kMainDiag,
+                        "main-diagonal regions tile with mdiag accesses");
+      return tile_walk(pattern, region.origin, region.rows, n, 1, 1);
+    case RegionShape::kSecDiag:
+      POLYMEM_SUPPORTED(pattern == PatternKind::kSecDiag,
+                        "secondary-diagonal regions tile with sdiag accesses");
+      return tile_walk(pattern, region.origin, region.rows, n, 1, -1);
+  }
+  throw InvalidArgument("unknown region shape");
+}
+
+std::int64_t tile_count(const Region& region, PatternKind pattern, unsigned p,
+                        unsigned q) {
+  return static_cast<std::int64_t>(tile_region(region, pattern, p, q).size());
+}
+
+}  // namespace polymem::access

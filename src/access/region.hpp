@@ -1,0 +1,62 @@
+// Logical regions of the 2D address space (paper Fig. 2).
+//
+// A Region is an application-level data structure placed in PolyMem — a
+// matrix, a row/column vector, or a diagonal — that is read or written with
+// one or more parallel accesses. The paper's Fig. 2 shows ten such regions
+// (R0..R9) in an 8x9 space, each readable in one (R1..R9) or several (R0)
+// parallel accesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "access/pattern.hpp"
+
+namespace polymem::access {
+
+enum class RegionShape : std::uint8_t {
+  kMatrix,    ///< rows x cols block
+  kRowVec,    ///< 1 x length
+  kColVec,    ///< length x 1
+  kMainDiag,  ///< length elements (i+k, j+k)
+  kSecDiag,   ///< length elements (i+k, j-k)
+};
+
+const char* region_shape_name(RegionShape shape);
+
+struct Region {
+  RegionShape shape = RegionShape::kMatrix;
+  Coord origin;
+  std::int64_t rows = 0;  ///< for kMatrix; for vectors/diagonals use length
+  std::int64_t cols = 0;
+
+  static Region matrix(Coord origin, std::int64_t rows, std::int64_t cols);
+  static Region row_vec(Coord origin, std::int64_t length);
+  static Region col_vec(Coord origin, std::int64_t length);
+  static Region main_diag(Coord origin, std::int64_t length);
+  static Region sec_diag(Coord origin, std::int64_t length);
+
+  std::int64_t element_count() const;
+
+  /// All element coordinates, row-major for matrices, walk order otherwise.
+  std::vector<Coord> elements() const;
+};
+
+/// Tiles the region with parallel accesses of the given pattern so that the
+/// accesses cover every region element (possibly touching elements outside
+/// the region when sizes do not divide evenly — the caller masks those).
+/// Returns the access list in sweep order.
+///
+/// Supported combinations: kMatrix with kRect/kTRect/kRow/kCol, vectors with
+/// their matching 1D pattern, diagonals with the matching diagonal pattern.
+/// Throws Unsupported for shape/pattern mismatches.
+std::vector<ParallelAccess> tile_region(const Region& region,
+                                        PatternKind pattern, unsigned p,
+                                        unsigned q);
+
+/// Minimum number of parallel accesses needed to cover the region with the
+/// given pattern (the size of tile_region's result).
+std::int64_t tile_count(const Region& region, PatternKind pattern, unsigned p,
+                        unsigned q);
+
+}  // namespace polymem::access

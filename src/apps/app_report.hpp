@@ -1,0 +1,31 @@
+// Common reporting for PolyMem-backed application kernels.
+//
+// Every app in this module runs on the cycle-accurate memory and reports
+// the same metrics, so the bench can compare kernels uniformly and
+// against the scalar baseline (one element per cycle) the paper's
+// bandwidth argument implies.
+#pragma once
+
+#include <cstdint>
+
+namespace polymem::apps {
+
+struct AppReport {
+  std::uint64_t cycles = 0;             ///< simulated kernel cycles
+  std::uint64_t parallel_reads = 0;     ///< read accesses issued
+  std::uint64_t parallel_writes = 0;    ///< write accesses issued
+  std::uint64_t elements_touched = 0;   ///< scalar-equivalent accesses
+  bool verified = false;                ///< output matched host reference
+
+  /// Elements moved per cycle (the utilisation of the parallel memory).
+  double elements_per_cycle() const {
+    return cycles ? static_cast<double>(elements_touched) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+
+  /// Speedup over a one-element-per-cycle scalar memory.
+  double speedup_vs_scalar() const { return elements_per_cycle(); }
+};
+
+}  // namespace polymem::apps

@@ -1,0 +1,100 @@
+#include "apps/matvec_app.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace polymem::apps {
+
+using access::PatternKind;
+
+namespace {
+
+core::PolyMemConfig make_config(std::int64_t n, unsigned p, unsigned q,
+                                unsigned read_latency) {
+  POLYMEM_REQUIRE(n >= 1 && n % (p * q) == 0,
+                  "matrix size must be a multiple of the lane count");
+  core::PolyMemConfig cfg;
+  cfg.scheme = maf::Scheme::kReRo;
+  cfg.p = p;
+  cfg.q = q;
+  cfg.height = n;
+  cfg.width = n;
+  cfg.read_latency = read_latency;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace
+
+MatVecApp::MatVecApp(std::int64_t n, unsigned p, unsigned q,
+                     unsigned read_latency)
+    : n_(n), mem_(make_config(n, p, q, read_latency)) {}
+
+void MatVecApp::load_matrix(std::span<const double> values) {
+  POLYMEM_REQUIRE(values.size() == static_cast<std::size_t>(n_ * n_),
+                  "matrix must be n*n doubles");
+  auto& f = mem_.functional();
+  std::size_t k = 0;
+  for (std::int64_t i = 0; i < n_; ++i)
+    for (std::int64_t j = 0; j < n_; ++j)
+      f.store({i, j}, core::pack_double(values[k++]));
+}
+
+AppReport MatVecApp::run(std::span<const double> x, std::span<double> y) {
+  POLYMEM_REQUIRE(x.size() == static_cast<std::size_t>(n_) &&
+                      y.size() == static_cast<std::size_t>(n_),
+                  "vectors must have n elements");
+  const auto lanes = static_cast<std::int64_t>(mem_.config().lanes());
+  const std::int64_t segments_per_row = n_ / lanes;
+  const std::int64_t total = n_ * segments_per_row;
+
+  std::fill(y.begin(), y.end(), 0.0);
+  AppReport report;
+  const std::uint64_t start = mem_.cycles();
+  std::int64_t issued = 0;
+  std::int64_t retired = 0;
+  while (retired < total) {
+    if (issued < total) {
+      const std::int64_t row = issued / segments_per_row;
+      const std::int64_t seg = issued % segments_per_row;
+      const bool ok =
+          mem_.issue_read(0, {PatternKind::kRow, {row, seg * lanes}},
+                          static_cast<std::uint64_t>(issued));
+      POLYMEM_ASSERT(ok);
+      (void)ok;
+      ++issued;
+      ++report.parallel_reads;
+    }
+    mem_.tick();
+    if (auto resp = mem_.retire_read(0)) {
+      const auto row = static_cast<std::int64_t>(resp->tag) /
+                       segments_per_row;
+      const auto seg = static_cast<std::int64_t>(resp->tag) %
+                       segments_per_row;
+      double acc = 0;
+      for (std::int64_t k = 0; k < lanes; ++k)
+        acc += core::unpack_double(resp->data[static_cast<std::size_t>(k)]) *
+               x[static_cast<std::size_t>(seg * lanes + k)];
+      y[static_cast<std::size_t>(row)] += acc;
+      ++retired;
+    }
+  }
+  report.cycles = mem_.cycles() - start;
+  report.elements_touched = static_cast<std::uint64_t>(n_ * n_);
+
+  report.verified = true;
+  for (std::int64_t i = 0; i < n_ && report.verified; ++i) {
+    double ref = 0;
+    for (std::int64_t j = 0; j < n_; ++j)
+      ref += core::unpack_double(mem_.functional().load({i, j})) *
+             x[static_cast<std::size_t>(j)];
+    if (std::abs(ref - y[static_cast<std::size_t>(i)]) > 1e-9)
+      report.verified = false;
+  }
+  return report;
+}
+
+}  // namespace polymem::apps

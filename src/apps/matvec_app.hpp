@@ -1,0 +1,41 @@
+// Pipelined dense matrix-vector multiply on the cycle-accurate PolyMem.
+//
+// y = A * x with A cached on chip (ReRo scheme, row accesses): the kernel
+// streams one full-width row segment per cycle — the memory-bound inner
+// loop that the paper's bandwidth numbers are about. Steady state: p*q
+// multiply-accumulates per cycle, limited purely by the parallel memory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/app_report.hpp"
+#include "core/cycle_polymem.hpp"
+#include "core/layout.hpp"
+
+namespace polymem::apps {
+
+class MatVecApp {
+ public:
+  /// y = A x for an n x n matrix of doubles; n must be a multiple of the
+  /// lane count (p*q).
+  explicit MatVecApp(std::int64_t n, unsigned p = 2, unsigned q = 4,
+                     unsigned read_latency = 14);
+
+  core::CyclePolyMem& memory() { return mem_; }
+  std::int64_t n() const { return n_; }
+
+  /// Loads A (row-major, n*n doubles).
+  void load_matrix(std::span<const double> values);
+
+  /// Computes y = A x; the result lands in `y` (size n). Verification
+  /// compares against the host dot products.
+  AppReport run(std::span<const double> x, std::span<double> y);
+
+ private:
+  std::int64_t n_;
+  core::CyclePolyMem mem_;
+};
+
+}  // namespace polymem::apps

@@ -1,0 +1,47 @@
+// Pipelined 9-point stencil on the cycle-accurate PolyMem (ReO scheme).
+//
+// Each p x q output tile needs a (p+2) x (q+2) input halo, gathered with
+// four unaligned rectangle reads (ReO rectangles are conflict-free at any
+// anchor). Reads stream one per cycle; when a tile's four reads have all
+// retired, the output tile is computed and written to the result band
+// through the concurrent write port. The app reports how far the gather
+// redundancy (24 halo words fetched as 32) keeps it from the 8x scalar
+// speedup.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/app_report.hpp"
+#include "core/cycle_polymem.hpp"
+#include "core/layout.hpp"
+
+namespace polymem::apps {
+
+class StencilApp {
+ public:
+  /// A 9-point mean stencil over an n x n grid of doubles; interior
+  /// outputs only. n must be a multiple of p and q, with n >= 2 both.
+  /// Source band: rows [0, n); output band: rows [n, 2n).
+  explicit StencilApp(std::int64_t n, unsigned read_latency = 14);
+
+  core::CyclePolyMem& memory() { return mem_; }
+  std::int64_t n() const { return n_; }
+
+  /// Loads the source grid (row-major, n*n doubles).
+  void load_grid(std::span<const double> values);
+
+  /// Runs the sweep; verification compares against a host reference.
+  AppReport run();
+
+  double output(std::int64_t i, std::int64_t j) const;
+
+ private:
+  double host_reference(std::int64_t i, std::int64_t j) const;
+
+  std::int64_t n_;
+  core::CyclePolyMem mem_;
+};
+
+}  // namespace polymem::apps

@@ -1,0 +1,44 @@
+// Pipelined matrix transpose on the cycle-accurate PolyMem (ReTr scheme).
+//
+// The kernel streams one rectangle read per cycle from the source band
+// and, as each read retires, writes the transposed tile to the mirrored
+// destination anchor in the SAME cycle through the independent write port
+// — the concurrent read+write pattern of the paper's STREAM design, here
+// with the rect/trect multiview that only ReTr provides. Steady state:
+// p*q elements read AND p*q written per cycle.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_report.hpp"
+#include "core/cycle_polymem.hpp"
+
+namespace polymem::apps {
+
+class TransposeApp {
+ public:
+  /// Transposes an n x n matrix of 64-bit words; n must be a multiple of
+  /// both bank dimensions. The app owns a 2n x n ReTr PolyMem: source in
+  /// rows [0, n), destination in rows [n, 2n).
+  explicit TransposeApp(std::int64_t n, unsigned p = 2, unsigned q = 4,
+                        unsigned read_latency = 14);
+
+  core::CyclePolyMem& memory() { return mem_; }
+  std::int64_t n() const { return n_; }
+
+  /// Loads the source matrix (row-major, n*n words) via the host port.
+  void load_source(std::span<const hw::Word> values);
+
+  /// Runs the transpose; returns metrics. Verification compares the
+  /// destination band against the transposed source.
+  AppReport run();
+
+  /// Destination element (i, j) == source (j, i) after run().
+  hw::Word destination(std::int64_t i, std::int64_t j) const;
+
+ private:
+  std::int64_t n_;
+  core::CyclePolyMem mem_;
+};
+
+}  // namespace polymem::apps

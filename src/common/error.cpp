@@ -1,0 +1,27 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace polymem::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << ": " << msg << " [failed: " << expr << " at " << file << ':'
+     << line << ']';
+  return os.str();
+}
+}  // namespace
+
+void throw_invalid(const char* expr, const char* file, int line,
+                   const std::string& msg) {
+  throw InvalidArgument(format("invalid argument", expr, file, line, msg));
+}
+
+void throw_unsupported(const char* expr, const char* file, int line,
+                       const std::string& msg) {
+  throw Unsupported(format("unsupported", expr, file, line, msg));
+}
+
+}  // namespace polymem::detail

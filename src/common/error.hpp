@@ -1,0 +1,65 @@
+// Error handling for the PolyMem library.
+//
+// The library reports contract violations and unsupported configurations by
+// throwing exceptions derived from `polymem::Error`. Internal invariants that
+// can only fail through a library bug use POLYMEM_ASSERT, which is compiled
+// out in NDEBUG builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace polymem {
+
+/// Base class of every exception thrown by the PolyMem library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition
+/// (bad configuration, out-of-range coordinates, wrong vector length, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a request is well-formed but the configuration cannot serve
+/// it (e.g. a pattern the selected scheme does not support conflict-free,
+/// or a ReTr geometry with no known skewing function).
+class Unsupported : public Error {
+ public:
+  explicit Unsupported(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid(const char* expr, const char* file, int line,
+                                const std::string& msg);
+[[noreturn]] void throw_unsupported(const char* expr, const char* file,
+                                    int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace polymem
+
+/// Precondition check: throws polymem::InvalidArgument when `cond` is false.
+/// Always active (also in release builds): these guard the public API.
+#define POLYMEM_REQUIRE(cond, msg)                                        \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::polymem::detail::throw_invalid(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Capability check: throws polymem::Unsupported when `cond` is false.
+#define POLYMEM_SUPPORTED(cond, msg)                                          \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::polymem::detail::throw_unsupported(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Internal invariant; aborts in debug builds, no-op with NDEBUG.
+#ifdef NDEBUG
+#define POLYMEM_ASSERT(cond) ((void)0)
+#else
+#include <cassert>
+#define POLYMEM_ASSERT(cond) assert(cond)
+#endif

@@ -1,0 +1,57 @@
+// Small integer-math helpers used across the library.
+//
+// Bank-assignment math (module assignment functions) needs well-defined
+// floored division/modulo for possibly-negative coordinates (secondary
+// diagonals walk left), which C++ `/` and `%` do not provide.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace polymem {
+
+/// Floored division: rounds towards negative infinity (Python's `//`).
+template <typename T>
+  requires std::is_signed_v<T>
+constexpr T floordiv(T a, T b) {
+  T quot = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --quot;
+  return quot;
+}
+
+/// Floored modulo: result has the sign of `b` (non-negative for b > 0).
+template <typename T>
+  requires std::is_signed_v<T>
+constexpr T floormod(T a, T b) {
+  T rem = a % b;
+  if (rem != 0 && ((rem < 0) != (b < 0))) rem += b;
+  return rem;
+}
+
+/// Ceiling division for non-negative integers.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Round `a` up to the next multiple of `b`.
+template <typename T>
+constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)) for x >= 1.
+constexpr unsigned log2_floor(std::uint64_t x) {
+  unsigned r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr unsigned log2_ceil(std::uint64_t x) {
+  return is_pow2(x) ? log2_floor(x) : log2_floor(x) + 1;
+}
+
+}  // namespace polymem

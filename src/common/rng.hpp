@@ -1,0 +1,38 @@
+// Deterministic random number generation for tests and workload generators.
+//
+// A thin wrapper over std::mt19937_64 with convenience draws; every use in
+// the library takes an explicit seed so that tests and benchmarks are
+// reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace polymem {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool chance(double probability) { return uniform01() < probability; }
+
+  std::uint64_t bits() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace polymem

@@ -1,0 +1,79 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace polymem {
+
+void RunningStats::add(double x) {
+  ++n_;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean_abs_error(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  POLYMEM_REQUIRE(a.size() == b.size() && !a.empty(),
+                  "series must be non-empty and equally sized");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+double mean_abs_rel_error(const std::vector<double>& model,
+                          const std::vector<double>& reference) {
+  POLYMEM_REQUIRE(model.size() == reference.size() && !model.empty(),
+                  "series must be non-empty and equally sized");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    POLYMEM_REQUIRE(reference[i] != 0.0, "reference value must be non-zero");
+    sum += std::abs(model[i] - reference[i]) / std::abs(reference[i]);
+  }
+  return sum / static_cast<double>(model.size());
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  POLYMEM_REQUIRE(a.size() == b.size(), "series must be equally sized");
+  const std::size_t n = a.size();
+  if (n < 2) return 0.0;
+  RunningStats sa, sb;
+  for (double x : a) sa.add(x);
+  for (double x : b) sb.add(x);
+  if (sa.stddev() == 0.0 || sb.stddev() == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    cov += (a[i] - sa.mean()) * (b[i] - sb.mean());
+  cov /= static_cast<double>(n);
+  return cov / (sa.stddev() * sb.stddev());
+}
+
+}  // namespace polymem

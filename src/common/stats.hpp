@@ -1,0 +1,46 @@
+// Running statistics and small fitting helpers.
+//
+// Used by the STREAM harness (min/avg/max over 1000 runs, as the original
+// STREAM reports) and by the synthesis-model calibration (error metrics).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace polymem {
+
+/// Accumulates count/min/max/mean/variance in one pass (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Mean absolute error between two equal-length series.
+double mean_abs_error(const std::vector<double>& a,
+                      const std::vector<double>& b);
+
+/// Mean absolute *relative* error |a-b|/|b| (b is the reference).
+double mean_abs_rel_error(const std::vector<double>& model,
+                          const std::vector<double>& reference);
+
+/// Pearson correlation coefficient; returns 0 for degenerate input.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace polymem

@@ -1,0 +1,93 @@
+#include "common/table.hpp"
+
+#include <fstream>
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace polymem {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  POLYMEM_REQUIRE(rows_.empty(), "header must be set before rows");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    POLYMEM_REQUIRE(row.size() == header_.size(),
+                    "row width must match header");
+  } else if (!rows_.empty()) {
+    POLYMEM_REQUIRE(row.size() == rows_.front().size(),
+                    "row width must match previous rows");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::num(std::uint64_t v) {
+  return std::to_string(v);
+}
+
+std::string TextTable::num(std::int64_t v) { return std::to_string(v); }
+
+std::string TextTable::num(int v) { return std::to_string(v); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width;
+  auto account = [&width](const std::vector<std::string>& row) {
+    if (width.size() < row.size()) width.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  if (!header_.empty()) account(header_);
+  for (const auto& row : rows_) account(row);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      os << (c + 1 < row.size() ? "  " : "");
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+      total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << row[c] << (c + 1 < row.size() ? "," : "");
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void TextTable::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  POLYMEM_REQUIRE(out.good(), "cannot write CSV file: " + path);
+  print_csv(out);
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  table.print(os);
+  return os;
+}
+
+}  // namespace polymem

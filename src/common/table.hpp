@@ -1,0 +1,51 @@
+// Plain-text table and CSV emission for the benchmark harness.
+//
+// Every table/figure-reproducing binary prints an aligned ASCII table (the
+// rows/series the paper reports) and can also dump CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace polymem {
+
+/// A simple column-aligned text table with an optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row; must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; its width must match the header (when present)
+  /// or the first row otherwise.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic cells with `printf`-style precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+  static std::string num(int v);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with column alignment and a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (header first when set).
+  void print_csv(std::ostream& os) const;
+
+  /// Writes the CSV rendering to a file; throws InvalidArgument when the
+  /// path is not writable.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+}  // namespace polymem

@@ -1,0 +1,32 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace polymem {
+
+std::string format_capacity(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= MiB && bytes % MiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lluMB",
+                  static_cast<unsigned long long>(bytes / MiB));
+  } else if (bytes >= KiB && bytes % KiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lluKB",
+                  static_cast<unsigned long long>(bytes / KiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_bandwidth(double bytes_per_s, bool decimal_gb) {
+  char buf[48];
+  if (decimal_gb) {
+    std::snprintf(buf, sizeof buf, "%.2f GB/s", bytes_per_s / GB);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f MB/s", bytes_per_s / MB);
+  }
+  return buf;
+}
+
+}  // namespace polymem

@@ -1,0 +1,32 @@
+// Byte-size and bandwidth units.
+//
+// The paper reports capacities in binary KB/MB (512KB..4096KB of BRAM) and
+// bandwidths in MB/s and GB/s derived from `lanes * width * f_clock`, where
+// MB/s follows the STREAM convention of 1e6 bytes/s.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace polymem {
+
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+
+/// STREAM-style decimal megabyte (the STREAM benchmark reports MB/s = 1e6 B/s).
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+
+/// Bandwidth in bytes/second given a word width, lane count and clock.
+constexpr double bandwidth_bytes_per_s(unsigned lanes, unsigned width_bits,
+                                       double clock_hz) {
+  return static_cast<double>(lanes) * (width_bits / 8.0) * clock_hz;
+}
+
+/// "512KB", "2MB", ... for binary capacities; used in table headers.
+std::string format_capacity(std::uint64_t bytes);
+
+/// "15301.2 MB/s" or "32.1 GB/s"; `decimal_gb` picks the GB/s form.
+std::string format_bandwidth(double bytes_per_s, bool decimal_gb = false);
+
+}  // namespace polymem

@@ -1,0 +1,50 @@
+#include "core/agu.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace polymem::core {
+
+using access::ParallelAccess;
+
+Agu::Agu(const PolyMemConfig& config, const maf::Maf& maf,
+         const maf::AddressingFunction& addressing)
+    : config_(&config), maf_(&maf), addressing_(&addressing) {}
+
+void Agu::expand_into(const ParallelAccess& request, AccessPlan& plan) const {
+  if (!maf::access_supported(*maf_, request)) {
+    std::ostringstream os;
+    os << "scheme " << maf::scheme_name(config_->scheme) << " (" << config_->p
+       << 'x' << config_->q << ") does not serve pattern "
+       << access::pattern_name(request.kind) << " at anchor "
+       << request.anchor;
+    throw Unsupported(os.str());
+  }
+  if (!access::fits(request, config_->p, config_->q, config_->height,
+                    config_->width)) {
+    std::ostringstream os;
+    os << "access " << access::pattern_name(request.kind) << " at "
+       << request.anchor << " exceeds the " << config_->height << 'x'
+       << config_->width << " address space";
+    throw InvalidArgument(os.str());
+  }
+
+  plan.request = request;
+  access::expand_into(request, config_->p, config_->q, plan.coords);
+  const unsigned lanes = static_cast<unsigned>(plan.coords.size());
+  plan.bank.resize(lanes);
+  plan.addr.resize(lanes);
+  for (unsigned k = 0; k < lanes; ++k) {
+    plan.bank[k] = maf_->bank(plan.coords[k]);
+    plan.addr[k] = addressing_->address(plan.coords[k]);
+  }
+}
+
+AccessPlan Agu::expand(const ParallelAccess& request) const {
+  AccessPlan plan;
+  expand_into(request, plan);
+  return plan;
+}
+
+}  // namespace polymem::core

@@ -1,0 +1,58 @@
+// The Address Generation Unit (paper Sec. III-B).
+//
+// "Based on the (i,j) coordinates and the requested access type AccType,
+//  the AGU expands the parallel access in its individual components by
+//  computing the coordinates of all the accessed elements."
+//
+// The AGU also runs the M (MAF) and A (addressing) blocks for each element,
+// producing the per-lane bank select and intra-bank address — everything
+// the shuffles and banks need to serve the access in one cycle.
+#pragma once
+
+#include <vector>
+
+#include "access/pattern.hpp"
+#include "core/config.hpp"
+#include "maf/addressing.hpp"
+#include "maf/conflict.hpp"
+#include "maf/maf.hpp"
+
+namespace polymem::core {
+
+/// The fully expanded form of one parallel access. Lane k carries the k-th
+/// element in canonical (left-to-right, top-to-bottom) order:
+///   coords[k]  — the element's 2D coordinate,
+///   bank[k]    — the memory bank storing it (the shuffle select signal),
+///   addr[k]    — its intra-bank address.
+/// Conflict-freeness makes `bank` a permutation of [0, lanes).
+struct AccessPlan {
+  access::ParallelAccess request;
+  std::vector<access::Coord> coords;
+  std::vector<unsigned> bank;
+  std::vector<std::int64_t> addr;
+
+  unsigned lanes() const { return static_cast<unsigned>(coords.size()); }
+};
+
+class Agu {
+ public:
+  Agu(const PolyMemConfig& config, const maf::Maf& maf,
+      const maf::AddressingFunction& addressing);
+
+  /// Expands `request` into an AccessPlan. Throws:
+  ///   Unsupported    — the scheme does not serve this pattern (at this
+  ///                    anchor, for aligned-only patterns),
+  ///   InvalidArgument — the access does not fit the address space.
+  AccessPlan expand(const access::ParallelAccess& request) const;
+
+  /// expand() without allocation: reuses the plan's vectors.
+  void expand_into(const access::ParallelAccess& request,
+                   AccessPlan& plan) const;
+
+ private:
+  const PolyMemConfig* config_;
+  const maf::Maf* maf_;
+  const maf::AddressingFunction* addressing_;
+};
+
+}  // namespace polymem::core

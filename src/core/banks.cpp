@@ -1,0 +1,72 @@
+#include "core/banks.hpp"
+
+#include "common/error.hpp"
+
+namespace polymem::core {
+
+BankArray::BankArray(unsigned banks, unsigned read_ports,
+                     std::int64_t words_per_bank)
+    : banks_(banks), read_ports_(read_ports) {
+  POLYMEM_REQUIRE(banks >= 1, "need at least one bank");
+  POLYMEM_REQUIRE(read_ports >= 1, "need at least one read port");
+  storage_.reserve(static_cast<std::size_t>(banks) * read_ports);
+  for (unsigned r = 0; r < read_ports; ++r)
+    for (unsigned b = 0; b < banks; ++b) storage_.emplace_back(words_per_bank);
+}
+
+hw::BramBank& BankArray::replica(unsigned port, unsigned bank) {
+  POLYMEM_REQUIRE(port < read_ports_ && bank < banks_,
+                  "bank/port index out of range");
+  return storage_[static_cast<std::size_t>(port) * banks_ + bank];
+}
+
+const hw::BramBank& BankArray::replica(unsigned port, unsigned bank) const {
+  POLYMEM_REQUIRE(port < read_ports_ && bank < banks_,
+                  "bank/port index out of range");
+  return storage_[static_cast<std::size_t>(port) * banks_ + bank];
+}
+
+void BankArray::begin_cycle() {
+  for (auto& bank : storage_) bank.begin_cycle();
+}
+
+void BankArray::write(std::span<const std::int64_t> per_bank_addr,
+                      std::span<const hw::Word> per_bank_data) {
+  POLYMEM_REQUIRE(per_bank_addr.size() == banks_ &&
+                      per_bank_data.size() == banks_,
+                  "per-bank vectors must cover every bank");
+  for (unsigned r = 0; r < read_ports_; ++r)
+    for (unsigned b = 0; b < banks_; ++b)
+      replica(r, b).write(per_bank_addr[b], per_bank_data[b]);
+}
+
+void BankArray::read(unsigned port, std::span<const std::int64_t> per_bank_addr,
+                     std::span<hw::Word> per_bank_data) {
+  POLYMEM_REQUIRE(per_bank_addr.size() == banks_ &&
+                      per_bank_data.size() == banks_,
+                  "per-bank vectors must cover every bank");
+  for (unsigned b = 0; b < banks_; ++b)
+    per_bank_data[b] = replica(port, b).read(per_bank_addr[b]);
+}
+
+hw::Word BankArray::peek(unsigned bank, std::int64_t addr) const {
+  return replica(0, bank).peek(addr);
+}
+
+void BankArray::poke(unsigned bank, std::int64_t addr, hw::Word value) {
+  for (unsigned r = 0; r < read_ports_; ++r) replica(r, bank).poke(addr, value);
+}
+
+std::uint64_t BankArray::total_reads() const {
+  std::uint64_t n = 0;
+  for (const auto& bank : storage_) n += bank.total_reads();
+  return n;
+}
+
+std::uint64_t BankArray::total_writes() const {
+  std::uint64_t n = 0;
+  for (const auto& bank : storage_) n += bank.total_writes();
+  return n;
+}
+
+}  // namespace polymem::core

@@ -1,0 +1,90 @@
+// Cycle-accurate PolyMem model.
+//
+// Layers clocking on the functional blocks: per cycle, the memory accepts
+// at most one write and one read per read port (all concurrently), and a
+// read's data emerges `read_latency` cycles later (14 for the paper's
+// STREAM design, Sec. V). This is the model the STREAM benchmark and the
+// Fig. 10 reproduction run on.
+//
+// Usage per cycle:
+//     mem.issue_write(where, data);          // optional, at most one
+//     mem.issue_read(port, where, tag);      // optional, per port
+//     mem.tick();
+//     while (auto r = mem.retire_read(port)) { ... r->data ... }
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/polymem.hpp"
+#include "hw/pipeline.hpp"
+
+namespace polymem::core {
+
+/// A completed read: the canonical-order data plus the caller's tag
+/// (e.g. the destination index the STREAM controller scheduled it for).
+struct ReadResponse {
+  std::uint64_t tag = 0;
+  std::vector<Word> data;
+};
+
+class CyclePolyMem {
+ public:
+  explicit CyclePolyMem(PolyMemConfig config);
+
+  const PolyMemConfig& config() const { return mem_.config(); }
+  PolyMem& functional() { return mem_; }
+  const PolyMem& functional() const { return mem_; }
+
+  /// Schedules a write for this cycle. Returns false (and does nothing)
+  /// when the write port is already claimed this cycle.
+  bool issue_write(const access::ParallelAccess& where,
+                   std::span<const Word> data);
+
+  /// Schedules a read on `port` for this cycle. Returns false when that
+  /// port is already claimed this cycle.
+  bool issue_read(unsigned port, const access::ParallelAccess& where,
+                  std::uint64_t tag = 0);
+
+  /// Advances one clock cycle: performs the scheduled write and reads
+  /// concurrently, pushes read data into the latency pipeline.
+  void tick();
+
+  /// Pops the read that completed on `port` this cycle, if any. Call after
+  /// tick(); at most one response per port per cycle.
+  std::optional<ReadResponse> retire_read(unsigned port);
+
+  /// Runs `n` idle cycles (drains the read pipeline into responses, which
+  /// remain claimable via retire_read in order).
+  void drain(unsigned port, std::vector<ReadResponse>& out);
+
+  std::uint64_t cycles() const { return cycles_; }
+  std::uint64_t reads_issued() const { return reads_issued_; }
+  std::uint64_t writes_issued() const { return writes_issued_; }
+
+  /// Cycles where neither a read nor a write was issued.
+  std::uint64_t idle_cycles() const { return idle_cycles_; }
+
+ private:
+  struct PendingRead {
+    access::ParallelAccess where;
+    std::uint64_t tag;
+  };
+
+  PolyMem mem_;
+  // Scheduled-for-this-cycle state.
+  std::optional<access::ParallelAccess> write_where_;
+  std::vector<Word> write_data_;
+  std::vector<std::optional<PendingRead>> read_req_;   // per port
+  // In-flight reads (data already routed; delivery delayed).
+  std::vector<hw::DelayLine<ReadResponse>> read_pipe_;  // per port
+  std::vector<std::optional<ReadResponse>> completed_;  // per port
+
+  std::uint64_t cycles_ = 0;
+  std::uint64_t reads_issued_ = 0;
+  std::uint64_t writes_issued_ = 0;
+  std::uint64_t idle_cycles_ = 0;
+};
+
+}  // namespace polymem::core

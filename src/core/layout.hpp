@@ -1,0 +1,62 @@
+// Host-data layout helpers.
+//
+// Maps linear host arrays into PolyMem's 2D address space and converts
+// between 64-bit storage words and application element types. The STREAM
+// design (paper Sec. V) stores each vector as a band of full rows
+// ("PolyMem ... is split in three (equally-sized) regions"); VectorBand
+// captures that placement.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "access/coord.hpp"
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "hw/bram.hpp"
+
+namespace polymem::core {
+
+/// Bit-exact packing of application doubles into storage words.
+inline hw::Word pack_double(double v) { return std::bit_cast<hw::Word>(v); }
+inline double unpack_double(hw::Word w) { return std::bit_cast<double>(w); }
+
+/// A 1D vector of `length` elements stored row-major in a band of rows
+/// starting at `first_row`, using the full address-space width.
+class VectorBand {
+ public:
+  VectorBand(std::int64_t first_row, std::int64_t length, std::int64_t width)
+      : first_row_(first_row), length_(length), width_(width) {
+    POLYMEM_REQUIRE(width >= 1, "width must be positive");
+    POLYMEM_REQUIRE(length >= 0, "length must be non-negative");
+    POLYMEM_REQUIRE(first_row >= 0, "first row must be non-negative");
+  }
+
+  std::int64_t first_row() const { return first_row_; }
+  std::int64_t length() const { return length_; }
+  std::int64_t width() const { return width_; }
+
+  /// Rows the band occupies (the last one may be partially used).
+  std::int64_t rows() const { return ceil_div(length_, width_); }
+
+  /// Coordinate of linear element k.
+  access::Coord coord(std::int64_t k) const {
+    POLYMEM_REQUIRE(k >= 0 && k < length_, "vector index out of range");
+    return {first_row_ + k / width_, k % width_};
+  }
+
+  /// First coordinate of the aligned group of n elements containing k
+  /// (k must be a multiple of n and n must divide width).
+  access::Coord group_anchor(std::int64_t k, std::int64_t n) const {
+    POLYMEM_REQUIRE(n >= 1 && width_ % n == 0, "group must divide the width");
+    POLYMEM_REQUIRE(k % n == 0, "group index must be aligned");
+    return coord(k);
+  }
+
+ private:
+  std::int64_t first_row_;
+  std::int64_t length_;
+  std::int64_t width_;
+};
+
+}  // namespace polymem::core

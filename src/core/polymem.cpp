@@ -1,0 +1,120 @@
+#include "core/polymem.hpp"
+
+#include "common/error.hpp"
+#include "core/shuffle.hpp"
+
+namespace polymem::core {
+
+PolyMem::PolyMem(PolyMemConfig config)
+    : config_((config.validate(), config)),
+      maf_(config.scheme, config.p, config.q),
+      addressing_(config.p, config.q, config.height, config.width),
+      agu_(config_, maf_, addressing_),
+      banks_(config.lanes(), config.read_ports, config.words_per_bank()) {
+  scratch_.bank_addr.resize(config.lanes());
+  scratch_.bank_data.resize(config.lanes());
+}
+
+maf::SupportLevel PolyMem::supports(access::PatternKind pattern) const {
+  return maf::probe_support(maf_, pattern);
+}
+
+void PolyMem::plan_and_route_write(const access::ParallelAccess& where,
+                                   std::span<const Word> data, Scratch& s) {
+  POLYMEM_REQUIRE(data.size() == config_.lanes(),
+                  "write data must provide one word per lane");
+  agu_.expand_into(where, s.plan);
+  address_shuffle(s.plan, s.bank_addr);
+  write_data_shuffle(s.plan, data, s.bank_data);
+}
+
+void PolyMem::plan_read(const access::ParallelAccess& where, Scratch& s) {
+  agu_.expand_into(where, s.plan);
+  address_shuffle(s.plan, s.bank_addr);
+}
+
+void PolyMem::write(const access::ParallelAccess& where,
+                    std::span<const Word> data) {
+  plan_and_route_write(where, data, scratch_);
+  banks_.begin_cycle();
+  banks_.write(scratch_.bank_addr, scratch_.bank_data);
+  ++parallel_writes_;
+}
+
+void PolyMem::read_into(const access::ParallelAccess& where, unsigned port,
+                        std::span<Word> out) {
+  POLYMEM_REQUIRE(port < config_.read_ports, "read port out of range");
+  POLYMEM_REQUIRE(out.size() == config_.lanes(),
+                  "read buffer must provide one word per lane");
+  plan_read(where, scratch_);
+  banks_.begin_cycle();
+  banks_.read(port, scratch_.bank_addr, scratch_.bank_data);
+  read_data_shuffle(scratch_.plan, scratch_.bank_data, out);
+  ++parallel_reads_;
+}
+
+std::vector<Word> PolyMem::read(const access::ParallelAccess& where,
+                                unsigned port) {
+  std::vector<Word> out(config_.lanes());
+  read_into(where, port, out);
+  return out;
+}
+
+void PolyMem::read_write(const access::ParallelAccess& read_from,
+                         unsigned port, std::span<Word> read_out,
+                         const access::ParallelAccess& write_to,
+                         std::span<const Word> write_data) {
+  POLYMEM_REQUIRE(port < config_.read_ports, "read port out of range");
+  POLYMEM_REQUIRE(read_out.size() == config_.lanes() &&
+                      write_data.size() == config_.lanes(),
+                  "buffers must provide one word per lane");
+  // The read and the write of the same cycle each need their own plan.
+  Scratch write_scratch;
+  write_scratch.bank_addr.resize(config_.lanes());
+  write_scratch.bank_data.resize(config_.lanes());
+  plan_read(read_from, scratch_);
+  plan_and_route_write(write_to, write_data, write_scratch);
+
+  banks_.begin_cycle();
+  // Read first: an overlapping concurrent write lands *after* the read,
+  // matching BRAM read-first port behaviour.
+  banks_.read(port, scratch_.bank_addr, scratch_.bank_data);
+  read_data_shuffle(scratch_.plan, scratch_.bank_data, read_out);
+  banks_.write(write_scratch.bank_addr, write_scratch.bank_data);
+  ++parallel_reads_;
+  ++parallel_writes_;
+}
+
+Word PolyMem::load(access::Coord c) const {
+  POLYMEM_REQUIRE(addressing_.in_bounds(c), "coordinate out of bounds");
+  return banks_.peek(maf_.bank(c), addressing_.address(c));
+}
+
+void PolyMem::store(access::Coord c, Word value) {
+  POLYMEM_REQUIRE(addressing_.in_bounds(c), "coordinate out of bounds");
+  banks_.poke(maf_.bank(c), addressing_.address(c), value);
+}
+
+void PolyMem::fill_rect(access::Coord origin, std::int64_t rows,
+                        std::int64_t cols, std::span<const Word> values) {
+  POLYMEM_REQUIRE(values.size() ==
+                      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+                  "value buffer must match the rectangle size");
+  std::size_t k = 0;
+  for (std::int64_t u = 0; u < rows; ++u)
+    for (std::int64_t v = 0; v < cols; ++v)
+      store({origin.i + u, origin.j + v}, values[k++]);
+}
+
+void PolyMem::dump_rect(access::Coord origin, std::int64_t rows,
+                        std::int64_t cols, std::span<Word> values) const {
+  POLYMEM_REQUIRE(values.size() ==
+                      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+                  "value buffer must match the rectangle size");
+  std::size_t k = 0;
+  for (std::int64_t u = 0; u < rows; ++u)
+    for (std::int64_t v = 0; v < cols; ++v)
+      values[k++] = load({origin.i + u, origin.j + v});
+}
+
+}  // namespace polymem::core

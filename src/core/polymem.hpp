@@ -1,0 +1,106 @@
+// PolyMem — the polymorphic parallel memory (functional model).
+//
+// This is the library's primary public API. A PolyMem is a 2D-addressed
+// memory of height x width elements spread over p x q banks by a
+// conflict-free module assignment function; every read() / write() moves
+// p*q elements at once, the way one clock cycle of the hardware does.
+//
+// The functional model executes each access through the full hardware data
+// path of paper Fig. 3 — AGU, MAF/addressing, inverse shuffles, banks with
+// per-cycle port accounting, read shuffle — but without timing. For timed
+// simulation (latency, concurrent read+write, multi-port scheduling) use
+// core/cycle_polymem.hpp, which layers clocking on top of the same blocks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "access/pattern.hpp"
+#include "core/agu.hpp"
+#include "core/banks.hpp"
+#include "core/config.hpp"
+#include "hw/bram.hpp"
+#include "maf/addressing.hpp"
+#include "maf/conflict.hpp"
+#include "maf/maf.hpp"
+
+namespace polymem::core {
+
+using hw::Word;
+
+class PolyMem {
+ public:
+  explicit PolyMem(PolyMemConfig config);
+
+  // Internal blocks hold references to each other; pinned in place.
+  PolyMem(const PolyMem&) = delete;
+  PolyMem& operator=(const PolyMem&) = delete;
+
+  const PolyMemConfig& config() const { return config_; }
+  const maf::Maf& maf() const { return maf_; }
+  const maf::AddressingFunction& addressing() const { return addressing_; }
+  const Agu& agu() const { return agu_; }
+  unsigned lanes() const { return config_.lanes(); }
+
+  /// Machine-checked support level of a pattern under this configuration.
+  maf::SupportLevel supports(access::PatternKind pattern) const;
+
+  /// Writes lanes() words (canonical order) through the write port.
+  void write(const access::ParallelAccess& where, std::span<const Word> data);
+
+  /// Reads lanes() words (canonical order) through read port `port`.
+  std::vector<Word> read(const access::ParallelAccess& where,
+                         unsigned port = 0);
+  void read_into(const access::ParallelAccess& where, unsigned port,
+                 std::span<Word> out);
+
+  /// One concurrent cycle: the read and the write share the cycle, using
+  /// the independent read/write bank ports (paper Sec. III-B: "Simultaneous
+  /// reads and writes are supported"). Read-before-write semantics when the
+  /// two accesses overlap.
+  void read_write(const access::ParallelAccess& read_from, unsigned port,
+                  std::span<Word> read_out,
+                  const access::ParallelAccess& write_to,
+                  std::span<const Word> write_data);
+
+  /// Scalar host backdoor (no port accounting; used for Load/Offload and
+  /// debugging, like the host filling the memory in the paper's DSE
+  /// validation cycle).
+  Word load(access::Coord c) const;
+  void store(access::Coord c, Word value);
+
+  /// Bulk host helpers: row-major copy of a height x width rectangle at
+  /// `origin` from/to a linear buffer.
+  void fill_rect(access::Coord origin, std::int64_t rows, std::int64_t cols,
+                 std::span<const Word> values);
+  void dump_rect(access::Coord origin, std::int64_t rows, std::int64_t cols,
+                 std::span<Word> values) const;
+
+  /// Access counters (one per served parallel access).
+  std::uint64_t parallel_reads() const { return parallel_reads_; }
+  std::uint64_t parallel_writes() const { return parallel_writes_; }
+
+ private:
+  // Scratch buffers sized to lanes(), reused across accesses.
+  struct Scratch {
+    AccessPlan plan;
+    std::vector<std::int64_t> bank_addr;
+    std::vector<Word> bank_data;
+  };
+
+  void plan_and_route_write(const access::ParallelAccess& where,
+                            std::span<const Word> data, Scratch& s);
+  void plan_read(const access::ParallelAccess& where, Scratch& s);
+
+  PolyMemConfig config_;
+  maf::Maf maf_;
+  maf::AddressingFunction addressing_;
+  Agu agu_;
+  BankArray banks_;
+  mutable Scratch scratch_;
+  std::uint64_t parallel_reads_ = 0;
+  std::uint64_t parallel_writes_ = 0;
+};
+
+}  // namespace polymem::core

@@ -1,0 +1,91 @@
+#include "dse/explorer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace polymem::dse {
+
+using synth::DsePoint;
+using synth::FmaxModel;
+
+double port_bandwidth_bytes_per_s(unsigned lanes, double mhz) {
+  return bandwidth_bytes_per_s(lanes, 64, mhz * 1e6);
+}
+
+DseExplorer::DseExplorer(const synth::FmaxModel& fmax) : fmax_(&fmax) {}
+
+DseResult DseExplorer::evaluate(const DsePoint& point) const {
+  POLYMEM_REQUIRE(
+      synth::dse_point_valid(point.size_kb, point.lanes, point.ports),
+      "design point is outside the valid DSE grid");
+  DseResult r;
+  r.point = point;
+  const auto config = FmaxModel::make_config(point);
+  r.fmax_mhz = fmax_->fmax_mhz(config);
+  r.fmax_mhz_paper = synth::paper_fmax_mhz(point);
+  r.resources = resources_.estimate(config);
+  r.write_bw_bytes_per_s = port_bandwidth_bytes_per_s(point.lanes, r.fmax_mhz);
+  r.read_bw_bytes_per_s = point.ports * r.write_bw_bytes_per_s;
+  if (r.fmax_mhz_paper) {
+    r.write_bw_paper =
+        port_bandwidth_bytes_per_s(point.lanes, *r.fmax_mhz_paper);
+    r.read_bw_paper = point.ports * *r.write_bw_paper;
+  }
+  return r;
+}
+
+std::vector<DseResult> DseExplorer::explore() const {
+  std::vector<DseResult> out;
+  out.reserve(synth::paper_table4().size());
+  for (const synth::DseColumn& col : synth::table4_columns())
+    for (maf::Scheme scheme : maf::kAllSchemes)
+      out.push_back(
+          evaluate(DsePoint{scheme, col.size_kb, col.lanes, col.ports}));
+  return out;
+}
+
+DseResult DseExplorer::best_read_bandwidth() const {
+  std::optional<DseResult> best;
+  for (const DseResult& r : explore())
+    if (!best || r.read_bw_bytes_per_s > best->read_bw_bytes_per_s) best = r;
+  return *best;
+}
+
+DseResult DseExplorer::best_write_bandwidth() const {
+  std::optional<DseResult> best;
+  for (const DseResult& r : explore())
+    if (!best || r.write_bw_bytes_per_s > best->write_bw_bytes_per_s) best = r;
+  return *best;
+}
+
+std::vector<DseResult> DseExplorer::pareto_read_bw_vs_bram() const {
+  std::vector<DseResult> all = explore();
+  std::vector<DseResult> frontier;
+  for (const DseResult& candidate : all) {
+    bool dominated = false;
+    for (const DseResult& other : all) {
+      const bool better_or_equal =
+          other.read_bw_bytes_per_s >= candidate.read_bw_bytes_per_s &&
+          other.resources.bram36 <= candidate.resources.bram36;
+      const bool strictly_better =
+          other.read_bw_bytes_per_s > candidate.read_bw_bytes_per_s ||
+          other.resources.bram36 < candidate.resources.bram36;
+      if (better_or_equal && strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(candidate);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const DseResult& a, const DseResult& b) {
+              if (a.resources.bram36 != b.resources.bram36)
+                return a.resources.bram36 < b.resources.bram36;
+              return a.read_bw_bytes_per_s > b.read_bw_bytes_per_s;
+            });
+  return frontier;
+}
+
+}  // namespace polymem::dse

@@ -1,0 +1,63 @@
+// Design Space Exploration driver (paper Sec. IV, Table III).
+//
+// Sweeps the paper's DSE grid — capacity {512KB..4MB} x lanes {8, 16} x
+// read ports {1..4}, restricted by the validity rule — over all five
+// schemes, and computes for each point the model frequency, resource
+// estimate and bandwidths, side by side with the paper's published
+// values where available.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "synth/calibration.hpp"
+#include "synth/fmax_model.hpp"
+#include "synth/resource_model.hpp"
+
+namespace polymem::dse {
+
+struct DseResult {
+  synth::DsePoint point;
+  double fmax_mhz = 0;                      ///< model prediction
+  std::optional<double> fmax_mhz_paper;     ///< paper Table IV, if present
+  synth::ResourceEstimate resources;        ///< model estimate
+  double write_bw_bytes_per_s = 0;          ///< per-port (Fig. 4)
+  double read_bw_bytes_per_s = 0;           ///< aggregated over ports (Fig. 5)
+  std::optional<double> write_bw_paper;     ///< derived from Table IV
+  std::optional<double> read_bw_paper;
+};
+
+/// Per-port bandwidth at a clock: lanes x 8 bytes x f (64-bit data).
+double port_bandwidth_bytes_per_s(unsigned lanes, double mhz);
+
+class DseExplorer {
+ public:
+  explicit DseExplorer(
+      const synth::FmaxModel& fmax = synth::FmaxModel::paper_calibrated());
+
+  /// All 90 valid design points (5 schemes x 18 columns), in Table IV
+  /// order (columns major, then schemes).
+  std::vector<DseResult> explore() const;
+
+  /// One design point.
+  DseResult evaluate(const synth::DsePoint& point) const;
+
+  /// The point with the highest aggregated read bandwidth — the paper's
+  /// headline "512KB ... 4 read ports ... around 32GB/s" claim.
+  DseResult best_read_bandwidth() const;
+
+  /// The point with the highest per-port (write) bandwidth.
+  DseResult best_write_bandwidth() const;
+
+  /// The Pareto frontier of the grid under (maximise aggregated read
+  /// bandwidth, minimise BRAM blocks): the configurations a designer
+  /// would actually choose between — the Sec. III-A "best configuration"
+  /// trade-off applied to the whole DSE. Sorted by ascending BRAM.
+  std::vector<DseResult> pareto_read_bw_vs_bram() const;
+
+ private:
+  const synth::FmaxModel* fmax_;
+  synth::ResourceModel resources_;
+};
+
+}  // namespace polymem::dse

@@ -1,0 +1,170 @@
+#include "dse/report.hpp"
+
+#include <filesystem>
+
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace polymem::dse {
+
+using synth::DseColumn;
+using synth::DsePoint;
+
+std::string column_label(const DseColumn& column) {
+  return std::to_string(column.size_kb) + "," + std::to_string(column.lanes) +
+         "," + std::to_string(column.ports);
+}
+
+namespace {
+
+// Indexes results by (scheme, column) for table layout.
+const DseResult& find_result(const std::vector<DseResult>& results,
+                             maf::Scheme scheme, const DseColumn& col) {
+  for (const DseResult& r : results) {
+    if (r.point.scheme == scheme && r.point.size_kb == col.size_kb &&
+        r.point.lanes == col.lanes && r.point.ports == col.ports)
+      return r;
+  }
+  throw InvalidArgument("DSE results do not cover the full grid");
+}
+
+TextTable scheme_by_column(
+    const std::vector<DseResult>& results, const std::string& title,
+    const std::function<std::string(const DseResult&)>& cell) {
+  TextTable table(title);
+  std::vector<std::string> header = {"Scheme"};
+  for (const DseColumn& col : synth::table4_columns())
+    header.push_back(column_label(col));
+  table.set_header(std::move(header));
+  for (maf::Scheme scheme : maf::kAllSchemes) {
+    std::vector<std::string> row = {maf::scheme_name(scheme)};
+    for (const DseColumn& col : synth::table4_columns())
+      row.push_back(cell(find_result(results, scheme, col)));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+TextTable table4_model(const std::vector<DseResult>& results) {
+  return scheme_by_column(
+      results,
+      "Table IV (model): MAX-PolyMem maximum clock frequencies [MHz]",
+      [](const DseResult& r) { return TextTable::num(r.fmax_mhz, 0); });
+}
+
+TextTable table4_paper() {
+  DseExplorer explorer;
+  return scheme_by_column(
+      explorer.explore(),
+      "Table IV (paper): MAX-PolyMem maximum clock frequencies [MHz]",
+      [](const DseResult& r) { return TextTable::num(*r.fmax_mhz_paper, 0); });
+}
+
+TextTable table4_error(const std::vector<DseResult>& results) {
+  TextTable table("Table IV model vs paper: mean relative error");
+  table.set_header({"Scheme", "mean |err| %", "max |err| %"});
+  double total_sum = 0;
+  int total_n = 0;
+  double total_max = 0;
+  for (maf::Scheme scheme : maf::kAllSchemes) {
+    double sum = 0, mx = 0;
+    int n = 0;
+    for (const DseResult& r : results) {
+      if (r.point.scheme != scheme || !r.fmax_mhz_paper) continue;
+      const double err =
+          std::abs(r.fmax_mhz - *r.fmax_mhz_paper) / *r.fmax_mhz_paper;
+      sum += err;
+      mx = std::max(mx, err);
+      ++n;
+    }
+    POLYMEM_REQUIRE(n > 0, "no paper reference cells for scheme");
+    table.add_row({maf::scheme_name(scheme), TextTable::num(100 * sum / n, 1),
+                   TextTable::num(100 * mx, 1)});
+    total_sum += sum;
+    total_n += n;
+    total_max = std::max(total_max, mx);
+  }
+  table.add_row({"ALL", TextTable::num(100 * total_sum / total_n, 1),
+                 TextTable::num(100 * total_max, 1)});
+  return table;
+}
+
+TextTable figure_series(const std::vector<DseResult>& results,
+                        const std::string& title,
+                        const std::function<double(const DseResult&)>& metric,
+                        int precision) {
+  TextTable table(title);
+  std::vector<std::string> header = {"Capacity,Lanes,Ports"};
+  for (maf::Scheme scheme : maf::kAllSchemes)
+    header.emplace_back(maf::scheme_name(scheme));
+  table.set_header(std::move(header));
+  for (const DseColumn& col : synth::table4_columns()) {
+    std::vector<std::string> row = {column_label(col)};
+    for (maf::Scheme scheme : maf::kAllSchemes)
+      row.push_back(
+          TextTable::num(metric(find_result(results, scheme, col)),
+                         precision));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+TextTable fig4_write_bandwidth(const std::vector<DseResult>& results) {
+  return figure_series(
+      results, "Fig. 4: Write bandwidth per port (GB/s)",
+      [](const DseResult& r) { return r.write_bw_bytes_per_s / GB; });
+}
+
+TextTable fig5_read_bandwidth(const std::vector<DseResult>& results) {
+  return figure_series(
+      results, "Fig. 5: Read bandwidth, aggregated over read ports (GB/s)",
+      [](const DseResult& r) { return r.read_bw_bytes_per_s / GB; });
+}
+
+TextTable fig6_logic_utilisation(const std::vector<DseResult>& results) {
+  return figure_series(
+      results, "Fig. 6: Logic utilisation (%)",
+      [](const DseResult& r) { return r.resources.logic_pct; });
+}
+
+TextTable fig7_lut_utilisation(const std::vector<DseResult>& results) {
+  return figure_series(
+      results, "Fig. 7: LUT utilisation (%)",
+      [](const DseResult& r) { return r.resources.lut_pct; });
+}
+
+TextTable fig8_bram_utilisation(const std::vector<DseResult>& results) {
+  return figure_series(
+      results, "Fig. 8: BRAM utilisation (%)",
+      [](const DseResult& r) { return r.resources.bram_pct; });
+}
+
+std::vector<std::string> write_all_csv(
+    const std::string& directory, const std::vector<DseResult>& results) {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  const std::vector<std::pair<std::string, TextTable>> artefacts = {
+      {"table4_model.csv", table4_model(results)},
+      {"table4_paper.csv", table4_paper()},
+      {"table4_error.csv", table4_error(results)},
+      {"fig4_write_bw_gbs.csv", fig4_write_bandwidth(results)},
+      {"fig5_read_bw_gbs.csv", fig5_read_bandwidth(results)},
+      {"fig6_logic_pct.csv", fig6_logic_utilisation(results)},
+      {"fig7_lut_pct.csv", fig7_lut_utilisation(results)},
+      {"fig8_bram_pct.csv", fig8_bram_utilisation(results)},
+  };
+  std::vector<std::string> written;
+  for (const auto& [name, table] : artefacts) {
+    const std::string path = (fs::path(directory) / name).string();
+    table.save_csv(path);
+    written.push_back(path);
+  }
+  return written;
+}
+
+}  // namespace polymem::dse

@@ -1,0 +1,53 @@
+// Table/figure emission for the DSE (paper Table IV, Figs. 4-8).
+//
+// Each function renders exactly the rows/series the paper reports: one
+// line per scheme across the 18 (capacity, lanes, ports) columns. Where
+// the paper published numbers (Table IV and the bandwidths derived from
+// it), a comparison table with per-cell relative error is available.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "dse/explorer.hpp"
+
+namespace polymem::dse {
+
+/// "512,8,1" — the x-axis label format of the paper's figures
+/// (Capacity KB, Number of Lanes, Number of Read Ports).
+std::string column_label(const synth::DseColumn& column);
+
+/// Table IV layout: scheme rows x 18 design-point columns of the model's
+/// Fmax (MHz).
+TextTable table4_model(const std::vector<DseResult>& results);
+
+/// Table IV from the paper (reference), same layout.
+TextTable table4_paper();
+
+/// Model-vs-paper comparison: per-scheme mean relative error and the
+/// overall figure.
+TextTable table4_error(const std::vector<DseResult>& results);
+
+/// Figure series: one row per column label, one column per scheme.
+/// `metric` extracts the plotted value from a DseResult.
+TextTable figure_series(
+    const std::vector<DseResult>& results, const std::string& title,
+    const std::function<double(const DseResult&)>& metric,
+    int precision = 2);
+
+/// Pre-wired metrics for the paper's figures.
+TextTable fig4_write_bandwidth(const std::vector<DseResult>& results);
+TextTable fig5_read_bandwidth(const std::vector<DseResult>& results);
+TextTable fig6_logic_utilisation(const std::vector<DseResult>& results);
+TextTable fig7_lut_utilisation(const std::vector<DseResult>& results);
+TextTable fig8_bram_utilisation(const std::vector<DseResult>& results);
+
+/// Writes every table/figure of the DSE (Table IV model + paper + error,
+/// Figs. 4-8) as CSV files into `directory` (created if missing).
+/// Returns the file paths written.
+std::vector<std::string> write_all_csv(const std::string& directory,
+                                       const std::vector<DseResult>& results);
+
+}  // namespace polymem::dse

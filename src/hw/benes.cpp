@@ -1,0 +1,87 @@
+#include "hw/benes.hpp"
+
+#include "hw/crossbar.hpp"
+
+namespace polymem::hw {
+
+namespace {
+
+// Recursive core of the looping algorithm. `sel` maps this subnetwork's
+// outputs to its inputs (out o takes in sel[o]); `depth`/`block` locate
+// the subnetwork in the flattened plan.
+void route_rec(std::span<const unsigned> sel, BenesPlan& plan,
+               unsigned depth, unsigned block) {
+  const unsigned m = static_cast<unsigned>(sel.size());
+  if (m == 1) return;
+  if (m == 2) {
+    plan.stage_cross[depth][block] = (sel[0] == 1);
+    return;
+  }
+  const unsigned half = m / 2;
+  const unsigned first = depth;
+  const unsigned last = plan.stages() - 1 - depth;
+  const unsigned sw_base = block * half;
+
+  // Inverse permutation: input -> output.
+  std::vector<unsigned> inv(m);
+  for (unsigned o = 0; o < m; ++o) inv[sel[o]] = o;
+
+  // 2-colour the connections (the looping algorithm): connections sharing
+  // an input pair or an output pair must use different subnetworks. The
+  // conflict graph is a disjoint union of even cycles, so walking each
+  // cycle alternating colours always succeeds.
+  std::vector<int> subnet(m, -1);
+  for (unsigned start = 0; start < m; ++start) {
+    if (subnet[start] != -1) continue;
+    unsigned o = start;
+    const int colour = 0;
+    while (true) {
+      subnet[o] = colour;
+      // The connection sharing o's input switch takes the other subnet.
+      const unsigned p = inv[sel[o] ^ 1u];
+      if (subnet[p] != -1) break;
+      subnet[p] = 1 - colour;
+      // The connection sharing p's output switch continues the cycle with
+      // the original colour.
+      o = p ^ 1u;
+      if (subnet[o] != -1) break;
+    }
+  }
+
+  // Derive the input/output column settings and the sub-permutations.
+  std::vector<unsigned> upper_sel(half), lower_sel(half);
+  for (unsigned t = 0; t < half; ++t) {
+    // Output switch t: its upper-subnet connection is output 2t or 2t+1.
+    const unsigned o_upper = (subnet[2 * t] == 0) ? 2 * t : 2 * t + 1;
+    const unsigned o_lower = o_upper ^ 1u;
+    POLYMEM_ASSERT(subnet[o_upper] == 0 && subnet[o_lower] == 1);
+    plan.stage_cross[last][sw_base + t] = (o_upper % 2 == 1);
+    upper_sel[t] = sel[o_upper] / 2;
+    lower_sel[t] = sel[o_lower] / 2;
+    // Input switch t: the input routed to the upper subnet.
+    const unsigned via_upper_in =
+        (subnet[inv[2 * t]] == 0) ? 2 * t : 2 * t + 1;
+    plan.stage_cross[first][sw_base + t] = (via_upper_in % 2 == 1);
+  }
+
+  route_rec(upper_sel, plan, depth + 1, 2 * block);
+  route_rec(lower_sel, plan, depth + 1, 2 * block + 1);
+}
+
+}  // namespace
+
+BenesPlan benes_route(std::span<const unsigned> sel) {
+  const unsigned lanes = static_cast<unsigned>(sel.size());
+  POLYMEM_REQUIRE(lanes >= 1, "need at least one lane");
+  POLYMEM_REQUIRE(is_pow2(lanes), "Benes networks need power-of-two lanes");
+  require_permutation(sel);
+
+  BenesPlan plan;
+  plan.lanes = lanes;
+  const unsigned stages = benes_stages(lanes);
+  plan.stage_cross.assign(stages, std::vector<bool>(lanes / 2, false));
+  if (lanes >= 2) route_rec(sel, plan, 0, 0);
+  return plan;
+}
+
+}  // namespace polymem::hw

@@ -1,0 +1,54 @@
+// Behavioural model of an on-chip memory bank (BRAM).
+//
+// The FPGA's distributed BRAM blocks are what makes PolyMem possible: each
+// bank is an independent memory with its own ports (paper Sec. I). The
+// model enforces *port semantics* per clock cycle — a simple-dual-port
+// bank accepts at most one read and one write per cycle — so a banking bug
+// (two lanes hitting the same bank) raises an error in simulation exactly
+// where real hardware would corrupt data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace polymem::hw {
+
+using Word = std::uint64_t;
+
+class BramBank {
+ public:
+  /// A bank of `words` 64-bit words, zero-initialised (matching how the
+  /// synthesis tools initialise BRAM contents).
+  explicit BramBank(std::int64_t words);
+
+  std::int64_t words() const { return static_cast<std::int64_t>(mem_.size()); }
+
+  /// Marks the start of a clock cycle: port-usage accounting resets.
+  void begin_cycle();
+
+  /// Combinational-style accessors without port accounting (host/debug use).
+  Word peek(std::int64_t addr) const;
+  void poke(std::int64_t addr, Word value);
+
+  /// Ported accesses: at most one read and one write per cycle. A second
+  /// access of the same kind in one cycle throws Error (bank conflict).
+  Word read(std::int64_t addr);
+  void write(std::int64_t addr, Word value);
+
+  /// Lifetime counters, for utilisation statistics.
+  std::uint64_t total_reads() const { return total_reads_; }
+  std::uint64_t total_writes() const { return total_writes_; }
+
+ private:
+  void check_addr(std::int64_t addr) const;
+
+  std::vector<Word> mem_;
+  bool read_used_ = false;
+  bool write_used_ = false;
+  std::uint64_t total_reads_ = 0;
+  std::uint64_t total_writes_ = 0;
+};
+
+}  // namespace polymem::hw

@@ -1,0 +1,41 @@
+// Clock domain bookkeeping for the cycle-level simulator.
+//
+// A ClockDomain counts cycles and converts them to wall-clock time at the
+// (synthesis-model-provided) clock frequency; bandwidth numbers in the
+// benches come from `bytes / domain.elapsed_seconds()`.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace polymem::hw {
+
+class ClockDomain {
+ public:
+  explicit ClockDomain(double frequency_hz) : frequency_hz_(frequency_hz) {
+    POLYMEM_REQUIRE(frequency_hz > 0, "clock frequency must be positive");
+  }
+
+  double frequency_hz() const { return frequency_hz_; }
+  std::uint64_t cycles() const { return cycles_; }
+
+  void tick(std::uint64_t n = 1) { cycles_ += n; }
+  void reset() { cycles_ = 0; }
+
+  double elapsed_seconds() const {
+    return static_cast<double>(cycles_) / frequency_hz_;
+  }
+  double elapsed_ns() const { return elapsed_seconds() * 1e9; }
+
+  /// Seconds a given cycle count takes in this domain.
+  double seconds_for(std::uint64_t cycle_count) const {
+    return static_cast<double>(cycle_count) / frequency_hz_;
+  }
+
+ private:
+  double frequency_hz_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace polymem::hw

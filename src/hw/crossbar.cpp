@@ -1,0 +1,15 @@
+#include "hw/crossbar.hpp"
+
+namespace polymem::hw {
+
+void require_permutation(std::span<const unsigned> sel) {
+  // A fixed-size bitset would be faster, but selects are small (<= lanes).
+  std::vector<char> seen(sel.size(), 0);
+  for (unsigned s : sel) {
+    POLYMEM_REQUIRE(s < sel.size(), "shuffle select out of range");
+    POLYMEM_REQUIRE(!seen[s], "shuffle select is not a permutation");
+    seen[s] = 1;
+  }
+}
+
+}  // namespace polymem::hw

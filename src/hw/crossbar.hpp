@@ -1,0 +1,49 @@
+// Full-crossbar shuffle network (the paper's Shuffle blocks, Sec. III-B).
+//
+// MAX-PolyMem reorders lane data with full crossbars: given a reordering
+// (select) signal, the regular Shuffle places input `sel[k]` on output `k`,
+// while the Inverse Shuffle restores the original order — output
+// `sel[k]` receives input `k`. The paper attributes the supra-linear logic
+// growth with lane count to these crossbars (n^2 crosspoints).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace polymem::hw {
+
+/// Validates that `sel` is a permutation of [0, n); throws otherwise.
+/// Shuffle networks are only well-defined for permutation selects.
+void require_permutation(std::span<const unsigned> sel);
+
+/// Regular shuffle: out[k] = in[sel[k]].
+template <typename T>
+void shuffle(std::span<const T> in, std::span<const unsigned> sel,
+             std::span<T> out) {
+  POLYMEM_REQUIRE(in.size() == sel.size() && in.size() == out.size(),
+                  "shuffle lane counts must match");
+  require_permutation(sel);
+  for (std::size_t k = 0; k < in.size(); ++k) out[k] = in[sel[k]];
+}
+
+/// Inverse shuffle: out[sel[k]] = in[k]. Applying shuffle then
+/// inverse_shuffle with the same select restores the input order.
+template <typename T>
+void inverse_shuffle(std::span<const T> in, std::span<const unsigned> sel,
+                     std::span<T> out) {
+  POLYMEM_REQUIRE(in.size() == sel.size() && in.size() == out.size(),
+                  "shuffle lane counts must match");
+  require_permutation(sel);
+  for (std::size_t k = 0; k < in.size(); ++k) out[sel[k]] = in[k];
+}
+
+/// Crosspoint count of an n-lane full crossbar; the resource model uses
+/// this to reproduce the paper's quadratic logic growth (Sec. IV-C).
+constexpr std::uint64_t crossbar_crosspoints(unsigned lanes) {
+  return static_cast<std::uint64_t>(lanes) * lanes;
+}
+
+}  // namespace polymem::hw

@@ -1,0 +1,49 @@
+// Bounded FIFO, the stream-buffering primitive of the kernel simulator.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/error.hpp"
+
+namespace polymem::hw {
+
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t capacity) : capacity_(capacity) {
+    POLYMEM_REQUIRE(capacity >= 1, "FIFO capacity must be positive");
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  bool full() const { return items_.size() >= capacity_; }
+
+  /// Pushes when space is available; returns false on a full FIFO
+  /// (back-pressure), matching stream stall semantics.
+  bool try_push(T value) {
+    if (full()) return false;
+    items_.push_back(std::move(value));
+    return true;
+  }
+
+  /// Pops the oldest element, or nullopt when empty.
+  std::optional<T> try_pop() {
+    if (empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  const T& front() const {
+    POLYMEM_REQUIRE(!empty(), "front() on empty FIFO");
+    return items_.front();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+};
+
+}  // namespace polymem::hw

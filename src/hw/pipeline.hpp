@@ -1,0 +1,56 @@
+// Fixed-latency delay line.
+//
+// Models pipeline registers between the PolyMem blocks (AGU -> M/A ->
+// shuffles -> banks -> read shuffle). The STREAM design of the paper sees a
+// 14-cycle read latency through this pipeline (Sec. V) and must align the
+// controller inputs with the delayed outputs; DelayLine is that mechanism.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace polymem::hw {
+
+template <typename T>
+class DelayLine {
+ public:
+  /// A delay of `latency` cycles; latency 0 passes values through the same
+  /// cycle.
+  explicit DelayLine(unsigned latency)
+      : stages_(latency), head_(0) {}
+
+  unsigned latency() const { return static_cast<unsigned>(stages_.size()); }
+
+  /// Advances one clock cycle: shifts `in` into the line and returns what
+  /// falls out of the far end (nullopt while the pipe is still filling or
+  /// when a bubble was inserted `latency` cycles ago).
+  std::optional<T> tick(std::optional<T> in) {
+    if (stages_.empty()) return in;
+    std::optional<T> out = std::move(stages_[head_]);
+    stages_[head_] = std::move(in);
+    head_ = (head_ + 1) % stages_.size();
+    return out;
+  }
+
+  /// Drops all in-flight values.
+  void flush() {
+    for (auto& s : stages_) s.reset();
+    head_ = 0;
+  }
+
+  /// Number of values currently in flight.
+  unsigned in_flight() const {
+    unsigned n = 0;
+    for (const auto& s : stages_)
+      if (s.has_value()) ++n;
+    return n;
+  }
+
+ private:
+  std::vector<std::optional<T>> stages_;
+  std::size_t head_;
+};
+
+}  // namespace polymem::hw

@@ -1,0 +1,20 @@
+#include "maf/addressing.hpp"
+
+#include "common/error.hpp"
+
+namespace polymem::maf {
+
+AddressingFunction::AddressingFunction(unsigned p, unsigned q,
+                                       std::int64_t height,
+                                       std::int64_t width)
+    : p_(p), q_(q), height_(height), width_(width) {
+  POLYMEM_REQUIRE(p >= 1 && q >= 1, "bank geometry must be at least 1x1");
+  POLYMEM_REQUIRE(height >= 1 && width >= 1,
+                  "address space must be non-empty");
+  POLYMEM_REQUIRE(height % p == 0,
+                  "address-space height must be a multiple of p");
+  POLYMEM_REQUIRE(width % q == 0,
+                  "address-space width must be a multiple of q");
+}
+
+}  // namespace polymem::maf

@@ -1,0 +1,54 @@
+// The intra-bank Addressing Function (the paper's "A" block, Sec. III-B).
+//
+// Once the MAF has chosen *which* bank stores element (i, j), A chooses
+// *where inside that bank* it lives. All five schemes distribute every
+// aligned p x q block across all p*q banks exactly once, so the block
+// coordinates |i/p| and |j/q| identify a unique word per bank:
+//
+//     A(i, j) = |i/p| * (W/q) + |j/q|
+//
+// where W is the width of the 2D address space. This makes (bank, A) a
+// bijection from the H x W space onto p*q banks of (H/p)*(W/q) words each.
+#pragma once
+
+#include <cstdint>
+
+#include "access/coord.hpp"
+
+namespace polymem::maf {
+
+class AddressingFunction {
+ public:
+  /// The address space is H x W elements; H must be a multiple of p and
+  /// W a multiple of q so banks fill evenly.
+  AddressingFunction(unsigned p, unsigned q, std::int64_t height,
+                     std::int64_t width);
+
+  std::int64_t height() const { return height_; }
+  std::int64_t width() const { return width_; }
+
+  /// Words each bank must hold: (H/p) * (W/q).
+  std::int64_t words_per_bank() const {
+    return (height_ / p_) * (width_ / q_);
+  }
+
+  /// Intra-bank address of element (i, j); valid for 0 <= i < H, 0 <= j < W.
+  std::int64_t address(std::int64_t i, std::int64_t j) const {
+    return (i / p_) * (width_ / q_) + (j / q_);
+  }
+  std::int64_t address(access::Coord c) const { return address(c.i, c.j); }
+
+  /// True when (i, j) lies inside the H x W space.
+  bool in_bounds(std::int64_t i, std::int64_t j) const {
+    return i >= 0 && i < height_ && j >= 0 && j < width_;
+  }
+  bool in_bounds(access::Coord c) const { return in_bounds(c.i, c.j); }
+
+ private:
+  std::int64_t p_;
+  std::int64_t q_;
+  std::int64_t height_;
+  std::int64_t width_;
+};
+
+}  // namespace polymem::maf

@@ -1,0 +1,110 @@
+#include "maf/conflict.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace polymem::maf {
+
+using access::Coord;
+using access::ParallelAccess;
+using access::PatternKind;
+
+const char* support_level_name(SupportLevel level) {
+  switch (level) {
+    case SupportLevel::kNone: return "none";
+    case SupportLevel::kAligned: return "aligned";
+    case SupportLevel::kAny: return "any";
+  }
+  throw InvalidArgument("unknown support level");
+}
+
+namespace {
+
+// One full MAF period per axis; sweeping anchors over it is exhaustive.
+std::int64_t maf_period(const Maf& maf) {
+  const std::int64_t n = maf.banks();
+  return n * std::lcm<std::int64_t>(maf.p(), maf.q());
+}
+
+// Core sweep shared by verify/find. Returns conflicting anchors (empty when
+// conflict-free); bails after max_hits.
+std::vector<Coord> sweep(const Maf& maf, PatternKind pattern,
+                         bool aligned_only, std::size_t max_hits) {
+  const std::int64_t span = maf_period(maf);
+  const unsigned n = maf.banks();
+  std::vector<Coord> el;
+  std::vector<char> seen(n);
+  std::vector<Coord> hits;
+  for (std::int64_t a = 0; a < span; ++a) {
+    if (aligned_only && a % maf.p() != 0) continue;
+    for (std::int64_t b = 0; b < span; ++b) {
+      if (aligned_only && b % maf.q() != 0) continue;
+      access::expand_into({pattern, {a, b}}, maf.p(), maf.q(), el);
+      std::fill(seen.begin(), seen.end(), 0);
+      for (const Coord& c : el) {
+        const unsigned m = maf.bank(c);
+        if (seen[m]) {
+          hits.push_back({a, b});
+          if (hits.size() >= max_hits) return hits;
+          break;
+        }
+        seen[m] = 1;
+      }
+    }
+  }
+  return hits;
+}
+
+}  // namespace
+
+bool verify_conflict_free(const Maf& maf, PatternKind pattern,
+                          bool aligned_only) {
+  return sweep(maf, pattern, aligned_only, 1).empty();
+}
+
+std::vector<Coord> find_conflicts(const Maf& maf, PatternKind pattern,
+                                  bool aligned_only, std::size_t max_hits) {
+  return sweep(maf, pattern, aligned_only, max_hits);
+}
+
+SupportLevel probe_support(const Maf& maf, PatternKind pattern) {
+  using Key = std::tuple<Scheme, unsigned, unsigned, PatternKind>;
+  static std::mutex mutex;
+  static std::map<Key, SupportLevel> cache;
+
+  const Key key{maf.scheme(), maf.p(), maf.q(), pattern};
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (auto it = cache.find(key); it != cache.end()) return it->second;
+  }
+
+  SupportLevel level = SupportLevel::kNone;
+  if (verify_conflict_free(maf, pattern, /*aligned_only=*/false)) {
+    level = SupportLevel::kAny;
+  } else if (verify_conflict_free(maf, pattern, /*aligned_only=*/true)) {
+    level = SupportLevel::kAligned;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex);
+  cache.emplace(key, level);
+  return level;
+}
+
+bool access_supported(const Maf& maf, const ParallelAccess& access) {
+  switch (probe_support(maf, access.kind)) {
+    case SupportLevel::kAny:
+      return true;
+    case SupportLevel::kAligned:
+      return access.anchor.i % maf.p() == 0 && access.anchor.j % maf.q() == 0;
+    case SupportLevel::kNone:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace polymem::maf

@@ -1,0 +1,49 @@
+// Conflict-freeness verification and the capability oracle.
+//
+// The PRF literature *states* which patterns each scheme serves
+// conflict-free; this library *proves* it per configuration. All MAFs in
+// maf.cpp are periodic in i and j with period p*q*lcm(p,q), so checking
+// every anchor inside one period is exhaustive, and the oracle's answers
+// are sound for the whole (unbounded) address space.
+//
+// Support comes in three levels:
+//   kAny     — conflict-free at every anchor
+//   kAligned — conflict-free when the anchor is p/q-aligned
+//              (i % p == 0 and j % q == 0), e.g. RoCo rectangles
+//   kNone    — some anchor collides
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "access/pattern.hpp"
+#include "maf/maf.hpp"
+
+namespace polymem::maf {
+
+enum class SupportLevel : std::uint8_t { kNone, kAligned, kAny };
+
+const char* support_level_name(SupportLevel level);
+
+/// Exhaustively verifies that `pattern` is conflict-free under `maf` for
+/// every (optionally aligned) anchor in one MAF period.
+bool verify_conflict_free(const Maf& maf, access::PatternKind pattern,
+                          bool aligned_only = false);
+
+/// Returns the (possibly empty) list of anchors inside one period where the
+/// pattern collides; useful diagnostics for tests and error messages.
+/// Stops after `max_hits` collisions.
+std::vector<access::Coord> find_conflicts(const Maf& maf,
+                                          access::PatternKind pattern,
+                                          bool aligned_only = false,
+                                          std::size_t max_hits = 8);
+
+/// The machine-checked support level of `pattern` under `maf`.
+/// Results are memoized process-wide per (scheme, p, q, pattern).
+SupportLevel probe_support(const Maf& maf, access::PatternKind pattern);
+
+/// Convenience: true when the pattern is usable at the given anchor —
+/// kAny, or kAligned with an aligned anchor.
+bool access_supported(const Maf& maf, const access::ParallelAccess& access);
+
+}  // namespace polymem::maf

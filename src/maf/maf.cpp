@@ -1,0 +1,173 @@
+#include "maf/maf.hpp"
+
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace polymem::maf {
+
+namespace {
+
+using Geometry = std::pair<unsigned, unsigned>;  // (p, q) with p <= q
+
+// ReTr skewing coefficients verified by exhaustive search
+// (tools/maf_search.cpp) for the geometries the DSE uses. Entries are for
+// p <= q; p > q geometries use the transposed form.
+const std::map<Geometry, ReTrCoefficients> kKnownReTr = {
+    {{1, 1}, {0, 1}},  {{1, 2}, {0, 1}},  {{1, 4}, {0, 1}},
+    {{1, 8}, {0, 1}},  {{1, 16}, {0, 1}}, {{2, 2}, {0, 2}},
+    {{2, 4}, {2, 2}},  {{2, 8}, {2, 2}},  {{2, 16}, {2, 2}},
+    {{4, 4}, {0, 4}},  {{4, 8}, {12, 4}},
+};
+
+// Bank index of the candidate ReTr skewing (p <= q assumed, s = p).
+unsigned retr_bank(std::int64_t i, std::int64_t j, unsigned p, unsigned q,
+                   unsigned a, unsigned b) {
+  const std::int64_t n = static_cast<std::int64_t>(p) * q;
+  const std::int64_t s = p;  // min(p, q)
+  const std::int64_t v =
+      j + static_cast<std::int64_t>(a) * floordiv(j, s) +
+      static_cast<std::int64_t>(b) * i;
+  return static_cast<unsigned>(floormod(v, n));
+}
+
+// Bounded-exhaustive conflict-freeness check of the candidate over the
+// rect (p x q) and trect (q x p) patterns. The MAF terms are periodic in
+// both axes with period n * lcm(p, q), so sweeping anchors over one period
+// is a proof, not a sample.
+bool retr_candidate_ok(unsigned p, unsigned q, unsigned a, unsigned b) {
+  const std::int64_t n = static_cast<std::int64_t>(p) * q;
+  const std::int64_t span = n * std::lcm<std::int64_t>(p, q);
+  std::vector<char> seen(static_cast<std::size_t>(n));
+  // Both patterns are checked at each anchor before moving on, so invalid
+  // candidates die at small anchors no matter which pattern breaks them.
+  for (std::int64_t ai = 0; ai < span; ++ai) {
+    for (std::int64_t aj = 0; aj < span; ++aj) {
+      for (int transposed = 0; transposed < 2; ++transposed) {
+        const std::int64_t rows = transposed ? q : p;
+        const std::int64_t cols = transposed ? p : q;
+        std::fill(seen.begin(), seen.end(), 0);
+        for (std::int64_t u = 0; u < rows; ++u) {
+          for (std::int64_t v = 0; v < cols; ++v) {
+            const unsigned m = retr_bank(ai + u, aj + v, p, q, a, b);
+            if (seen[m]) return false;
+            seen[m] = 1;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// Finds ReTr coefficients for (p, q) with p <= q: built-in table first,
+// then exhaustive search over the skewing family. Results (including
+// failures) are cached process-wide.
+std::optional<ReTrCoefficients> find_retr(unsigned p, unsigned q) {
+  POLYMEM_ASSERT(p <= q);
+  if (auto it = kKnownReTr.find({p, q}); it != kKnownReTr.end())
+    return it->second;
+
+  static std::mutex mutex;
+  static std::map<Geometry, std::optional<ReTrCoefficients>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (auto it = cache.find({p, q}); it != cache.end()) return it->second;
+
+  std::optional<ReTrCoefficients> found;
+  const unsigned n = p * q;
+  for (unsigned a = 0; a < n && !found; ++a)
+    for (unsigned b = 0; b < n && !found; ++b)
+      if (retr_candidate_ok(p, q, a, b)) found = ReTrCoefficients{a, b};
+  cache[{p, q}] = found;
+  return found;
+}
+
+}  // namespace
+
+Maf::Maf(Scheme scheme, unsigned p, unsigned q)
+    : scheme_(scheme), p_(p), q_(q) {
+  POLYMEM_REQUIRE(p >= 1 && q >= 1, "bank geometry must be at least 1x1");
+  POLYMEM_REQUIRE(static_cast<std::uint64_t>(p) * q <= (1u << 20),
+                  "bank geometry too large");
+  if (scheme == Scheme::kReTr) {
+    transposed_ = p_ > q_;
+    const unsigned lo = transposed_ ? q_ : p_;
+    const unsigned hi = transposed_ ? p_ : q_;
+    const auto coeff = find_retr(lo, hi);
+    POLYMEM_SUPPORTED(coeff.has_value(),
+                      "no conflict-free ReTr skewing for geometry " +
+                          std::to_string(p) + "x" + std::to_string(q) +
+                          " (power-of-two p and q are supported)");
+    a_ = coeff->a;
+    b_ = coeff->b;
+  }
+}
+
+BankIndex Maf::bank(std::int64_t i, std::int64_t j) const {
+  const std::int64_t p = p_;
+  const std::int64_t q = q_;
+  switch (scheme_) {
+    case Scheme::kReO:
+      return static_cast<unsigned>(floormod(i, p) * q + floormod(j, q));
+    case Scheme::kReRo:
+      return static_cast<unsigned>(floormod(i + floordiv(j, q), p) * q +
+                                   floormod(j, q));
+    case Scheme::kReCo:
+      return static_cast<unsigned>(floormod(i, p) * q +
+                                   floormod(j + floordiv(i, p), q));
+    case Scheme::kRoCo:
+      return static_cast<unsigned>(floormod(i + floordiv(j, q), p) * q +
+                                   floormod(j + floordiv(i, p), q));
+    case Scheme::kReTr:
+      return transposed_ ? retr_bank(j, i, q_, p_, a_, b_)
+                         : retr_bank(i, j, p_, q_, a_, b_);
+  }
+  throw InvalidArgument("unknown scheme");
+}
+
+unsigned Maf::m_v(std::int64_t i, std::int64_t j) const {
+  return bank(i, j) / q_;
+}
+
+unsigned Maf::m_h(std::int64_t i, std::int64_t j) const {
+  return bank(i, j) % q_;
+}
+
+std::optional<ReTrCoefficients> Maf::retr_coefficients() const {
+  if (scheme_ != Scheme::kReTr) return std::nullopt;
+  return ReTrCoefficients{a_, b_};
+}
+
+std::string Maf::describe() const {
+  const std::string p = std::to_string(p_);
+  const std::string q = std::to_string(q_);
+  switch (scheme_) {
+    case Scheme::kReO:
+      return "m_v = i mod " + p + ", m_h = j mod " + q;
+    case Scheme::kReRo:
+      return "m_v = (i + |j/" + q + "|) mod " + p + ", m_h = j mod " + q;
+    case Scheme::kReCo:
+      return "m_v = i mod " + p + ", m_h = (j + |i/" + p + "|) mod " + q;
+    case Scheme::kRoCo:
+      return "m_v = (i + |j/" + q + "|) mod " + p + ", m_h = (j + |i/" + p +
+             "|) mod " + q;
+    case Scheme::kReTr: {
+      const std::string n = std::to_string(p_ * q_);
+      const std::string s = std::to_string(std::min(p_, q_));
+      const std::string a = std::to_string(a_);
+      const std::string b = std::to_string(b_);
+      if (transposed_)
+        return "bank = (i + " + a + "*|i/" + s + "| + " + b + "*j) mod " + n;
+      return "bank = (j + " + a + "*|j/" + s + "| + " + b + "*i) mod " + n;
+    }
+  }
+  throw InvalidArgument("unknown scheme");
+}
+
+}  // namespace polymem::maf

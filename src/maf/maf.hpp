@@ -1,0 +1,89 @@
+// Module Assignment Functions (the paper's "M" block, Sec. III-B).
+//
+// A MAF maps every coordinate of the 2D address space to one of p*q memory
+// banks such that the scheme's access patterns always hit p*q *distinct*
+// banks — the conflict-freeness that makes single-cycle parallel access
+// possible.
+//
+// The four multiview schemes use the classic PRF row/column rotation
+// functions [Ciobanu, PhD 2013]:
+//
+//   ReO :  m_v = i mod p                 m_h = j mod q
+//   ReRo:  m_v = (i + |j/q|) mod p       m_h = j mod q
+//   ReCo:  m_v = i mod p                 m_h = (j + |i/p|) mod q
+//   RoCo:  m_v = (i + |j/q|) mod p       m_h = (j + |i/p|) mod q
+//
+// (bank = m_v * q + m_h; |x/y| is floored division, so the functions are
+// defined for negative coordinates too.)
+//
+// ReTr uses a skewing function over the combined bank index, rediscovered
+// and machine-verified by this library (tools/maf_search.cpp):
+//
+//   bank(i, j) = (j + A*|j/s| + B*i) mod (p*q)        with s = min(p, q)
+//
+// with per-geometry coefficients (A, B) from a built-in verified table,
+// e.g. (p,q)=(2,4): A=2, B=2; (4,8): A=12, B=4. For geometries with p > q
+// the transposed form (i and j swapped) is used. Unknown geometries fall
+// back to an exhaustive, machine-verified coefficient search; geometries
+// with no valid skewing in this family are rejected with Unsupported.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "access/coord.hpp"
+#include "maf/scheme.hpp"
+
+namespace polymem::maf {
+
+/// A bank index in [0, p*q).
+using BankIndex = unsigned;
+
+/// ReTr skewing coefficients; see the header comment.
+struct ReTrCoefficients {
+  unsigned a = 0;  ///< multiplier of |j/s|
+  unsigned b = 0;  ///< multiplier of i
+};
+
+/// The module assignment function for one (scheme, p, q) configuration.
+/// Immutable and cheap to copy; bank() is a handful of integer ops.
+class Maf {
+ public:
+  /// Builds the MAF. For ReTr this may run the coefficient search (cached
+  /// process-wide); throws Unsupported when no conflict-free skewing exists
+  /// for the geometry.
+  Maf(Scheme scheme, unsigned p, unsigned q);
+
+  Scheme scheme() const { return scheme_; }
+  unsigned p() const { return p_; }
+  unsigned q() const { return q_; }
+  unsigned banks() const { return p_ * q_; }
+
+  /// The bank storing element (i, j). Defined for all coordinates,
+  /// including negative ones (floored arithmetic).
+  BankIndex bank(std::int64_t i, std::int64_t j) const;
+  BankIndex bank(access::Coord c) const { return bank(c.i, c.j); }
+
+  /// Vertical/horizontal bank coordinates (bank == m_v * q + m_h).
+  unsigned m_v(std::int64_t i, std::int64_t j) const;
+  unsigned m_h(std::int64_t i, std::int64_t j) const;
+
+  /// The ReTr coefficients in use (empty for other schemes).
+  std::optional<ReTrCoefficients> retr_coefficients() const;
+
+  /// Human-readable formula of this MAF, e.g. for ReRo:
+  /// "m_v = (i + |j/4|) mod 2, m_h = j mod 4".
+  std::string describe() const;
+
+ private:
+  Scheme scheme_;
+  unsigned p_;
+  unsigned q_;
+  // ReTr only: skewing coefficients and whether the transposed form applies.
+  unsigned a_ = 0;
+  unsigned b_ = 0;
+  bool transposed_ = false;
+};
+
+}  // namespace polymem::maf

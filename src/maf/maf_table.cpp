@@ -1,0 +1,22 @@
+#include "maf/maf_table.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace polymem::maf {
+
+MafTable::MafTable(const Maf& maf)
+    : scheme_(maf.scheme()),
+      banks_(maf.banks()),
+      period_(static_cast<std::int64_t>(maf.banks()) *
+              std::lcm<std::int64_t>(maf.p(), maf.q())) {
+  POLYMEM_REQUIRE(period_ * period_ <= (std::int64_t{1} << 26),
+                  "MAF period too large to tabulate");
+  table_.resize(static_cast<std::size_t>(period_ * period_));
+  for (std::int64_t i = 0; i < period_; ++i)
+    for (std::int64_t j = 0; j < period_; ++j)
+      table_[static_cast<std::size_t>(i * period_ + j)] = maf.bank(i, j);
+}
+
+}  // namespace polymem::maf

@@ -1,0 +1,46 @@
+// Lookup-table form of a module assignment function.
+//
+// Every MAF in this library is periodic in both axes with period
+// n * lcm(p, q); tabulating one period turns bank() into a single load —
+// the hardware analogue is a small ROM, and for the simulator it makes
+// AGU expansion measurably faster (see bench_micro). The table is proven
+// equal to the analytic MAF at construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/math.hpp"
+#include "maf/maf.hpp"
+
+namespace polymem::maf {
+
+class MafTable {
+ public:
+  /// Tabulates `maf` over one full period (n * lcm(p, q) per axis).
+  explicit MafTable(const Maf& maf);
+
+  Scheme scheme() const { return scheme_; }
+  unsigned banks() const { return banks_; }
+  std::int64_t period() const { return period_; }
+
+  /// Identical to Maf::bank for every coordinate (including negatives).
+  BankIndex bank(std::int64_t i, std::int64_t j) const {
+    return table_[static_cast<std::size_t>(floormod(i, period_) * period_ +
+                                           floormod(j, period_))];
+  }
+  BankIndex bank(access::Coord c) const { return bank(c.i, c.j); }
+
+  /// Bytes of table storage (the ROM-size trade-off).
+  std::size_t storage_bytes() const {
+    return table_.size() * sizeof(BankIndex);
+  }
+
+ private:
+  Scheme scheme_;
+  unsigned banks_;
+  std::int64_t period_;
+  std::vector<BankIndex> table_;
+};
+
+}  // namespace polymem::maf

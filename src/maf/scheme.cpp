@@ -1,0 +1,44 @@
+#include "maf/scheme.hpp"
+
+#include "common/error.hpp"
+
+namespace polymem::maf {
+
+using access::PatternKind;
+
+const char* scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kReO: return "ReO";
+    case Scheme::kReRo: return "ReRo";
+    case Scheme::kReCo: return "ReCo";
+    case Scheme::kRoCo: return "RoCo";
+    case Scheme::kReTr: return "ReTr";
+  }
+  throw InvalidArgument("unknown scheme");
+}
+
+Scheme scheme_from_name(const std::string& name) {
+  for (Scheme s : kAllSchemes)
+    if (name == scheme_name(s)) return s;
+  throw InvalidArgument("unknown scheme name: " + name);
+}
+
+std::vector<PatternKind> advertised_patterns(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kReO:
+      return {PatternKind::kRect};
+    case Scheme::kReRo:
+      return {PatternKind::kRect, PatternKind::kRow, PatternKind::kMainDiag,
+              PatternKind::kSecDiag};
+    case Scheme::kReCo:
+      return {PatternKind::kRect, PatternKind::kCol, PatternKind::kMainDiag,
+              PatternKind::kSecDiag};
+    case Scheme::kRoCo:
+      return {PatternKind::kRow, PatternKind::kCol, PatternKind::kRect};
+    case Scheme::kReTr:
+      return {PatternKind::kRect, PatternKind::kTRect};
+  }
+  throw InvalidArgument("unknown scheme");
+}
+
+}  // namespace polymem::maf

@@ -1,0 +1,41 @@
+// PRF memory access schemes (paper Table I).
+//
+// A scheme selects which *family* of access patterns the module assignment
+// function keeps conflict-free. The five schemes of the paper:
+//
+//   ReO  (Rectangle Only)          : rectangle
+//   ReRo (Rectangle, Row)          : rectangle, row, main+secondary diagonals
+//   ReCo (Rectangle, Column)       : rectangle, column, main+secondary diags
+//   RoCo (Row, Column)             : row, column, (aligned) rectangle
+//   ReTr (Rect, Transposed Rect)   : rectangle, transposed rectangle
+//
+// Support can depend on the bank geometry (p, q); the authoritative answer
+// comes from maf/conflict.hpp's machine-checked oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "access/pattern.hpp"
+
+namespace polymem::maf {
+
+enum class Scheme : std::uint8_t { kReO, kReRo, kReCo, kRoCo, kReTr };
+
+inline constexpr Scheme kAllSchemes[] = {
+    Scheme::kReO, Scheme::kReRo, Scheme::kReCo, Scheme::kRoCo, Scheme::kReTr,
+};
+
+/// Canonical name as used in the paper's tables ("ReO", "ReRo", ...).
+const char* scheme_name(Scheme scheme);
+
+/// Inverse of scheme_name; throws InvalidArgument on unknown names.
+Scheme scheme_from_name(const std::string& name);
+
+/// The pattern family the scheme advertises (paper Table I), independent of
+/// geometry. RoCo's rectangle is aligned-only; that nuance lives in the
+/// capability oracle (maf/conflict.hpp), which is geometry-aware.
+std::vector<access::PatternKind> advertised_patterns(Scheme scheme);
+
+}  // namespace polymem::maf

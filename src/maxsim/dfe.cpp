@@ -1,0 +1,82 @@
+#include "maxsim/dfe.hpp"
+
+#include "common/error.hpp"
+
+namespace polymem::maxsim {
+
+DfeDevice::DfeDevice(double clock_mhz) : clock_(clock_mhz * 1e6) {}
+
+ActionTiming DfeDevice::finish(ActionTiming timing) {
+  timing.seconds = pcie_.call_seconds(timing.pcie_bytes) +
+                   clock_.seconds_for(timing.cycles);
+  pcie_.record_call(timing.pcie_bytes);
+  clock_.tick(timing.cycles);
+  history_.push_back(timing);
+  return timing;
+}
+
+ActionTiming DfeDevice::write_stream(Manager& manager,
+                                     const std::string& stream,
+                                     std::span<const hw::Word> data,
+                                     std::uint64_t max_cycles) {
+  Stream& s = manager.stream(stream);
+  const std::uint64_t start = manager.cycles();
+  std::size_t sent = 0;
+  std::uint64_t guard = 0;
+  while (sent < data.size()) {
+    // The host DMA engine feeds the stream as fast as it accepts words;
+    // the design ticks concurrently and drains it.
+    while (sent < data.size() && s.push(data[sent])) ++sent;
+    manager.tick();
+    POLYMEM_REQUIRE(++guard <= max_cycles,
+                    "write_stream did not complete (design not draining '" +
+                        stream + "')");
+  }
+  // Let the design consume what is still buffered in the stream and
+  // finish the work it triggers (e.g. the final PolyMem write).
+  while (!s.empty() || !manager.all_done()) {
+    manager.tick();
+    POLYMEM_REQUIRE(++guard <= max_cycles,
+                    "write_stream tail did not drain on '" + stream + "'");
+  }
+  return finish({"write:" + stream, manager.cycles() - start,
+                 data.size() * sizeof(hw::Word), 0.0});
+}
+
+ActionTiming DfeDevice::read_stream(Manager& manager,
+                                    const std::string& stream,
+                                    std::span<hw::Word> out,
+                                    std::uint64_t max_cycles) {
+  Stream& s = manager.stream(stream);
+  const std::uint64_t start = manager.cycles();
+  std::size_t received = 0;
+  std::uint64_t guard = 0;
+  while (received < out.size()) {
+    while (received < out.size()) {
+      const auto w = s.pop();
+      if (!w) break;
+      out[received++] = *w;
+    }
+    if (received >= out.size()) break;
+    manager.tick();
+    POLYMEM_REQUIRE(++guard <= max_cycles,
+                    "read_stream starved (design not filling '" + stream +
+                        "')");
+  }
+  return finish({"read:" + stream, manager.cycles() - start,
+                 out.size() * sizeof(hw::Word), 0.0});
+}
+
+ActionTiming DfeDevice::run_action(const std::string& name, Manager& manager,
+                                   std::uint64_t max_cycles) {
+  const std::uint64_t cycles = manager.run_to_completion(max_cycles);
+  return finish({name, cycles, 0, 0.0});
+}
+
+double DfeDevice::total_seconds() const {
+  double t = 0;
+  for (const ActionTiming& a : history_) t += a.seconds;
+  return t;
+}
+
+}  // namespace polymem::maxsim

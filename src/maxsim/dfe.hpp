@@ -1,0 +1,71 @@
+// The DFE device: a manager running under a clock, reached over PCIe.
+//
+// Completes the Fig. 1 system picture: blocking host "actions" (load a
+// stream, run a kernel stage) each pay the PCIe call overhead, and kernel
+// time is cycles / f_clock at the synthesised frequency. The accumulated
+// action timings are what the STREAM benchmark reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/clock.hpp"
+#include "maxsim/lmem.hpp"
+#include "maxsim/manager.hpp"
+#include "maxsim/pcie.hpp"
+
+namespace polymem::maxsim {
+
+/// Timing of one blocking host action.
+struct ActionTiming {
+  std::string name;
+  std::uint64_t cycles = 0;      ///< kernel cycles spent on the DFE
+  std::uint64_t pcie_bytes = 0;  ///< payload moved over PCIe
+  double seconds = 0;            ///< total wall-clock (overhead included)
+};
+
+class DfeDevice {
+ public:
+  /// A device clocked at `clock_mhz` (the synthesis result for the loaded
+  /// design), with default Vectis-like PCIe and LMem.
+  explicit DfeDevice(double clock_mhz);
+
+  double clock_mhz() const { return clock_.frequency_hz() / 1e6; }
+  hw::ClockDomain& clock() { return clock_; }
+  PcieLink& pcie() { return pcie_; }
+  LMem& lmem() { return lmem_; }
+
+  /// Blocking host call that streams `data` into `stream` (Load stage).
+  /// The kernel graph ticks while the stream drains into the design.
+  ActionTiming write_stream(Manager& manager, const std::string& stream,
+                            std::span<const hw::Word> data,
+                            std::uint64_t max_cycles = 100'000'000);
+
+  /// Blocking host call that pulls `out.size()` words from `stream`
+  /// (Offload stage), ticking the design while data trickles out.
+  ActionTiming read_stream(Manager& manager, const std::string& stream,
+                           std::span<hw::Word> out,
+                           std::uint64_t max_cycles = 100'000'000);
+
+  /// Blocking host call that runs the design until all kernels are done
+  /// (a compute stage such as STREAM's Copy). No PCIe payload, only the
+  /// call overhead.
+  ActionTiming run_action(const std::string& name, Manager& manager,
+                          std::uint64_t max_cycles = 100'000'000);
+
+  const std::vector<ActionTiming>& history() const { return history_; }
+  double total_seconds() const;
+
+ private:
+  ActionTiming finish(ActionTiming timing);
+
+  hw::ClockDomain clock_;
+  PcieLink pcie_;
+  LMem lmem_;
+  std::vector<ActionTiming> history_;
+};
+
+}  // namespace polymem::maxsim

@@ -1,0 +1,182 @@
+#include "maxsim/dma.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace polymem::maxsim {
+
+using access::Coord;
+using access::ParallelAccess;
+using access::PatternKind;
+
+DmaStats& DmaStats::operator+=(const DmaStats& other) {
+  words += other.words;
+  polymem_accesses += other.polymem_accesses;
+  polymem_cycles += other.polymem_cycles;
+  lmem_seconds += other.lmem_seconds;
+  return *this;
+}
+
+DmaEngine::DmaEngine(LMem& lmem, core::PolyMem& polymem)
+    : lmem_(&lmem), mem_(&polymem) {}
+
+DmaEngine::Shape DmaEngine::pick_shape(std::int64_t rows, std::int64_t cols,
+                                       Coord origin) const {
+  const auto& cfg = mem_->config();
+  const auto lanes = static_cast<std::int64_t>(cfg.lanes());
+  if (cols % lanes == 0 &&
+      maf::probe_support(mem_->maf(), PatternKind::kRow) ==
+          maf::SupportLevel::kAny) {
+    return Shape::kRowAccesses;
+  }
+  if (rows % cfg.p == 0 && cols % cfg.q == 0 &&
+      maf::access_supported(mem_->maf(), {PatternKind::kRect, origin})) {
+    // Rect anchors advance in p/q steps from the origin, so alignment (for
+    // RoCo) holds at every tile position iff it holds at the origin.
+    return Shape::kRectAccesses;
+  }
+  return Shape::kScalar;
+}
+
+void DmaEngine::check_tile(const LMemMatrix& m, std::int64_t tile_i,
+                           std::int64_t tile_j, std::int64_t rows,
+                           std::int64_t cols, Coord origin) const {
+  POLYMEM_REQUIRE(rows >= 1 && cols >= 1, "tile must be non-empty");
+  POLYMEM_REQUIRE(tile_i >= 0 && tile_j >= 0 && tile_i + rows <= m.rows &&
+                      tile_j + cols <= m.cols,
+                  "tile exceeds the LMem matrix");
+  POLYMEM_REQUIRE(m.leading_dim >= m.cols, "bad leading dimension");
+  const auto& cfg = mem_->config();
+  POLYMEM_REQUIRE(origin.i >= 0 && origin.j >= 0 &&
+                      origin.i + rows <= cfg.height &&
+                      origin.j + cols <= cfg.width,
+                  "tile exceeds the PolyMem address space");
+}
+
+DmaStats DmaEngine::load_tile(const LMemMatrix& src, std::int64_t tile_i,
+                              std::int64_t tile_j, std::int64_t rows,
+                              std::int64_t cols, Coord dst_origin) {
+  check_tile(src, tile_i, tile_j, rows, cols, dst_origin);
+  DmaStats stats;
+  stats.words = static_cast<std::uint64_t>(rows * cols);
+  stats.lmem_seconds =
+      lmem_->burst_seconds(static_cast<std::uint64_t>(rows) * cols * 8);
+
+  const auto& cfg = mem_->config();
+  const auto lanes = static_cast<std::int64_t>(cfg.lanes());
+  const Shape shape = pick_shape(rows, cols, dst_origin);
+
+  // The whole tile is staged row-major (the DMA's burst buffer).
+  std::vector<hw::Word> tile(static_cast<std::size_t>(rows * cols));
+  for (std::int64_t r = 0; r < rows; ++r)
+    lmem_->read(src.word_addr(tile_i + r, tile_j),
+                std::span<hw::Word>(tile).subspan(
+                    static_cast<std::size_t>(r * cols),
+                    static_cast<std::size_t>(cols)));
+
+  switch (shape) {
+    case Shape::kRowAccesses:
+      for (std::int64_t r = 0; r < rows; ++r) {
+        for (std::int64_t g = 0; g < cols; g += lanes) {
+          mem_->write(
+              {PatternKind::kRow, {dst_origin.i + r, dst_origin.j + g}},
+              std::span<const hw::Word>(tile).subspan(
+                  static_cast<std::size_t>(r * cols + g),
+                  static_cast<std::size_t>(lanes)));
+          ++stats.polymem_accesses;
+        }
+      }
+      break;
+    case Shape::kRectAccesses: {
+      std::vector<hw::Word> block(static_cast<std::size_t>(lanes));
+      for (std::int64_t br = 0; br < rows; br += cfg.p) {
+        for (std::int64_t bc = 0; bc < cols; bc += cfg.q) {
+          // Canonical rect order: row-major p x q.
+          for (std::int64_t u = 0; u < cfg.p; ++u)
+            for (std::int64_t v = 0; v < cfg.q; ++v)
+              block[static_cast<std::size_t>(u * cfg.q + v)] =
+                  tile[static_cast<std::size_t>((br + u) * cols + bc + v)];
+          mem_->write(
+              {PatternKind::kRect, {dst_origin.i + br, dst_origin.j + bc}},
+              block);
+          ++stats.polymem_accesses;
+        }
+      }
+      break;
+    }
+    case Shape::kScalar:
+      for (std::int64_t r = 0; r < rows; ++r)
+        for (std::int64_t c = 0; c < cols; ++c) {
+          mem_->store({dst_origin.i + r, dst_origin.j + c},
+                      tile[static_cast<std::size_t>(r * cols + c)]);
+          ++stats.polymem_accesses;
+        }
+      break;
+  }
+  stats.polymem_cycles = stats.polymem_accesses;
+  return stats;
+}
+
+DmaStats DmaEngine::store_tile(const LMemMatrix& dst, std::int64_t tile_i,
+                               std::int64_t tile_j, std::int64_t rows,
+                               std::int64_t cols, Coord src_origin) {
+  check_tile(dst, tile_i, tile_j, rows, cols, src_origin);
+  DmaStats stats;
+  stats.words = static_cast<std::uint64_t>(rows * cols);
+  stats.lmem_seconds =
+      lmem_->burst_seconds(static_cast<std::uint64_t>(rows) * cols * 8);
+
+  const auto& cfg = mem_->config();
+  const auto lanes = static_cast<std::int64_t>(cfg.lanes());
+  const Shape shape = pick_shape(rows, cols, src_origin);
+
+  std::vector<hw::Word> tile(static_cast<std::size_t>(rows * cols));
+  std::vector<hw::Word> group(static_cast<std::size_t>(lanes));
+  switch (shape) {
+    case Shape::kRowAccesses:
+      for (std::int64_t r = 0; r < rows; ++r) {
+        for (std::int64_t g = 0; g < cols; g += lanes) {
+          mem_->read_into(
+              {PatternKind::kRow, {src_origin.i + r, src_origin.j + g}}, 0,
+              group);
+          std::copy(group.begin(), group.end(),
+                    tile.begin() + static_cast<std::ptrdiff_t>(r * cols + g));
+          ++stats.polymem_accesses;
+        }
+      }
+      break;
+    case Shape::kRectAccesses:
+      for (std::int64_t br = 0; br < rows; br += cfg.p) {
+        for (std::int64_t bc = 0; bc < cols; bc += cfg.q) {
+          mem_->read_into(
+              {PatternKind::kRect, {src_origin.i + br, src_origin.j + bc}},
+              0, group);
+          for (std::int64_t u = 0; u < cfg.p; ++u)
+            for (std::int64_t v = 0; v < cfg.q; ++v)
+              tile[static_cast<std::size_t>((br + u) * cols + bc + v)] =
+                  group[static_cast<std::size_t>(u * cfg.q + v)];
+          ++stats.polymem_accesses;
+        }
+      }
+      break;
+    case Shape::kScalar:
+      for (std::int64_t r = 0; r < rows; ++r)
+        for (std::int64_t c = 0; c < cols; ++c) {
+          tile[static_cast<std::size_t>(r * cols + c)] =
+              mem_->load({src_origin.i + r, src_origin.j + c});
+          ++stats.polymem_accesses;
+        }
+      break;
+  }
+  for (std::int64_t r = 0; r < rows; ++r)
+    lmem_->write(dst.word_addr(tile_i + r, tile_j),
+                 std::span<const hw::Word>(tile).subspan(
+                     static_cast<std::size_t>(r * cols),
+                     static_cast<std::size_t>(cols)));
+  stats.polymem_cycles = stats.polymem_accesses;
+  return stats;
+}
+
+}  // namespace polymem::maxsim

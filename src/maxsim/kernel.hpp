@@ -1,0 +1,62 @@
+// Dataflow kernel and stream abstractions (the MaxJ analogue).
+//
+// MaxJ describes an application as a graph of kernels connected by streams
+// (paper Sec. II-B); the MAX-PolyMem STREAM design is "a modular
+// multikernel design, using a custom manager to connect the different
+// modules" (Sec. III-C). This header provides the same structural pieces
+// for the simulator: a Kernel base class ticked once per clock cycle, and
+// bounded word streams with back-pressure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/bram.hpp"
+#include "hw/fifo.hpp"
+
+namespace polymem::maxsim {
+
+/// A named, bounded stream of 64-bit words connecting kernels and/or the
+/// host. Push fails when full (back-pressure), pop fails when empty.
+class Stream {
+ public:
+  Stream(std::string name, std::size_t capacity)
+      : name_(std::move(name)), fifo_(capacity) {}
+
+  const std::string& name() const { return name_; }
+  bool push(hw::Word w) { return fifo_.try_push(w); }
+  std::optional<hw::Word> pop() { return fifo_.try_pop(); }
+  bool empty() const { return fifo_.empty(); }
+  bool full() const { return fifo_.full(); }
+  std::size_t size() const { return fifo_.size(); }
+  std::size_t capacity() const { return fifo_.capacity(); }
+
+ private:
+  std::string name_;
+  hw::Fifo<hw::Word> fifo_;
+};
+
+/// A hardware kernel: tick() models one clock cycle of combinational +
+/// register behaviour. Kernels communicate only through Streams.
+class Kernel {
+ public:
+  explicit Kernel(std::string name) : name_(std::move(name)) {}
+  virtual ~Kernel() = default;
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// One clock cycle.
+  virtual void tick() = 0;
+
+  /// True when the kernel has finished its programmed work (used by the
+  /// manager's run loop; a free-running kernel never reports done).
+  virtual bool done() const { return false; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace polymem::maxsim

@@ -1,0 +1,51 @@
+#include "maxsim/lmem.hpp"
+
+namespace polymem::maxsim {
+
+LMem::LMem(std::uint64_t capacity_bytes, double bandwidth_bytes_per_s,
+           double latency_ns)
+    : capacity_(capacity_bytes),
+      bandwidth_(bandwidth_bytes_per_s),
+      latency_s_(latency_ns * 1e-9) {
+  POLYMEM_REQUIRE(capacity_bytes >= 8, "capacity must hold at least a word");
+  POLYMEM_REQUIRE(bandwidth_bytes_per_s > 0, "bandwidth must be positive");
+  POLYMEM_REQUIRE(latency_ns >= 0, "latency must be non-negative");
+}
+
+void LMem::check_range(std::uint64_t word_addr, std::size_t words) const {
+  POLYMEM_REQUIRE((word_addr + words) * 8 <= capacity_,
+                  "LMem access beyond device capacity");
+}
+
+hw::Word* LMem::slot(std::uint64_t word_addr) {
+  const std::uint64_t page = word_addr / kPageWords;
+  auto [it, inserted] = pages_.try_emplace(page);
+  if (inserted) it->second.assign(kPageWords, 0);
+  return &it->second[word_addr % kPageWords];
+}
+
+const hw::Word* LMem::slot_if_present(std::uint64_t word_addr) const {
+  const auto it = pages_.find(word_addr / kPageWords);
+  if (it == pages_.end()) return nullptr;
+  return &it->second[word_addr % kPageWords];
+}
+
+void LMem::write(std::uint64_t word_addr, std::span<const hw::Word> data) {
+  check_range(word_addr, data.size());
+  for (std::size_t k = 0; k < data.size(); ++k)
+    *slot(word_addr + k) = data[k];
+}
+
+void LMem::read(std::uint64_t word_addr, std::span<hw::Word> out) const {
+  check_range(word_addr, out.size());
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const hw::Word* w = slot_if_present(word_addr + k);
+    out[k] = w ? *w : 0;
+  }
+}
+
+double LMem::burst_seconds(std::uint64_t bytes) const {
+  return latency_s_ + static_cast<double>(bytes) / bandwidth_;
+}
+
+}  // namespace polymem::maxsim

@@ -1,0 +1,55 @@
+// Off-chip board DRAM ("LMem") model.
+//
+// "The FPGA board features its own high capacity DRAM which can be used to
+//  store application data. However, the latency of this memory is
+//  relatively high ... and the off-chip DRAM bandwidth is limited"
+//  (Sec. II-B). PolyMem exists to cache hot data out of this memory.
+//
+// Storage is allocated page-on-demand so a 24GB device can be modelled
+// without committing 24GB of host RAM.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "hw/bram.hpp"
+
+namespace polymem::maxsim {
+
+class LMem {
+ public:
+  /// Defaults model the Vectis board: 24GB capacity, ~15 GB/s aggregate
+  /// bandwidth, ~200ns access latency.
+  explicit LMem(std::uint64_t capacity_bytes = 24ull << 30,
+                double bandwidth_bytes_per_s = 15e9,
+                double latency_ns = 200.0);
+
+  std::uint64_t capacity_bytes() const { return capacity_; }
+
+  /// Bulk transfers, word-granular. Unwritten memory reads as zero.
+  void write(std::uint64_t word_addr, std::span<const hw::Word> data);
+  void read(std::uint64_t word_addr, std::span<hw::Word> out) const;
+
+  /// Seconds a burst of `bytes` takes: latency + bytes / bandwidth.
+  double burst_seconds(std::uint64_t bytes) const;
+
+  /// Pages currently materialised (for tests/diagnostics).
+  std::size_t resident_pages() const { return pages_.size(); }
+
+ private:
+  static constexpr std::uint64_t kPageWords = 512;  // 4KB pages
+
+  hw::Word* slot(std::uint64_t word_addr);
+  const hw::Word* slot_if_present(std::uint64_t word_addr) const;
+  void check_range(std::uint64_t word_addr, std::size_t words) const;
+
+  std::uint64_t capacity_;
+  double bandwidth_;
+  double latency_s_;
+  mutable std::unordered_map<std::uint64_t, std::vector<hw::Word>> pages_;
+};
+
+}  // namespace polymem::maxsim

@@ -1,0 +1,48 @@
+#include "maxsim/manager.hpp"
+
+#include "common/error.hpp"
+
+namespace polymem::maxsim {
+
+Stream& Manager::add_stream(const std::string& name, std::size_t capacity) {
+  auto [it, inserted] =
+      streams_.try_emplace(name, std::make_unique<Stream>(name, capacity));
+  POLYMEM_REQUIRE(inserted, "duplicate stream name: " + name);
+  return *it->second;
+}
+
+Stream& Manager::stream(const std::string& name) {
+  auto it = streams_.find(name);
+  POLYMEM_REQUIRE(it != streams_.end(), "unknown stream: " + name);
+  return *it->second;
+}
+
+const Stream& Manager::stream(const std::string& name) const {
+  auto it = streams_.find(name);
+  POLYMEM_REQUIRE(it != streams_.end(), "unknown stream: " + name);
+  return *it->second;
+}
+
+void Manager::tick() {
+  for (auto& kernel : kernels_) kernel->tick();
+  ++cycles_;
+}
+
+bool Manager::all_done() const {
+  for (const auto& kernel : kernels_)
+    if (!kernel->done()) return false;
+  return true;
+}
+
+std::uint64_t Manager::run_to_completion(std::uint64_t max_cycles) {
+  const std::uint64_t start = cycles_;
+  while (!all_done()) {
+    if (cycles_ - start >= max_cycles)
+      throw Error("design did not complete within " +
+                  std::to_string(max_cycles) + " cycles (deadlock?)");
+    tick();
+  }
+  return cycles_ - start;
+}
+
+}  // namespace polymem::maxsim

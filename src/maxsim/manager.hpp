@@ -1,0 +1,55 @@
+// The Manager: owns kernels and streams and advances the clock.
+//
+// Mirrors Maxeler's manager concept — the design-level component that
+// instantiates kernels and wires their streams (paper Sec. III-C).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "maxsim/kernel.hpp"
+
+namespace polymem::maxsim {
+
+class Manager {
+ public:
+  /// Registers a kernel; the manager owns it. Returns a typed handle.
+  template <typename K, typename... Args>
+  K& add_kernel(Args&&... args) {
+    auto kernel = std::make_unique<K>(std::forward<Args>(args)...);
+    K& ref = *kernel;
+    kernels_.push_back(std::move(kernel));
+    return ref;
+  }
+
+  /// Creates a named stream; names must be unique.
+  Stream& add_stream(const std::string& name, std::size_t capacity);
+
+  /// Looks up a stream by name; throws InvalidArgument when unknown.
+  Stream& stream(const std::string& name);
+  const Stream& stream(const std::string& name) const;
+
+  std::size_t kernel_count() const { return kernels_.size(); }
+  std::uint64_t cycles() const { return cycles_; }
+
+  /// Advances one clock cycle: every kernel ticks once.
+  void tick();
+
+  /// Runs until every kernel reports done() or `max_cycles` elapse.
+  /// Returns the cycles spent in this call; throws Error on timeout
+  /// (a hung design, e.g. dead-locked streams).
+  std::uint64_t run_to_completion(std::uint64_t max_cycles);
+
+  /// True when every kernel reports done().
+  bool all_done() const;
+
+ private:
+  std::vector<std::unique_ptr<Kernel>> kernels_;
+  std::map<std::string, std::unique_ptr<Stream>> streams_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace polymem::maxsim

@@ -1,0 +1,21 @@
+#include "maxsim/pcie.hpp"
+
+namespace polymem::maxsim {
+
+PcieLink::PcieLink(double bandwidth_bytes_per_s, double call_overhead_ns)
+    : bandwidth_(bandwidth_bytes_per_s), overhead_s_(call_overhead_ns * 1e-9) {
+  POLYMEM_REQUIRE(bandwidth_bytes_per_s > 0, "bandwidth must be positive");
+  POLYMEM_REQUIRE(call_overhead_ns >= 0, "overhead must be non-negative");
+}
+
+double PcieLink::call_seconds(std::uint64_t bytes) const {
+  return overhead_s_ + static_cast<double>(bytes) / bandwidth_;
+}
+
+void PcieLink::record_call(std::uint64_t bytes) {
+  ++calls_;
+  bytes_ += bytes;
+  busy_s_ += call_seconds(bytes);
+}
+
+}  // namespace polymem::maxsim

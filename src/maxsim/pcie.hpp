@@ -1,0 +1,45 @@
+// Host <-> FPGA-board PCI Express link model.
+//
+// The paper's system (Fig. 1) connects the host CPU to the DFE over PCIe.
+// Two properties matter for reproducing its measurements:
+//   - a minimum per-call overhead of ~300ns ("This minimum overhead is,
+//     according to our dedicated measurements, around 300ns", Sec. V),
+//     which bends the left side of Fig. 10, and
+//   - finite bulk bandwidth for the Load/Offload stages.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace polymem::maxsim {
+
+class PcieLink {
+ public:
+  /// Defaults match the Vectis' PCIe Gen2 x8 link (~2 GB/s effective) and
+  /// the paper's measured 300ns call overhead.
+  explicit PcieLink(double bandwidth_bytes_per_s = 2.0e9,
+                    double call_overhead_ns = 300.0);
+
+  double bandwidth_bytes_per_s() const { return bandwidth_; }
+  double call_overhead_seconds() const { return overhead_s_; }
+
+  /// Wall-clock seconds for one blocking host call moving `bytes`
+  /// (overhead + payload). bytes == 0 models a pure doorbell/signal call.
+  double call_seconds(std::uint64_t bytes) const;
+
+  /// Accumulated accounting across all calls issued through this link.
+  void record_call(std::uint64_t bytes);
+  std::uint64_t calls() const { return calls_; }
+  std::uint64_t bytes_moved() const { return bytes_; }
+  double busy_seconds() const { return busy_s_; }
+
+ private:
+  double bandwidth_;
+  double overhead_s_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t bytes_ = 0;
+  double busy_s_ = 0;
+};
+
+}  // namespace polymem::maxsim

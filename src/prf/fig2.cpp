@@ -1,0 +1,46 @@
+#include "prf/fig2.hpp"
+
+namespace polymem::prf {
+
+using access::PatternKind;
+using access::Region;
+using maf::Scheme;
+
+const std::vector<Fig2Register>& fig2_registers() {
+  // Layout in the 12x16 space (rows x cols), all regions disjoint:
+  //
+  //   cols:  0...............7 8..............15
+  //   row  0 R0 R0 R0 R0 R0 R0 R0 R0  R1 R1 R1 R1 R2 R2 R2 R2
+  //   row  1 R0 ...                   R1 ...         R2 ...
+  //   rows 2-3                        R3 (row), R4 (row)
+  //   rows 4-11  R5 R6 | R7 diag ->           <- R8 diag | R9 matrix
+  //
+  static const std::vector<Fig2Register> regs = {
+      // R0: the big matrix, read with several rectangle accesses (4).
+      {"R0", Region::matrix({0, 0}, 4, 8), PatternKind::kRect, 4,
+       Scheme::kReRo},
+      // R1, R2: p x q matrices == one rectangle access each.
+      {"R1", Region::matrix({0, 8}, 2, 4), PatternKind::kRect, 1,
+       Scheme::kReRo},
+      {"R2", Region::matrix({0, 12}, 2, 4), PatternKind::kRect, 1,
+       Scheme::kReRo},
+      // R3, R4: 8-element row vectors.
+      {"R3", Region::row_vec({2, 8}, 8), PatternKind::kRow, 1, Scheme::kReRo},
+      {"R4", Region::row_vec({3, 8}, 8), PatternKind::kRow, 1, Scheme::kReRo},
+      // R5, R6: 8-element column vectors (ReCo territory).
+      {"R5", Region::col_vec({4, 0}, 8), PatternKind::kCol, 1, Scheme::kReCo},
+      {"R6", Region::col_vec({4, 1}, 8), PatternKind::kCol, 1, Scheme::kReCo},
+      // R7: main diagonal, R8: secondary diagonal (length 8).
+      {"R7", Region::main_diag({4, 2}, 8), PatternKind::kMainDiag, 1,
+       Scheme::kReRo},
+      {"R8", Region::sec_diag({4, 15}, 8), PatternKind::kSecDiag, 1,
+       Scheme::kReRo},
+      // R9: the transposed matrix (q x p), one transposed-rectangle access
+      // under ReTr.
+      {"R9", Region::matrix({8, 2}, 4, 2), PatternKind::kTRect, 1,
+       Scheme::kReTr},
+  };
+  return regs;
+}
+
+}  // namespace polymem::prf

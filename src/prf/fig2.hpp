@@ -1,0 +1,39 @@
+// The paper's Fig. 2 register map, as a reusable fixture.
+//
+// Fig. 2 shows a 2D logical address space holding ten memory Regions
+// (R0..R9) "each with different size and location: matrix, transposed
+// matrix, row, column, main and secondary diagonals", where R1..R9 are
+// readable in ONE parallel access and R0 (a larger matrix) in several —
+// all with 8 memory banks (2x4).
+//
+// The original figure uses an 8x9 space; this fixture adapts the layout
+// to a 12x16 space (the addressing function needs width % q == 0) while
+// keeping the figure's essence: ten disjoint regions covering every
+// region kind, sized so R1..R9 are single-access.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "access/region.hpp"
+#include "maf/scheme.hpp"
+
+namespace polymem::prf {
+
+struct Fig2Register {
+  std::string name;
+  access::Region region;
+  access::PatternKind pattern;     ///< the shape that reads it in parallel
+  std::int64_t expected_accesses;  ///< 1 for R1..R9, 4 for R0
+  /// A scheme that serves this register's pattern at its anchors (2x4).
+  maf::Scheme served_by;
+};
+
+/// The address-space shape the fixture assumes (p=2, q=4 banks).
+inline constexpr std::int64_t kFig2Height = 12;
+inline constexpr std::int64_t kFig2Width = 16;
+
+/// The ten registers R0..R9.
+const std::vector<Fig2Register>& fig2_registers();
+
+}  // namespace polymem::prf

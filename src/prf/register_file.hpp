@@ -1,0 +1,106 @@
+// The Polymorphic Register File view layer (paper Sec. II-A, Fig. 2).
+//
+// The PRF heritage of PolyMem is a register file that "can be logically
+// reorganized by the programmer or a runtime system to support multiple
+// register dimensions and sizes simultaneously". This module provides that
+// layer on top of a PolyMem: *logical registers* are named regions of the
+// 2D space (matrices, vectors, diagonals — the R0..R9 of Fig. 2), each
+// with a preferred parallel access pattern. Registers can be defined,
+// resized, moved and removed at run time (the paper's polymorphism),
+// and whole-register reads/writes are executed as schedules of
+// conflict-free parallel accesses.
+//
+// Writes to registers whose tiling is not an exact cover of the region
+// use read-modify-write on the partial tiles, so neighbouring registers
+// are never clobbered.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "access/region.hpp"
+#include "core/polymem.hpp"
+
+namespace polymem::prf {
+
+/// A named logical register: a region plus the pattern used to access it
+/// in parallel.
+struct LogicalRegister {
+  std::string name;
+  access::Region region;
+  access::PatternKind pattern = access::PatternKind::kRect;
+
+  std::int64_t elements() const { return region.element_count(); }
+};
+
+/// Statistics of one whole-register transfer.
+struct TransferStats {
+  std::int64_t parallel_reads = 0;
+  std::int64_t parallel_writes = 0;
+  std::int64_t elements_moved = 0;
+};
+
+class RegisterFile {
+ public:
+  /// A non-owning view over `mem`; the register table starts empty.
+  explicit RegisterFile(core::PolyMem& mem);
+
+  core::PolyMem& memory() { return *mem_; }
+
+  /// Defines a new register. Throws:
+  ///   InvalidArgument — name taken, region overlaps an existing register
+  ///                     or leaves the address space, or the pattern
+  ///                     cannot tile the region shape;
+  ///   Unsupported     — the PolyMem's scheme does not serve the pattern
+  ///                     at the anchors the tiling needs.
+  void define(const std::string& name, const access::Region& region,
+              access::PatternKind pattern);
+
+  /// Runtime polymorphism: atomically replaces the definition of `name`
+  /// (resize / move / reshape). The register's *data is not preserved* —
+  /// like the PRF, redefinition reinterprets storage.
+  void redefine(const std::string& name, const access::Region& region,
+                access::PatternKind pattern);
+
+  void undefine(const std::string& name);
+
+  bool defined(const std::string& name) const;
+  const LogicalRegister& reg(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// Number of parallel accesses one whole-register read takes
+  /// (Fig. 2: one for R1..R9, several for R0).
+  std::int64_t read_access_count(const std::string& name) const;
+
+  /// Whole-register data movement in the region's canonical element
+  /// order. Returns the transfer statistics alongside.
+  std::vector<core::Word> read_register(const std::string& name,
+                                        TransferStats* stats = nullptr);
+  void write_register(const std::string& name,
+                      std::span<const core::Word> values,
+                      TransferStats* stats = nullptr);
+
+ private:
+  struct Entry {
+    LogicalRegister reg;
+    std::vector<access::ParallelAccess> tiles;
+    // For each tile, the (lane -> region element index) mapping; -1 for
+    // lanes whose element lies outside the region (partial tiles).
+    std::vector<std::vector<std::int64_t>> lane_index;
+    bool exact_cover = true;
+  };
+
+  Entry build_entry(const std::string& name, const access::Region& region,
+                    access::PatternKind pattern) const;
+  const Entry& entry(const std::string& name) const;
+  void check_no_overlap(const access::Region& region,
+                        const std::string& ignore) const;
+
+  core::PolyMem* mem_;
+  std::map<std::string, Entry> table_;
+};
+
+}  // namespace polymem::prf

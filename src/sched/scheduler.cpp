@@ -1,0 +1,146 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace polymem::sched {
+
+using access::Coord;
+using access::ParallelAccess;
+using access::PatternKind;
+
+Scheduler::Scheduler(maf::Scheme scheme, unsigned p, unsigned q)
+    : maf_(scheme, p, q) {}
+
+void Scheduler::set_bounds(std::int64_t height, std::int64_t width) {
+  POLYMEM_REQUIRE(height >= 1 && width >= 1, "bounds must be positive");
+  height_ = height;
+  width_ = width;
+}
+
+std::vector<ParallelAccess> Scheduler::candidate_accesses(
+    const AccessTrace& trace) const {
+  if (trace.empty()) return {};
+  const Coord lo = trace.min();
+  const Coord hi = trace.max();
+  // Fast membership for "covers at least one trace element".
+  const std::vector<Coord>& el = trace.elements();
+  auto touches = [&el](const Coord& c) {
+    return std::binary_search(el.begin(), el.end(), c);
+  };
+
+  std::vector<ParallelAccess> out;
+  std::vector<Coord> expansion;
+  for (PatternKind kind : access::kAllPatterns) {
+    const maf::SupportLevel level = maf::probe_support(maf_, kind);
+    if (level == maf::SupportLevel::kNone) continue;
+    const auto ext = access::pattern_extent(kind, maf_.p(), maf_.q());
+    // Anchors from which the pattern can reach the bounding box.
+    for (std::int64_t a = lo.i - ext.rows + 1; a <= hi.i; ++a) {
+      for (std::int64_t b = lo.j - ext.cols - ext.col_offset + 1;
+           b <= hi.j - ext.col_offset; ++b) {
+        const ParallelAccess acc{kind, {a, b}};
+        if (!maf::access_supported(maf_, acc)) continue;  // alignment
+        if (height_ >= 0 &&
+            !access::fits(acc, maf_.p(), maf_.q(), height_, width_))
+          continue;  // stays inside the physical address space
+        access::expand_into(acc, maf_.p(), maf_.q(), expansion);
+        if (std::any_of(expansion.begin(), expansion.end(), touches))
+          out.push_back(acc);
+      }
+    }
+  }
+  return out;
+}
+
+Schedule Scheduler::schedule(const AccessTrace& trace,
+                             SolverKind solver) const {
+  Schedule result;
+  if (trace.empty()) {
+    result.optimal = true;
+    return result;
+  }
+  const auto candidates = candidate_accesses(trace);
+  POLYMEM_ASSERT(!candidates.empty());
+
+  // Build the covering instance: universe = trace elements (by index).
+  const std::vector<Coord>& el = trace.elements();
+  CoverInstance instance;
+  instance.universe_size = static_cast<int>(el.size());
+  instance.sets.reserve(candidates.size());
+  std::vector<Coord> expansion;
+  for (const ParallelAccess& acc : candidates) {
+    access::expand_into(acc, maf_.p(), maf_.q(), expansion);
+    std::vector<int> covered;
+    for (const Coord& c : expansion) {
+      const auto it = std::lower_bound(el.begin(), el.end(), c);
+      if (it != el.end() && *it == c)
+        covered.push_back(static_cast<int>(it - el.begin()));
+    }
+    instance.sets.push_back(std::move(covered));
+  }
+
+  // Dominated candidates (accesses whose useful lanes are a subset of
+  // another's) cannot improve any cover; pruning them shrinks the search
+  // dramatically for regular traces.
+  std::vector<int> kept;
+  const CoverInstance pruned = prune_dominated(instance, kept);
+
+  std::vector<int> chosen;
+  if (solver == SolverKind::kExact) {
+    if (auto exact = exact_cover(pruned)) {
+      chosen = *exact;
+      result.optimal = true;
+    } else {
+      chosen = greedy_cover(pruned);  // node budget exhausted
+    }
+  } else {
+    chosen = greedy_cover(pruned);
+  }
+  POLYMEM_ASSERT(is_cover(pruned, chosen));
+  result.accesses.reserve(chosen.size());
+  for (int s : chosen)
+    result.accesses.push_back(
+        candidates[static_cast<std::size_t>(kept[static_cast<std::size_t>(s)])]);
+  return result;
+}
+
+ScheduleMetrics Scheduler::evaluate(const AccessTrace& trace,
+                                    const Schedule& schedule) const {
+  ScheduleMetrics m;
+  m.trace_elements = trace.size();
+  m.schedule_length = schedule.length();
+  if (m.schedule_length > 0) {
+    m.speedup = static_cast<double>(m.trace_elements) /
+                static_cast<double>(m.schedule_length);
+    m.efficiency = m.speedup / static_cast<double>(maf_.banks());
+  }
+  return m;
+}
+
+std::vector<ConfigurationChoice> rank_configurations(
+    const AccessTrace& trace,
+    const std::vector<std::tuple<maf::Scheme, unsigned, unsigned>>& configs,
+    SolverKind solver) {
+  std::vector<ConfigurationChoice> out;
+  out.reserve(configs.size());
+  for (const auto& [scheme, p, q] : configs) {
+    const Scheduler scheduler(scheme, p, q);
+    ConfigurationChoice choice{scheme, p, q, scheduler.schedule(trace, solver),
+                               {}};
+    choice.metrics = scheduler.evaluate(trace, choice.schedule);
+    out.push_back(std::move(choice));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ConfigurationChoice& a,
+                      const ConfigurationChoice& b) {
+                     if (a.metrics.speedup != b.metrics.speedup)
+                       return a.metrics.speedup > b.metrics.speedup;
+                     return a.metrics.efficiency > b.metrics.efficiency;
+                   });
+  return out;
+}
+
+}  // namespace polymem::sched

@@ -1,0 +1,91 @@
+// The access scheduler: trace -> optimal parallel access sequence
+// (paper Sec. III-A, expanded in [11] "The Case for Custom Parallel
+// Memories").
+//
+// Given an application trace and a PolyMem configuration (scheme + bank
+// geometry), the scheduler enumerates every conflict-free parallel access
+// that touches the trace and picks the minimum set of accesses covering
+// all trace elements (set covering; exact by default, greedy fallback).
+// Configurations are then compared by the paper's two metrics:
+//
+//   speedup     = |trace| / |schedule|     (vs a 1-element/cycle memory)
+//   efficiency  = speedup / (p*q)          (useful fraction of the lanes)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "access/pattern.hpp"
+#include "maf/conflict.hpp"
+#include "maf/maf.hpp"
+#include "sched/setcover.hpp"
+#include "sched/trace.hpp"
+
+namespace polymem::sched {
+
+enum class SolverKind : std::uint8_t { kExact, kGreedy };
+
+struct Schedule {
+  std::vector<access::ParallelAccess> accesses;
+  bool optimal = false;  ///< true when produced by a completed exact search
+
+  std::int64_t length() const {
+    return static_cast<std::int64_t>(accesses.size());
+  }
+};
+
+struct ScheduleMetrics {
+  std::int64_t trace_elements = 0;
+  std::int64_t schedule_length = 0;
+  double speedup = 0;
+  double efficiency = 0;
+};
+
+class Scheduler {
+ public:
+  /// A scheduler for one (scheme, p, q) configuration. The default is
+  /// unbounded (anchors anywhere around the trace); give the PolyMem's
+  /// address-space bounds when the schedule will execute on real storage,
+  /// so no candidate access leaves the space.
+  Scheduler(maf::Scheme scheme, unsigned p, unsigned q);
+
+  void set_bounds(std::int64_t height, std::int64_t width);
+
+  const maf::Maf& maf() const { return maf_; }
+
+  /// Every supported parallel access (any pattern the scheme serves, any
+  /// valid anchor near the trace) covering at least one trace element.
+  std::vector<access::ParallelAccess> candidate_accesses(
+      const AccessTrace& trace) const;
+
+  /// The minimum-length (exact) or near-minimum (greedy) schedule covering
+  /// the trace. Exact falls back to greedy when the node budget runs out
+  /// (schedule.optimal reports which happened).
+  Schedule schedule(const AccessTrace& trace,
+                    SolverKind solver = SolverKind::kExact) const;
+
+  ScheduleMetrics evaluate(const AccessTrace& trace,
+                           const Schedule& schedule) const;
+
+ private:
+  maf::Maf maf_;
+  std::int64_t height_ = -1;  ///< -1: unbounded
+  std::int64_t width_ = -1;
+};
+
+/// The Sec. III-A configuration-selection flow: schedules the trace on
+/// every candidate configuration and ranks by speedup, breaking ties by
+/// efficiency.
+struct ConfigurationChoice {
+  maf::Scheme scheme;
+  unsigned p, q;
+  Schedule schedule;
+  ScheduleMetrics metrics;
+};
+
+std::vector<ConfigurationChoice> rank_configurations(
+    const AccessTrace& trace,
+    const std::vector<std::tuple<maf::Scheme, unsigned, unsigned>>& configs,
+    SolverKind solver = SolverKind::kExact);
+
+}  // namespace polymem::sched

@@ -1,0 +1,207 @@
+#include "sched/setcover.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace polymem::sched {
+
+void CoverInstance::validate() const {
+  POLYMEM_REQUIRE(universe_size >= 0, "universe size must be non-negative");
+  std::vector<char> covered(static_cast<std::size_t>(universe_size), 0);
+  for (const auto& set : sets) {
+    for (int e : set) {
+      POLYMEM_REQUIRE(e >= 0 && e < universe_size,
+                      "set element out of universe range");
+      covered[static_cast<std::size_t>(e)] = 1;
+    }
+  }
+  for (int e = 0; e < universe_size; ++e)
+    POLYMEM_REQUIRE(covered[static_cast<std::size_t>(e)],
+                    "universe element " + std::to_string(e) +
+                        " is not coverable by any set");
+}
+
+bool is_cover(const CoverInstance& instance, const std::vector<int>& chosen) {
+  std::vector<char> covered(static_cast<std::size_t>(instance.universe_size),
+                            0);
+  for (int s : chosen) {
+    if (s < 0 || s >= static_cast<int>(instance.sets.size())) return false;
+    for (int e : instance.sets[static_cast<std::size_t>(s)])
+      covered[static_cast<std::size_t>(e)] = 1;
+  }
+  return std::all_of(covered.begin(), covered.end(),
+                     [](char c) { return c != 0; });
+}
+
+CoverInstance prune_dominated(const CoverInstance& instance,
+                              std::vector<int>& kept) {
+  const int n = static_cast<int>(instance.sets.size());
+  // Sorted copies make subset tests a linear merge.
+  std::vector<std::vector<int>> sorted(instance.sets);
+  for (auto& set : sorted) std::sort(set.begin(), set.end());
+  auto subset_of = [](const std::vector<int>& a, const std::vector<int>& b) {
+    return std::includes(b.begin(), b.end(), a.begin(), a.end());
+  };
+
+  // s is dominated when some t strictly contains it, or equals it with a
+  // lower index (consistent tie-break so exactly one duplicate survives).
+  std::vector<char> dominated(static_cast<std::size_t>(n), 0);
+  for (int s = 0; s < n; ++s) {
+    const auto& a = sorted[static_cast<std::size_t>(s)];
+    for (int t = 0; t < n && !dominated[static_cast<std::size_t>(s)]; ++t) {
+      if (t == s) continue;
+      const auto& b = sorted[static_cast<std::size_t>(t)];
+      if (a.size() > b.size()) continue;
+      if (!subset_of(a, b)) continue;
+      if (a.size() < b.size() || t < s)
+        dominated[static_cast<std::size_t>(s)] = 1;
+    }
+  }
+
+  CoverInstance pruned;
+  pruned.universe_size = instance.universe_size;
+  kept.clear();
+  for (int s = 0; s < n; ++s) {
+    if (dominated[static_cast<std::size_t>(s)]) continue;
+    pruned.sets.push_back(instance.sets[static_cast<std::size_t>(s)]);
+    kept.push_back(s);
+  }
+  return pruned;
+}
+
+std::vector<int> greedy_cover(const CoverInstance& instance) {
+  instance.validate();
+  std::vector<char> covered(static_cast<std::size_t>(instance.universe_size),
+                            0);
+  int remaining = instance.universe_size;
+  std::vector<int> chosen;
+  while (remaining > 0) {
+    int best = -1, best_gain = 0;
+    for (int s = 0; s < static_cast<int>(instance.sets.size()); ++s) {
+      int gain = 0;
+      for (int e : instance.sets[static_cast<std::size_t>(s)])
+        gain += covered[static_cast<std::size_t>(e)] ? 0 : 1;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = s;
+      }
+    }
+    POLYMEM_ASSERT(best >= 0);  // validate() guarantees coverage
+    chosen.push_back(best);
+    for (int e : instance.sets[static_cast<std::size_t>(best)]) {
+      if (!covered[static_cast<std::size_t>(e)]) {
+        covered[static_cast<std::size_t>(e)] = 1;
+        --remaining;
+      }
+    }
+  }
+  return chosen;
+}
+
+namespace {
+
+// Branch-and-bound state for the exact solver.
+struct Search {
+  const CoverInstance* instance = nullptr;
+  std::vector<std::vector<int>> covering_sets;  // per element
+  std::vector<int> cover_count;  // how many chosen sets cover each element
+  std::vector<int> chosen;
+  std::vector<int> best;
+  std::uint64_t nodes = 0;
+  std::uint64_t max_nodes = 0;
+  bool exhausted = false;
+  std::size_t max_set_size = 1;
+
+  int uncovered() const {
+    int n = 0;
+    for (int c : cover_count) n += (c == 0);
+    return n;
+  }
+
+  // The uncovered element with the fewest candidate sets (fail-first).
+  int pick_element() const {
+    int best_e = -1;
+    std::size_t best_options = SIZE_MAX;
+    for (int e = 0; e < instance->universe_size; ++e) {
+      if (cover_count[static_cast<std::size_t>(e)] != 0) continue;
+      const std::size_t options =
+          covering_sets[static_cast<std::size_t>(e)].size();
+      if (options < best_options) {
+        best_options = options;
+        best_e = e;
+      }
+    }
+    return best_e;
+  }
+
+  void choose(int s) {
+    chosen.push_back(s);
+    for (int e : instance->sets[static_cast<std::size_t>(s)])
+      ++cover_count[static_cast<std::size_t>(e)];
+  }
+
+  void unchoose(int s) {
+    chosen.pop_back();
+    for (int e : instance->sets[static_cast<std::size_t>(s)])
+      --cover_count[static_cast<std::size_t>(e)];
+  }
+
+  void dfs() {
+    if (exhausted) return;
+    if (++nodes > max_nodes) {
+      exhausted = true;
+      return;
+    }
+    const int remaining = uncovered();
+    if (remaining == 0) {
+      if (best.empty() || chosen.size() < best.size()) best = chosen;
+      return;
+    }
+    // Lower bound: even the largest set covers at most max_set_size
+    // uncovered elements per pick.
+    const std::size_t bound =
+        chosen.size() + static_cast<std::size_t>(ceil_div<int>(
+                            remaining, static_cast<int>(max_set_size)));
+    if (!best.empty() && bound >= best.size()) return;
+
+    const int e = pick_element();
+    POLYMEM_ASSERT(e >= 0);
+    for (int s : covering_sets[static_cast<std::size_t>(e)]) {
+      choose(s);
+      dfs();
+      unchoose(s);
+      if (exhausted) return;
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<int>> exact_cover(const CoverInstance& instance,
+                                            std::uint64_t max_nodes) {
+  instance.validate();
+  if (instance.universe_size == 0) return std::vector<int>{};
+
+  Search search;
+  search.instance = &instance;
+  search.max_nodes = max_nodes;
+  search.cover_count.assign(static_cast<std::size_t>(instance.universe_size),
+                            0);
+  search.covering_sets.resize(
+      static_cast<std::size_t>(instance.universe_size));
+  for (int s = 0; s < static_cast<int>(instance.sets.size()); ++s) {
+    const auto& set = instance.sets[static_cast<std::size_t>(s)];
+    search.max_set_size = std::max(search.max_set_size, set.size());
+    for (int e : set)
+      search.covering_sets[static_cast<std::size_t>(e)].push_back(s);
+  }
+  // Seed the upper bound with greedy so pruning bites immediately.
+  search.best = greedy_cover(instance);
+  search.dfs();
+  if (search.exhausted) return std::nullopt;
+  return search.best;
+}
+
+}  // namespace polymem::sched

@@ -1,0 +1,50 @@
+// Set covering, the paper's schedule-optimisation core (Sec. III-A).
+//
+// "To determine the optimal schedule we formulate the problem as a set
+//  covering problem, using Integer Linear Programming (ILP) for the
+//  search itself."
+//
+// This module provides a self-contained exact solver (branch-and-bound
+// with the same optimality guarantee as the ILP) and the classic greedy
+// approximation as a baseline for the scheduler ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace polymem::sched {
+
+/// A covering instance: `sets[s]` lists the universe elements (indices in
+/// [0, universe_size)) that set s covers.
+struct CoverInstance {
+  int universe_size = 0;
+  std::vector<std::vector<int>> sets;
+
+  /// Throws InvalidArgument if any set references an element out of range
+  /// or the union of sets does not cover the universe.
+  void validate() const;
+};
+
+/// Greedy: repeatedly picks the set covering the most uncovered elements.
+/// Classic ln(n)-approximation; deterministic (ties by lowest index).
+std::vector<int> greedy_cover(const CoverInstance& instance);
+
+/// Exact branch-and-bound minimum cover. Explores at most `max_nodes`
+/// search nodes; returns nullopt when the budget is exhausted before
+/// optimality is proven (callers then fall back to greedy).
+std::optional<std::vector<int>> exact_cover(const CoverInstance& instance,
+                                            std::uint64_t max_nodes = 1u << 22);
+
+/// True when `chosen` covers every universe element.
+bool is_cover(const CoverInstance& instance, const std::vector<int>& chosen);
+
+/// Drops *dominated* sets — sets whose elements are a subset of another
+/// set's — without changing the optimum: any cover using a dominated set
+/// stays a cover when the dominating set replaces it. `kept` receives the
+/// surviving sets' original indices (kept[i] = original index of the
+/// pruned instance's set i). Ties (duplicate sets) keep the lowest index.
+CoverInstance prune_dominated(const CoverInstance& instance,
+                              std::vector<int>& kept);
+
+}  // namespace polymem::sched

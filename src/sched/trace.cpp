@@ -1,0 +1,87 @@
+#include "sched/trace.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace polymem::sched {
+
+using access::Coord;
+
+AccessTrace::AccessTrace(std::vector<Coord> elements)
+    : elements_(std::move(elements)) {
+  std::sort(elements_.begin(), elements_.end());
+  elements_.erase(std::unique(elements_.begin(), elements_.end()),
+                  elements_.end());
+}
+
+Coord AccessTrace::min() const {
+  POLYMEM_REQUIRE(!empty(), "empty trace has no bounding box");
+  Coord m = elements_.front();
+  for (const Coord& c : elements_) {
+    m.i = std::min(m.i, c.i);
+    m.j = std::min(m.j, c.j);
+  }
+  return m;
+}
+
+Coord AccessTrace::max() const {
+  POLYMEM_REQUIRE(!empty(), "empty trace has no bounding box");
+  Coord m = elements_.front();
+  for (const Coord& c : elements_) {
+    m.i = std::max(m.i, c.i);
+    m.j = std::max(m.j, c.j);
+  }
+  return m;
+}
+
+AccessTrace AccessTrace::dense_block(Coord origin, std::int64_t rows,
+                                     std::int64_t cols) {
+  POLYMEM_REQUIRE(rows >= 1 && cols >= 1, "block must be non-empty");
+  std::vector<Coord> el;
+  el.reserve(static_cast<std::size_t>(rows * cols));
+  for (std::int64_t u = 0; u < rows; ++u)
+    for (std::int64_t v = 0; v < cols; ++v)
+      el.push_back({origin.i + u, origin.j + v});
+  return AccessTrace(std::move(el));
+}
+
+AccessTrace AccessTrace::stencil(Coord origin, std::int64_t rows,
+                                 std::int64_t cols,
+                                 const std::vector<Coord>& offsets) {
+  POLYMEM_REQUIRE(rows >= 1 && cols >= 1, "tile must be non-empty");
+  POLYMEM_REQUIRE(!offsets.empty(), "stencil needs at least one offset");
+  std::vector<Coord> el;
+  for (std::int64_t u = 0; u < rows; ++u)
+    for (std::int64_t v = 0; v < cols; ++v)
+      for (const Coord& o : offsets)
+        el.push_back({origin.i + u + o.i, origin.j + v + o.j});
+  return AccessTrace(std::move(el));
+}
+
+AccessTrace AccessTrace::random_sparse(Coord origin, std::int64_t rows,
+                                       std::int64_t cols, double density,
+                                       std::uint64_t seed) {
+  POLYMEM_REQUIRE(density > 0.0 && density <= 1.0,
+                  "density must be in (0, 1]");
+  Rng rng(seed);
+  std::vector<Coord> el;
+  for (std::int64_t u = 0; u < rows; ++u)
+    for (std::int64_t v = 0; v < cols; ++v)
+      if (rng.chance(density)) el.push_back({origin.i + u, origin.j + v});
+  if (el.empty()) el.push_back(origin);  // keep the trace non-degenerate
+  return AccessTrace(std::move(el));
+}
+
+AccessTrace AccessTrace::diagonal_band(Coord origin, std::int64_t length,
+                                       std::int64_t halo) {
+  POLYMEM_REQUIRE(length >= 1 && halo >= 0, "bad band shape");
+  std::vector<Coord> el;
+  for (std::int64_t k = 0; k < length; ++k)
+    for (std::int64_t h = -halo; h <= halo; ++h)
+      el.push_back({origin.i + k, origin.j + k + h});
+  return AccessTrace(std::move(el));
+}
+
+}  // namespace polymem::sched

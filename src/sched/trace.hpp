@@ -1,0 +1,55 @@
+// Application access traces (the input of the Sec. III-A methodology).
+//
+// "To customize PolyMem for a given application, we start from the
+//  application memory access pattern" — an AccessTrace is that pattern:
+// the set of distinct 2D elements one kernel iteration reads. Generators
+// cover the workload classes the paper motivates (dense blocks for
+// matrix/multimedia kernels, stencils for scientific simulation, sparse
+// sets for graph-like irregularity).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "access/coord.hpp"
+
+namespace polymem::sched {
+
+class AccessTrace {
+ public:
+  AccessTrace() = default;
+  explicit AccessTrace(std::vector<access::Coord> elements);
+
+  /// Deduplicated, sorted elements.
+  const std::vector<access::Coord>& elements() const { return elements_; }
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(elements_.size());
+  }
+  bool empty() const { return elements_.empty(); }
+
+  /// Bounding box (valid only when non-empty).
+  access::Coord min() const;
+  access::Coord max() const;
+
+  /// Generators.
+  static AccessTrace dense_block(access::Coord origin, std::int64_t rows,
+                                 std::int64_t cols);
+  /// A 5-point / 9-point style star stencil footprint around `center`
+  /// swept over a rows x cols tile: union of the tile shifted by the
+  /// stencil offsets.
+  static AccessTrace stencil(access::Coord origin, std::int64_t rows,
+                             std::int64_t cols,
+                             const std::vector<access::Coord>& offsets);
+  static AccessTrace random_sparse(access::Coord origin, std::int64_t rows,
+                                   std::int64_t cols, double density,
+                                   std::uint64_t seed);
+  /// A diagonal band: the main diagonal of a length x length tile plus
+  /// `halo` neighbours on each side.
+  static AccessTrace diagonal_band(access::Coord origin, std::int64_t length,
+                                   std::int64_t halo);
+
+ private:
+  std::vector<access::Coord> elements_;
+};
+
+}  // namespace polymem::sched

@@ -1,0 +1,33 @@
+#include "stream/design.hpp"
+
+#include "common/math.hpp"
+
+namespace polymem::stream {
+
+core::PolyMemConfig StreamDesignConfig::polymem_config() const {
+  core::PolyMemConfig cfg;
+  cfg.scheme = scheme;
+  cfg.p = p;
+  cfg.q = q;
+  cfg.read_ports = read_ports;
+  cfg.data_width_bits = 64;
+  cfg.read_latency = read_latency;
+  cfg.width = width;
+  const std::int64_t band_rows = ceil_div(vector_capacity, width);
+  cfg.height = round_up<std::int64_t>(3 * band_rows, p);
+  cfg.validate();
+  return cfg;
+}
+
+StreamDesign::StreamDesign(StreamDesignConfig config)
+    : config_(std::move(config)) {
+  maxsim::Stream& a_in = manager_.add_stream(kAIn, config_.stream_depth);
+  maxsim::Stream& b_in = manager_.add_stream(kBIn, config_.stream_depth);
+  maxsim::Stream& c_in = manager_.add_stream(kCIn, config_.stream_depth);
+  maxsim::Stream& out = manager_.add_stream(kOut, config_.stream_depth);
+  controller_ = &manager_.add_kernel<StreamController>(
+      config_.polymem_config(), config_.vector_capacity, a_in, b_in, c_in,
+      out);
+}
+
+}  // namespace polymem::stream

@@ -1,0 +1,54 @@
+// The complete STREAM design: manager + streams + controller (Fig. 9).
+//
+// Mirrors the synthesised design of the paper's Sec. V: a PolyMem with
+// 8 lanes (2x4), the RoCo scheme ("Because we access data in rows only"),
+// two read ports (Sum/Triad need them; Copy uses one), 64-bit elements,
+// and room for three vectors of up to 170*512 elements each (~700KB per
+// array), clocked at 120 MHz with a 14-cycle read latency.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "maxsim/manager.hpp"
+#include "stream/controller.hpp"
+
+namespace polymem::stream {
+
+struct StreamDesignConfig {
+  std::int64_t vector_capacity = 170 * 512;  ///< elements per vector
+  std::int64_t width = 512;                  ///< address-space row width
+  unsigned p = 2;
+  unsigned q = 4;
+  maf::Scheme scheme = maf::Scheme::kRoCo;
+  unsigned read_ports = 2;
+  unsigned read_latency = 14;  ///< cycles (paper Sec. V)
+  double clock_mhz = 120.0;    ///< synthesised frequency (paper Sec. V)
+  std::size_t stream_depth = 512;  ///< host-stream FIFO capacity, words
+
+  /// The PolyMem configuration implied by the above (three row bands).
+  core::PolyMemConfig polymem_config() const;
+};
+
+class StreamDesign {
+ public:
+  explicit StreamDesign(StreamDesignConfig config = {});
+
+  const StreamDesignConfig& config() const { return config_; }
+  maxsim::Manager& manager() { return manager_; }
+  StreamController& controller() { return *controller_; }
+  const StreamController& controller() const { return *controller_; }
+
+  /// Stream names as wired into the manager.
+  static constexpr const char* kAIn = "A_IN";
+  static constexpr const char* kBIn = "B_IN";
+  static constexpr const char* kCIn = "C_IN";
+  static constexpr const char* kOut = "OUT";
+
+ private:
+  StreamDesignConfig config_;
+  maxsim::Manager manager_;
+  StreamController* controller_ = nullptr;  // owned by manager_
+};
+
+}  // namespace polymem::stream

@@ -1,0 +1,115 @@
+#include "stream/host.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "core/layout.hpp"
+
+namespace polymem::stream {
+
+namespace {
+
+// STREAM words moved per element: Copy/Scale read 1 + write 1; Sum/Triad
+// read 2 + write 1.
+unsigned words_per_element(Mode mode) {
+  switch (mode) {
+    case Mode::kCopy:
+    case Mode::kScale:
+      return 2;
+    case Mode::kSum:
+    case Mode::kTriad:
+      return 3;
+    default:
+      throw InvalidArgument("not a compute mode");
+  }
+}
+
+std::vector<hw::Word> pack(std::span<const double> v) {
+  std::vector<hw::Word> out(v.size());
+  for (std::size_t k = 0; k < v.size(); ++k) out[k] = core::pack_double(v[k]);
+  return out;
+}
+
+}  // namespace
+
+double StreamResult::best_rate_bytes_per_s() const {
+  return static_cast<double>(bytes_per_run) / seconds.min();
+}
+
+double StreamResult::avg_rate_bytes_per_s() const {
+  return static_cast<double>(bytes_per_run) / seconds.mean();
+}
+
+StreamHost::StreamHost(StreamDesignConfig config)
+    : config_(config), design_(config), dfe_(config.clock_mhz) {}
+
+void StreamHost::load_vector(Mode mode, const char* stream_name,
+                             std::span<const double> data) {
+  design_.controller().start(mode, static_cast<std::int64_t>(data.size()));
+  const auto words = pack(data);
+  dfe_.write_stream(design_.manager(), stream_name, words);
+  POLYMEM_ASSERT(design_.controller().done());
+}
+
+void StreamHost::load(std::span<const double> a, std::span<const double> b,
+                      std::span<const double> c) {
+  POLYMEM_REQUIRE(a.size() == b.size() && b.size() == c.size(),
+                  "STREAM vectors must be equally sized");
+  load_vector(Mode::kLoadA, StreamDesign::kAIn, a);
+  load_vector(Mode::kLoadB, StreamDesign::kBIn, b);
+  load_vector(Mode::kLoadC, StreamDesign::kCIn, c);
+}
+
+StreamResult StreamHost::run(Mode mode, std::int64_t n, int runs, double q) {
+  POLYMEM_REQUIRE(runs >= 1, "need at least one run");
+  StreamResult result;
+  result.mode = mode;
+  result.n = n;
+  result.bytes_per_run =
+      static_cast<std::uint64_t>(n) * words_per_element(mode) *
+      sizeof(hw::Word);
+  for (int r = 0; r < runs; ++r) {
+    design_.controller().start(mode, n, q);
+    const auto timing =
+        dfe_.run_action(mode_name(mode), design_.manager());
+    result.cycles_per_run = timing.cycles;
+    result.seconds.add(timing.seconds);
+  }
+  return result;
+}
+
+void StreamHost::offload_vector(Mode mode, std::span<double> out) {
+  design_.controller().start(mode, static_cast<std::int64_t>(out.size()));
+  std::vector<hw::Word> words(out.size());
+  dfe_.read_stream(design_.manager(), StreamDesign::kOut, words);
+  for (std::size_t k = 0; k < out.size(); ++k)
+    out[k] = core::unpack_double(words[k]);
+}
+
+void StreamHost::offload(std::span<double> a, std::span<double> b,
+                         std::span<double> c) {
+  offload_vector(Mode::kOffloadA, a);
+  offload_vector(Mode::kOffloadB, b);
+  offload_vector(Mode::kOffloadC, c);
+}
+
+double StreamHost::theoretical_peak_bytes_per_s(Mode mode) const {
+  const double per_port = bandwidth_bytes_per_s(
+      design_.controller().config().lanes(), 64, config_.clock_mhz * 1e6);
+  return words_per_element(mode) * per_port;
+}
+
+TextTable StreamHost::report(const std::vector<StreamResult>& results) {
+  TextTable table("STREAM results (MAX-PolyMem)");
+  table.set_header({"Function", "BestRate MB/s", "AvgTime s", "MinTime s",
+                    "MaxTime s"});
+  for (const StreamResult& r : results) {
+    table.add_row({mode_name(r.mode),
+                   TextTable::num(r.best_rate_bytes_per_s() / MB, 1),
+                   TextTable::num(r.seconds.mean(), 9),
+                   TextTable::num(r.seconds.min(), 9),
+                   TextTable::num(r.seconds.max(), 9)});
+  }
+  return table;
+}
+
+}  // namespace polymem::stream

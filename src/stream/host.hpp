@@ -1,0 +1,72 @@
+// The host side of the STREAM benchmark.
+//
+// Orchestrates the paper's three blocking stages — Load, compute, Offload
+// — over the simulated PCIe link, measures the compute stage in isolation
+// (repeated `runs` times, as the paper repeats 1000x for timer
+// resolution), and reports results in the classic STREAM format
+// (function, best rate MB/s, avg/min/max time).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "maxsim/dfe.hpp"
+#include "stream/design.hpp"
+
+namespace polymem::stream {
+
+/// Result of one benchmark function over `runs` repetitions.
+struct StreamResult {
+  Mode mode = Mode::kCopy;
+  std::int64_t n = 0;             ///< elements per vector processed
+  std::uint64_t bytes_per_run = 0;  ///< STREAM-counted bytes per run
+  std::uint64_t cycles_per_run = 0; ///< DFE cycles of the last run
+  RunningStats seconds;            ///< per-run wall-clock (incl. overhead)
+
+  double best_rate_bytes_per_s() const;
+  double avg_rate_bytes_per_s() const;
+};
+
+class StreamHost {
+ public:
+  explicit StreamHost(StreamDesignConfig config = {});
+
+  StreamDesign& design() { return design_; }
+  maxsim::DfeDevice& dfe() { return dfe_; }
+
+  /// Load stage: three blocking PCIe stream writes (A, B, C).
+  void load(std::span<const double> a, std::span<const double> b,
+            std::span<const double> c);
+
+  /// One compute function over the first `n` elements, `runs` times.
+  /// STREAM byte counting: Copy/Scale move 2 words per element, Sum/Triad
+  /// move 3 ("one read and one write for each element copied", Sec. V —
+  /// the paper's aggregated read+write throughput).
+  StreamResult run(Mode mode, std::int64_t n, int runs = 10, double q = 3.0);
+
+  /// Offload stage: blocking PCIe reads of the three vectors.
+  void offload(std::span<double> a, std::span<double> b,
+               std::span<double> c);
+
+  /// Theoretical peak of a compute mode at the design clock:
+  /// ports_used * lanes * 8 bytes * f. For Copy this is the paper's
+  /// 2 x 8 x 8 x 120MHz = 15360 MB/s.
+  double theoretical_peak_bytes_per_s(Mode mode) const;
+
+  /// Classic STREAM report for a set of results.
+  static TextTable report(const std::vector<StreamResult>& results);
+
+ private:
+  void load_vector(Mode mode, const char* stream_name,
+                   std::span<const double> data);
+  void offload_vector(Mode mode, std::span<double> out);
+
+  StreamDesignConfig config_;
+  StreamDesign design_;
+  maxsim::DfeDevice dfe_;
+};
+
+}  // namespace polymem::stream

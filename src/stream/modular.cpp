@@ -1,0 +1,224 @@
+#include "stream/modular.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "core/layout.hpp"
+
+namespace polymem::stream {
+
+using access::ParallelAccess;
+using access::PatternKind;
+
+namespace {
+
+constexpr const char* kRdCmd = "RD_CMD";
+constexpr const char* kRdData = "RD_DATA";
+constexpr const char* kWrData = "WR_DATA";
+
+core::VectorBand make_band(const StreamDesignConfig& cfg, Vector v) {
+  const std::int64_t band_rows = ceil_div(cfg.vector_capacity, cfg.width);
+  return core::VectorBand(static_cast<std::int64_t>(v) * band_rows,
+                          cfg.vector_capacity, cfg.width);
+}
+
+}  // namespace
+
+// Generates one read command (a source group index) per cycle.
+class ModularCopyDesign::AddressGenKernel : public maxsim::Kernel {
+ public:
+  explicit AddressGenKernel(maxsim::Stream& rd_cmd)
+      : maxsim::Kernel("address-gen"), rd_cmd_(&rd_cmd) {}
+
+  void arm(std::int64_t groups) {
+    total_ = groups;
+    issued_ = 0;
+  }
+
+  void tick() override {
+    if (issued_ < total_ &&
+        rd_cmd_->push(static_cast<hw::Word>(issued_)))
+      ++issued_;
+  }
+  bool done() const override { return issued_ == total_; }
+
+ private:
+  maxsim::Stream* rd_cmd_;
+  std::int64_t total_ = 0;
+  std::int64_t issued_ = 0;
+};
+
+// Owns the PolyMem; serves read commands and write data arriving on its
+// streams. Reads are gated on rd_data space so retired data never drops.
+class ModularCopyDesign::MemoryKernel : public maxsim::Kernel {
+ public:
+  MemoryKernel(core::PolyMemConfig cfg, const StreamDesignConfig& design,
+               maxsim::Stream& rd_cmd, maxsim::Stream& rd_data,
+               maxsim::Stream& wr_data)
+      : maxsim::Kernel("polymem"),
+        mem_(std::move(cfg)),
+        design_(&design),
+        rd_cmd_(&rd_cmd),
+        rd_data_(&rd_data),
+        wr_data_(&wr_data) {}
+
+  core::CyclePolyMem& polymem() { return mem_; }
+
+  void arm(Mode mode, std::int64_t groups) {
+    src_band_ = make_band(*design_, mode == Mode::kCopy ? Vector::kA
+                                                        : Vector::kB);
+    dst_band_ = make_band(*design_, mode == Mode::kCopy ? Vector::kC
+                                                        : Vector::kA);
+    total_ = groups;
+    writes_done_ = 0;
+    in_flight_ = 0;
+  }
+
+  void tick() override {
+    const auto lanes = static_cast<std::int64_t>(mem_.config().lanes());
+    // 1. A full write group waiting on wr_data lands this cycle; its
+    //    destination index is the write counter (in-order pipeline).
+    if (writes_done_ < total_ &&
+        wr_data_->size() >= static_cast<std::size_t>(lanes)) {
+      std::vector<hw::Word> data(static_cast<std::size_t>(lanes));
+      for (auto& w : data) w = *wr_data_->pop();
+      const bool ok = mem_.issue_write(group_access(dst_band_, writes_done_),
+                                       data);
+      POLYMEM_ASSERT(ok);
+      (void)ok;
+      ++writes_done_;
+    }
+    // 2. Serve the next read command if the data stream can take the
+    //    response.
+    const std::size_t reserved =
+        static_cast<std::size_t>((in_flight_ + 1) * lanes);
+    if (!rd_cmd_->empty() &&
+        rd_data_->capacity() - rd_data_->size() >= reserved) {
+      const auto group = static_cast<std::int64_t>(*rd_cmd_->pop());
+      mem_.issue_read(0, group_access(src_band_, group),
+                      static_cast<std::uint64_t>(group));
+      ++in_flight_;
+    }
+    mem_.tick();
+    // 3. Retired data streams out to the compute kernel.
+    if (auto resp = mem_.retire_read(0)) {
+      for (hw::Word w : resp->data) {
+        const bool ok = rd_data_->push(w);
+        POLYMEM_ASSERT(ok);
+        (void)ok;
+      }
+      --in_flight_;
+    }
+  }
+  bool done() const override { return writes_done_ == total_; }
+
+ private:
+  ParallelAccess group_access(const core::VectorBand& band,
+                              std::int64_t group) const {
+    return {PatternKind::kRow,
+            band.coord(group *
+                       static_cast<std::int64_t>(mem_.config().lanes()))};
+  }
+
+  core::CyclePolyMem mem_;
+  const StreamDesignConfig* design_;
+  maxsim::Stream* rd_cmd_;
+  maxsim::Stream* rd_data_;
+  maxsim::Stream* wr_data_;
+  core::VectorBand src_band_ = core::VectorBand(0, 1, 1);
+  core::VectorBand dst_band_ = core::VectorBand(0, 1, 1);
+  std::int64_t total_ = 0;
+  std::int64_t writes_done_ = 0;
+  std::int64_t in_flight_ = 0;
+};
+
+// Applies the arithmetic lane-wise: Copy forwards, Scale multiplies.
+class ModularCopyDesign::ComputeKernel : public maxsim::Kernel {
+ public:
+  ComputeKernel(unsigned lanes, maxsim::Stream& rd_data,
+                maxsim::Stream& wr_data)
+      : maxsim::Kernel("compute"),
+        lanes_(lanes),
+        rd_data_(&rd_data),
+        wr_data_(&wr_data) {}
+
+  void arm(Mode mode, std::int64_t groups, double q) {
+    mode_ = mode;
+    q_ = q;
+    total_ = groups;
+    processed_ = 0;
+  }
+
+  void tick() override {
+    if (processed_ == total_) return;
+    if (rd_data_->size() < lanes_) return;
+    if (wr_data_->capacity() - wr_data_->size() < lanes_) return;
+    for (unsigned k = 0; k < lanes_; ++k) {
+      hw::Word w = *rd_data_->pop();
+      if (mode_ == Mode::kScale)
+        w = core::pack_double(q_ * core::unpack_double(w));
+      const bool ok = wr_data_->push(w);
+      POLYMEM_ASSERT(ok);
+      (void)ok;
+    }
+    ++processed_;
+  }
+  bool done() const override { return processed_ == total_; }
+
+ private:
+  unsigned lanes_;
+  maxsim::Stream* rd_data_;
+  maxsim::Stream* wr_data_;
+  Mode mode_ = Mode::kCopy;
+  double q_ = 3.0;
+  std::int64_t total_ = 0;
+  std::int64_t processed_ = 0;
+};
+
+ModularCopyDesign::ModularCopyDesign(StreamDesignConfig config)
+    : config_(std::move(config)) {
+  auto pm_cfg = config_.polymem_config();
+  // The read-data FIFO must cover the PolyMem read latency or the
+  // conservative issue gating throttles the pipeline below one access
+  // per cycle — the buffering MaxJ's stream scheduler inserts
+  // automatically between kernels.
+  const std::size_t rd_depth =
+      std::max<std::size_t>(config_.stream_depth,
+                            (pm_cfg.read_latency + 2) *
+                                static_cast<std::size_t>(pm_cfg.lanes()));
+  maxsim::Stream& rd_cmd = manager_.add_stream(kRdCmd, config_.stream_depth);
+  maxsim::Stream& rd_data = manager_.add_stream(kRdData, rd_depth);
+  maxsim::Stream& wr_data =
+      manager_.add_stream(kWrData, config_.stream_depth);
+  addr_ = &manager_.add_kernel<AddressGenKernel>(rd_cmd);
+  mem_ = &manager_.add_kernel<MemoryKernel>(pm_cfg, config_, rd_cmd, rd_data,
+                                            wr_data);
+  compute_ = &manager_.add_kernel<ComputeKernel>(pm_cfg.lanes(), rd_data,
+                                                 wr_data);
+}
+
+core::CyclePolyMem& ModularCopyDesign::polymem() { return mem_->polymem(); }
+
+core::VectorBand ModularCopyDesign::band(Vector v) const {
+  return make_band(config_, v);
+}
+
+void ModularCopyDesign::start(Mode mode, std::int64_t n, double q) {
+  POLYMEM_REQUIRE(mode == Mode::kCopy || mode == Mode::kScale,
+                  "the modular design implements Copy and Scale");
+  const auto lanes =
+      static_cast<std::int64_t>(polymem().config().lanes());
+  POLYMEM_REQUIRE(n >= 1 && n % lanes == 0 && n <= config_.vector_capacity,
+                  "bad stage length");
+  const std::int64_t groups = n / lanes;
+  addr_->arm(groups);
+  mem_->arm(mode, groups);
+  compute_->arm(mode, groups, q);
+}
+
+std::uint64_t ModularCopyDesign::run(std::uint64_t max_cycles) {
+  return manager_.run_to_completion(max_cycles);
+}
+
+}  // namespace polymem::stream

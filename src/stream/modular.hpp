@@ -1,0 +1,66 @@
+// The MODULAR multi-kernel STREAM-Copy design (paper Sec. III-C).
+//
+// "Once all kernels were available, we created a modular multikernel
+//  design, using a custom manager to connect the different modules. ...
+//  we implemented a fused, single-kernel implementation ... and compared
+//  the two versions. We found that the modular version consumes twice as
+//  many resources, mainly due to the additional inter-kernel
+//  communication infrastructure."
+//
+// This module implements that modular variant: three kernels connected by
+// manager streams —
+//
+//   AddressGenKernel --rd_cmd--> MemoryKernel --rd_data--> ComputeKernel
+//        (AGU driver)               (PolyMem)                (copy/scale)
+//                                       ^------wr_data-----------'
+//
+// — so the paper's comparison can be made *functionally*: same
+// throughput (the streams only add pipeline depth), twice the modelled
+// resources (ResourceModel::estimate_modular).
+#pragma once
+
+#include <cstdint>
+
+#include "core/cycle_polymem.hpp"
+#include "maxsim/manager.hpp"
+#include "stream/design.hpp"
+
+namespace polymem::stream {
+
+class ModularCopyDesign {
+ public:
+  /// Same configuration vocabulary as the fused design. Supports the
+  /// one-read-port kernels (Copy and Scale).
+  explicit ModularCopyDesign(StreamDesignConfig config = {});
+
+  maxsim::Manager& manager() { return manager_; }
+  const StreamDesignConfig& config() const { return config_; }
+  core::CyclePolyMem& polymem();
+
+  /// Arms a Copy (q unused) or Scale over the first n elements:
+  /// dst(i) = q * src(i), with Copy moving raw words (q ignored).
+  void start(Mode mode, std::int64_t n, double q = 3.0);
+  bool done() const { return manager_.all_done(); }
+
+  /// Runs to completion; returns the cycles spent.
+  std::uint64_t run(std::uint64_t max_cycles = 100'000'000);
+
+  core::VectorBand band(Vector v) const;
+
+  /// Pipeline-depth overhead vs the fused controller: the number of
+  /// extra cycles the inter-kernel streams add to one run.
+  static constexpr unsigned kStreamHops = 2;  // rd_data and wr_data
+
+ private:
+  class AddressGenKernel;
+  class MemoryKernel;
+  class ComputeKernel;
+
+  StreamDesignConfig config_;
+  maxsim::Manager manager_;
+  AddressGenKernel* addr_ = nullptr;  // owned by manager_
+  MemoryKernel* mem_ = nullptr;
+  ComputeKernel* compute_ = nullptr;
+};
+
+}  // namespace polymem::stream

@@ -1,0 +1,98 @@
+#include "synth/calibration.hpp"
+
+#include "common/error.hpp"
+
+namespace polymem::synth {
+
+namespace {
+
+using maf::Scheme;
+
+// Column layout of paper Table IV (18 columns): per capacity, first the
+// 8-lane ports then the 16-lane ports that synthesised.
+constexpr DseColumn kColumns[] = {
+    {512, 8, 1},  {512, 8, 2},  {512, 8, 3},  {512, 8, 4},
+    {512, 16, 1}, {512, 16, 2},
+    {1024, 8, 1}, {1024, 8, 2}, {1024, 8, 3}, {1024, 8, 4},
+    {1024, 16, 1}, {1024, 16, 2},
+    {2048, 8, 1}, {2048, 8, 2},
+    {2048, 16, 1}, {2048, 16, 2},
+    {4096, 8, 1},
+    {4096, 16, 1},
+};
+
+// Table IV rows, MHz, in the column order above.
+struct Row {
+  Scheme scheme;
+  double mhz[18];
+};
+
+constexpr Row kRows[] = {
+    {Scheme::kReO,
+     {202, 160, 139, 123, 185, 100, 160, 123, 102, 79, 144, 109, 127, 86, 127,
+      87, 95, 95}},
+    {Scheme::kReRo,
+     {195, 166, 131, 123, 168, 100, 163, 125, 102, 77, 140, 109, 120, 87, 120,
+      80, 98, 91}},
+    {Scheme::kReCo,
+     {196, 155, 131, 122, 157, 100, 163, 121, 107, 81, 156, 122, 124, 78, 124,
+      79, 93, 93}},
+    {Scheme::kRoCo,
+     {194, 150, 146, 122, 161, 100, 173, 135, 114, 86, 145, 109, 122, 90, 122,
+      84, 88, 91}},
+    {Scheme::kReTr,
+     {193, 158, 134, 137, 159, 112, 155, 121, 102, 77, 146, 122, 116, 81, 114,
+      77, 102, 102}},
+};
+
+}  // namespace
+
+const std::vector<FmaxSample>& paper_table4() {
+  static const std::vector<FmaxSample> samples = [] {
+    std::vector<FmaxSample> out;
+    out.reserve(90);
+    for (const Row& row : kRows) {
+      for (int c = 0; c < 18; ++c) {
+        out.push_back({DsePoint{row.scheme, kColumns[c].size_kb,
+                                kColumns[c].lanes, kColumns[c].ports},
+                       row.mhz[c]});
+      }
+    }
+    return out;
+  }();
+  return samples;
+}
+
+std::optional<double> paper_fmax_mhz(const DsePoint& point) {
+  for (const FmaxSample& s : paper_table4())
+    if (s.point == point) return s.mhz;
+  return std::nullopt;
+}
+
+const std::vector<DseColumn>& table4_columns() {
+  static const std::vector<DseColumn> cols(std::begin(kColumns),
+                                           std::end(kColumns));
+  return cols;
+}
+
+bool dse_point_valid(unsigned size_kb, unsigned lanes, unsigned ports) {
+  if (ports < 1 || ports > 4) return false;
+  if (lanes != 8 && lanes != 16) return false;
+  if (size_kb != 512 && size_kb != 1024 && size_kb != 2048 &&
+      size_kb != 4096)
+    return false;
+  // Read-port replication must fit the 4MB of BRAM.
+  if (static_cast<std::uint64_t>(size_kb) * ports > 4096) return false;
+  // 16-lane crossbars route at most 2 read ports (Table IV).
+  if (lanes == 16 && ports > 2) return false;
+  return true;
+}
+
+void dse_geometry(unsigned lanes, unsigned& p, unsigned& q) {
+  POLYMEM_REQUIRE(lanes == 8 || lanes == 16,
+                  "the DSE uses 8 (2x4) or 16 (2x8) lanes");
+  p = 2;
+  q = lanes / 2;
+}
+
+}  // namespace polymem::synth

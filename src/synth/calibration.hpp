@@ -1,0 +1,59 @@
+// The paper's published measurements, embedded as calibration/reference
+// data.
+//
+// We cannot run Xilinx synthesis for a Virtex-6; instead the paper's own
+// Table IV (maximum clock frequencies for all 90 synthesised design
+// points) is embedded verbatim. It serves two roles:
+//   1. calibration set for the analytical FmaxModel, and
+//   2. reference columns printed next to the model in the Table IV /
+//      Fig. 4 / Fig. 5 reproduction benches, with per-cell error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "maf/scheme.hpp"
+
+namespace polymem::synth {
+
+/// One DSE design point (a column of Table IV x a scheme row).
+struct DsePoint {
+  maf::Scheme scheme = maf::Scheme::kReO;
+  unsigned size_kb = 512;  ///< 512, 1024, 2048, 4096
+  unsigned lanes = 8;      ///< 8 (2x4) or 16 (2x8)
+  unsigned ports = 1;      ///< read ports 1..4
+
+  friend bool operator==(const DsePoint&, const DsePoint&) = default;
+};
+
+/// A Table IV cell: the design point plus its synthesised Fmax.
+struct FmaxSample {
+  DsePoint point;
+  double mhz = 0;
+};
+
+/// All 90 cells of paper Table IV.
+const std::vector<FmaxSample>& paper_table4();
+
+/// Looks up the paper's Fmax for a design point (nullopt if the paper did
+/// not synthesise it).
+std::optional<double> paper_fmax_mhz(const DsePoint& point);
+
+/// The 18 (size, lanes, ports) columns of Table IV, in table order.
+struct DseColumn {
+  unsigned size_kb;
+  unsigned lanes;
+  unsigned ports;
+};
+const std::vector<DseColumn>& table4_columns();
+
+/// Table III validity rule: the replicated data must fit the 4MB BRAM
+/// (size * ports <= 4096KB) and 16-lane designs route at most 2 read
+/// ports. Exactly the 18 columns of Table IV satisfy this.
+bool dse_point_valid(unsigned size_kb, unsigned lanes, unsigned ports);
+
+/// Bank geometry of a DSE lane count (the paper uses 8 = 2x4, 16 = 2x8).
+void dse_geometry(unsigned lanes, unsigned& p, unsigned& q);
+
+}  // namespace polymem::synth

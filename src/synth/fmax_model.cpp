@@ -1,0 +1,114 @@
+#include "synth/fmax_model.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace polymem::synth {
+
+FmaxModel::FmaxModel(FmaxParams params, const DeviceSpec& device)
+    : params_(params), resources_(device) {}
+
+core::PolyMemConfig FmaxModel::make_config(const DsePoint& point) {
+  unsigned p = 0, q = 0;
+  dse_geometry(point.lanes, p, q);
+  return core::PolyMemConfig::with_capacity(
+      static_cast<std::uint64_t>(point.size_kb) * KiB, point.scheme, p, q,
+      point.ports);
+}
+
+double FmaxModel::period_ns(const core::PolyMemConfig& config) const {
+  const ResourceEstimate est = resources_.estimate(config);
+  const unsigned lanes = config.lanes();
+  double t = params_.t0 +
+             params_.tb * std::sqrt(static_cast<double>(est.bram36)) +
+             params_.tp * (config.read_ports - 1) +
+             params_.tl * (lanes > 8 ? lanes - 8 : 0) +
+             params_.scheme_offset[static_cast<unsigned>(config.scheme)];
+  return std::max(t, 0.1);
+}
+
+double FmaxModel::fmax_mhz(const core::PolyMemConfig& config) const {
+  return 1000.0 / period_ns(config);
+}
+
+double FmaxModel::fmax_mhz(const DsePoint& point) const {
+  return fmax_mhz(make_config(point));
+}
+
+double FmaxModel::mean_rel_error_vs_paper() const {
+  double sum = 0.0;
+  const auto& samples = paper_table4();
+  for (const FmaxSample& s : samples)
+    sum += std::abs(fmax_mhz(s.point) - s.mhz) / s.mhz;
+  return sum / static_cast<double>(samples.size());
+}
+
+namespace {
+
+double objective(const FmaxParams& params, const ResourceModel& resources,
+                 const std::vector<FmaxSample>& samples,
+                 const std::vector<core::PolyMemConfig>& configs) {
+  const FmaxModel model(params, resources.device());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    sum += std::abs(model.fmax_mhz(configs[i]) - samples[i].mhz) /
+           samples[i].mhz;
+  return sum / static_cast<double>(samples.size());
+}
+
+}  // namespace
+
+FmaxParams FmaxModel::fit_to(const std::vector<FmaxSample>& samples,
+                             const ResourceModel& resources) {
+  POLYMEM_REQUIRE(!samples.empty(), "need calibration samples");
+  std::vector<core::PolyMemConfig> configs;
+  configs.reserve(samples.size());
+  for (const FmaxSample& s : samples) configs.push_back(make_config(s.point));
+
+  FmaxParams params;  // defaults are the hand-derived starting point
+  // Access parameters uniformly for coordinate descent.
+  auto param_refs = [](FmaxParams& p) {
+    return std::vector<double*>{&p.t0,
+                                &p.tb,
+                                &p.tp,
+                                &p.tl,
+                                &p.scheme_offset[0],
+                                &p.scheme_offset[1],
+                                &p.scheme_offset[2],
+                                &p.scheme_offset[3],
+                                &p.scheme_offset[4]};
+  };
+
+  double best = objective(params, resources, samples, configs);
+  double step = 0.2;
+  for (int round = 0; round < 60 && step > 1e-4; ++round) {
+    bool improved = false;
+    for (double* param : param_refs(params)) {
+      for (double direction : {+1.0, -1.0}) {
+        const double saved = *param;
+        *param = saved + direction * step;
+        const double cost = objective(params, resources, samples, configs);
+        if (cost + 1e-9 < best) {
+          best = cost;
+          improved = true;
+        } else {
+          *param = saved;
+        }
+      }
+    }
+    if (!improved) step *= 0.5;
+  }
+  return params;
+}
+
+const FmaxModel& FmaxModel::paper_calibrated() {
+  static const FmaxModel model(
+      fit_to(paper_table4(), ResourceModel(virtex6_sx475t())),
+      virtex6_sx475t());
+  return model;
+}
+
+}  // namespace polymem::synth

@@ -1,0 +1,69 @@
+// Analytical maximum-clock-frequency model (reproduces paper Table IV).
+//
+// Place-and-route frequency cannot be measured without the Xilinx tools;
+// this model captures its structure:
+//
+//   period(ns) = t0                          (pipeline logic depth)
+//              + tb * sqrt(total BRAM blocks) (routing spread: more BRAMs
+//                                              place further apart, and
+//                                              capacity/ports grow BRAMs —
+//                                              "additional pressure ... to
+//                                              place and route all the
+//                                              additional BRAMs", Sec. IV-B)
+//              + tp * (read_ports - 1)        (read-crossbar replication)
+//              + tl * max(0, lanes - 8)       (wider crossbars)
+//              + scheme offset                (MAF complexity)
+//
+// and fmax = 1000 / period MHz. The constants are *fitted* to the paper's
+// Table IV (embedded in calibration.cpp) by coordinate descent; tests
+// bound the fit's mean relative error.
+#pragma once
+
+#include <array>
+
+#include "core/config.hpp"
+#include "synth/calibration.hpp"
+#include "synth/resource_model.hpp"
+
+namespace polymem::synth {
+
+struct FmaxParams {
+  double t0 = 2.5;   ///< ns, base pipeline period
+  double tb = 0.30;  ///< ns per sqrt(BRAM block)
+  double tp = 0.30;  ///< ns per extra read port
+  double tl = 0.02;  ///< ns per lane beyond 8
+  std::array<double, 5> scheme_offset{};  ///< ns, indexed by Scheme
+};
+
+class FmaxModel {
+ public:
+  /// A model with explicit parameters (e.g. for ablations).
+  explicit FmaxModel(FmaxParams params,
+                     const DeviceSpec& device = virtex6_sx475t());
+
+  /// The production model: parameters fitted to the paper's Table IV.
+  /// The fit is deterministic and cached process-wide.
+  static const FmaxModel& paper_calibrated();
+
+  const FmaxParams& params() const { return params_; }
+
+  /// Predicted clock period / maximum frequency.
+  double period_ns(const core::PolyMemConfig& config) const;
+  double fmax_mhz(const core::PolyMemConfig& config) const;
+  double fmax_mhz(const DsePoint& point) const;
+
+  /// Mean absolute relative error of the model against paper Table IV.
+  double mean_rel_error_vs_paper() const;
+
+  /// Builds the PolyMemConfig of a DSE point (2xq geometry, 64-bit data).
+  static core::PolyMemConfig make_config(const DsePoint& point);
+
+ private:
+  static FmaxParams fit_to(const std::vector<FmaxSample>& samples,
+                           const ResourceModel& resources);
+
+  FmaxParams params_;
+  ResourceModel resources_;
+};
+
+}  // namespace polymem::synth

@@ -1,0 +1,97 @@
+#include "synth/resource_model.hpp"
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "common/units.hpp"
+
+namespace polymem::synth {
+
+namespace {
+
+// Calibration constants (see header). Logic model:
+//   logic% = kLogicBase
+//          + (kXbarPow * lanes^1.5 + kXbarLin * lanes)
+//            * (1 + kPortRepl * (read_ports - 1))
+//          + kCapacity * log2(capacity / 512KB)
+//          + scheme offset
+constexpr double kLogicBase = 3.5;
+constexpr double kXbarPow = 0.3016;
+constexpr double kXbarLin = 0.0577;
+constexpr double kPortRepl = 0.529;
+constexpr double kCapacity = 0.70;
+
+// LUT% tracks logic% affinely (Sec. IV-C: "similar trends", 7..28 %).
+constexpr double kLutSlope = 0.78;
+constexpr double kLutOffset = -0.5;
+
+// BRAM infrastructure: platform base + per-lane stream buffering, the
+// read-port replicas adding their own lane buffers.
+constexpr double kBramBase = 30.0;
+constexpr double kBramPerLane = 2.5;
+constexpr double kBramPerLanePort = 1.5;
+
+double scheme_logic_offset(maf::Scheme scheme) {
+  // ReO's MAF is two bare modulos; RoCo computes both rotated coordinates.
+  switch (scheme) {
+    case maf::Scheme::kReO: return -0.20;
+    case maf::Scheme::kReRo: return 0.0;
+    case maf::Scheme::kReCo: return 0.0;
+    case maf::Scheme::kRoCo: return +0.20;
+    case maf::Scheme::kReTr: return +0.10;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ResourceModel::ResourceModel(const DeviceSpec& device) : device_(&device) {}
+
+ResourceEstimate ResourceModel::estimate(
+    const core::PolyMemConfig& config) const {
+  config.validate();
+  ResourceEstimate est;
+
+  // --- BRAM ---------------------------------------------------------------
+  const std::uint64_t bank_bytes =
+      static_cast<std::uint64_t>(config.words_per_bank()) *
+      (config.data_width_bits / 8);
+  const std::uint64_t per_bank =
+      ceil_div<std::uint64_t>(bank_bytes, device_->bram36_bytes);
+  est.bram36_data = per_bank * config.lanes() * config.read_ports;
+  const double infra = kBramBase + kBramPerLane * config.lanes() +
+                       kBramPerLanePort * config.lanes() *
+                           (config.read_ports - 1);
+  est.bram36 = est.bram36_data + static_cast<std::uint64_t>(std::lround(infra));
+  est.bram_pct = 100.0 * static_cast<double>(est.bram36) /
+                 static_cast<double>(device_->bram36_blocks);
+
+  // --- logic / LUTs ---------------------------------------------------------
+  const double lanes = config.lanes();
+  const double xbar = kXbarPow * std::pow(lanes, 1.5) + kXbarLin * lanes;
+  const double cap_doublings =
+      std::log2(static_cast<double>(config.capacity_bytes()) /
+                static_cast<double>(512 * KiB));
+  est.logic_pct = kLogicBase +
+                  xbar * (1.0 + kPortRepl * (config.read_ports - 1)) +
+                  kCapacity * std::max(0.0, cap_doublings) +
+                  scheme_logic_offset(config.scheme);
+  est.lut_pct = kLutSlope * est.logic_pct + kLutOffset;
+  est.logic_cells =
+      est.logic_pct / 100.0 * static_cast<double>(device_->logic_cells);
+  est.luts = est.lut_pct / 100.0 * static_cast<double>(device_->luts);
+  return est;
+}
+
+ResourceEstimate ResourceModel::estimate_modular(
+    const core::PolyMemConfig& config) const {
+  ResourceEstimate est = estimate(config);
+  // Sec. III-C: the modular multi-kernel design doubles resource use.
+  est.logic_pct *= 2.0;
+  est.lut_pct *= 2.0;
+  est.logic_cells *= 2.0;
+  est.luts *= 2.0;
+  return est;
+}
+
+}  // namespace polymem::synth

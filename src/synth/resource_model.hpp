@@ -1,0 +1,62 @@
+// Analytical FPGA resource model (reproduces paper Figs. 6, 7, 8).
+//
+// The paper measures logic / LUT / BRAM utilisation from Xilinx synthesis;
+// this model reproduces those numbers analytically from the architecture:
+//
+//   BRAM  — each of the p*q banks needs ceil(bank_bytes / bram_bytes)
+//           RAMB36 blocks; every *additional read port replicates all of
+//           them* ("increasing the number of read ports involved
+//           duplicating data in BRAMs", Sec. IV-C); plus a fixed platform
+//           overhead (PCIe/infrastructure) and per-lane stream FIFOs.
+//   logic — a platform base, the crossbars (supra-linear in lanes; the
+//           read-side crossbars replicate per port: "mostly due to the
+//           read crossbars replication"), a small per-doubling capacity
+//           term, and a scheme-complexity offset.
+//   LUTs  — an affine map of logic ("similar trends", Sec. IV-C).
+//
+// Constants are calibrated against the utilisation figures quoted in
+// Sec. IV-C (10.58 %, 10.78 %, 13.05 %, 22.34 %, 23.73 %, 16.07 %,
+// 19.31 %, 29.04 %, 97 %); tests pin the anchors.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "synth/virtex6.hpp"
+
+namespace polymem::synth {
+
+struct ResourceEstimate {
+  std::uint64_t bram36 = 0;      ///< RAMB36 blocks (data + infrastructure)
+  std::uint64_t bram36_data = 0; ///< RAMB36 blocks holding PolyMem data only
+  double luts = 0;               ///< absolute LUT count
+  double logic_cells = 0;        ///< absolute logic-cell count
+  double bram_pct = 0;           ///< % of device BRAM blocks
+  double lut_pct = 0;            ///< % of device LUTs
+  double logic_pct = 0;          ///< % of device logic cells
+
+  /// True when every resource fits on the device.
+  bool fits() const {
+    return bram_pct <= 100.0 && lut_pct <= 100.0 && logic_pct <= 100.0;
+  }
+};
+
+class ResourceModel {
+ public:
+  explicit ResourceModel(const DeviceSpec& device = virtex6_sx475t());
+
+  const DeviceSpec& device() const { return *device_; }
+
+  ResourceEstimate estimate(const core::PolyMemConfig& config) const;
+
+  /// The paper's modularity ablation (Sec. III-C): the multi-kernel
+  /// variant "consumes twice as many resources, mainly due to the
+  /// additional inter-kernel communication infrastructure". When modular,
+  /// logic/LUT estimates double.
+  ResourceEstimate estimate_modular(const core::PolyMemConfig& config) const;
+
+ private:
+  const DeviceSpec* device_;
+};
+
+}  // namespace polymem::synth

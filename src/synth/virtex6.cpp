@@ -1,0 +1,20 @@
+#include "synth/virtex6.hpp"
+
+namespace polymem::synth {
+
+const DeviceSpec& virtex6_sx475t() {
+  // Xilinx DS150 (Virtex-6 Family Overview), XC6VSX475T column.
+  // A RAMB36E1 holds 36Kb; in 512x72 simple-dual-port mode the full 72-bit
+  // width (data + parity bits) is available, i.e. 4608 usable bytes.
+  static const DeviceSpec spec{
+      .name = "XC6VSX475T",
+      .logic_cells = 476'160,
+      .luts = 297'600,
+      .flip_flops = 595'200,
+      .bram36_blocks = 1'064,
+      .bram36_bytes = 4'608,
+  };
+  return spec;
+}
+
+}  // namespace polymem::synth

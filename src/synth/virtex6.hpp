@@ -1,0 +1,30 @@
+// FPGA device database.
+//
+// The paper evaluates on a Maxeler Vectis DFE carrying a Xilinx Virtex-6
+// SX475T "featuring 475k logic cells and 4MB of on-chip BRAMs"
+// (Sec. IV-A). The resource model normalises utilisation against these
+// totals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace polymem::synth {
+
+struct DeviceSpec {
+  std::string name;
+  std::uint64_t logic_cells = 0;
+  std::uint64_t luts = 0;
+  std::uint64_t flip_flops = 0;
+  std::uint64_t bram36_blocks = 0;   ///< RAMB36E1 count
+  std::uint64_t bram36_bytes = 0;    ///< usable bytes per block (72-bit width)
+
+  std::uint64_t bram_bytes_total() const {
+    return bram36_blocks * bram36_bytes;
+  }
+};
+
+/// The Xilinx XC6VSX475T of the Maxeler Vectis DFE.
+const DeviceSpec& virtex6_sx475t();
+
+}  // namespace polymem::synth

@@ -1,0 +1,42 @@
+#include "access/coord.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace polymem::access {
+namespace {
+
+TEST(Coord, OrderingIsRowMajor) {
+  EXPECT_LT((Coord{0, 5}), (Coord{1, 0}));
+  EXPECT_LT((Coord{1, 0}), (Coord{1, 2}));
+  EXPECT_EQ((Coord{3, 4}), (Coord{3, 4}));
+  EXPECT_NE((Coord{3, 4}), (Coord{4, 3}));
+}
+
+TEST(Coord, StreamsReadably) {
+  std::ostringstream os;
+  os << Coord{-2, 7};
+  EXPECT_EQ(os.str(), "(-2,7)");
+}
+
+TEST(CoordHash, UsableInUnorderedContainersWithFewCollisions) {
+  std::unordered_set<Coord, CoordHash> set;
+  for (std::int64_t i = -20; i < 20; ++i)
+    for (std::int64_t j = -20; j < 20; ++j) set.insert({i, j});
+  EXPECT_EQ(set.size(), 1600u);
+  EXPECT_TRUE(set.count(Coord{-20, -20}));
+  EXPECT_FALSE(set.count(Coord{20, 20}));
+
+  // Hash quality: the mirrored pairs (i, j) / (j, i) must not all
+  // collide (a weak XOR-only hash would).
+  CoordHash hash;
+  int collisions = 0;
+  for (std::int64_t k = 1; k < 100; ++k)
+    collisions += (hash({k, k + 1}) == hash({k + 1, k})) ? 1 : 0;
+  EXPECT_LT(collisions, 3);
+}
+
+}  // namespace
+}  // namespace polymem::access

@@ -1,0 +1,124 @@
+#include "access/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace polymem::access {
+namespace {
+
+TEST(PatternNames, RoundTrip) {
+  for (PatternKind kind : kAllPatterns)
+    EXPECT_EQ(pattern_from_name(pattern_name(kind)), kind);
+  EXPECT_THROW(pattern_from_name("bogus"), InvalidArgument);
+}
+
+TEST(Expand, RowIsContiguous) {
+  const auto el = expand({PatternKind::kRow, {3, 5}}, 2, 4);
+  ASSERT_EQ(el.size(), 8u);
+  for (int k = 0; k < 8; ++k) EXPECT_EQ(el[k], (Coord{3, 5 + k}));
+}
+
+TEST(Expand, ColIsContiguous) {
+  const auto el = expand({PatternKind::kCol, {3, 5}}, 2, 4);
+  ASSERT_EQ(el.size(), 8u);
+  for (int k = 0; k < 8; ++k) EXPECT_EQ(el[k], (Coord{3 + k, 5}));
+}
+
+TEST(Expand, RectIsRowMajorPByQ) {
+  const auto el = expand({PatternKind::kRect, {1, 2}}, 2, 4);
+  ASSERT_EQ(el.size(), 8u);
+  EXPECT_EQ(el[0], (Coord{1, 2}));
+  EXPECT_EQ(el[3], (Coord{1, 5}));
+  EXPECT_EQ(el[4], (Coord{2, 2}));
+  EXPECT_EQ(el[7], (Coord{2, 5}));
+}
+
+TEST(Expand, TRectIsRowMajorQByP) {
+  const auto el = expand({PatternKind::kTRect, {0, 0}}, 2, 4);
+  ASSERT_EQ(el.size(), 8u);
+  // 4 rows of 2 columns.
+  EXPECT_EQ(el[0], (Coord{0, 0}));
+  EXPECT_EQ(el[1], (Coord{0, 1}));
+  EXPECT_EQ(el[2], (Coord{1, 0}));
+  EXPECT_EQ(el[7], (Coord{3, 1}));
+}
+
+TEST(Expand, MainDiagonalWalksDownRight) {
+  const auto el = expand({PatternKind::kMainDiag, {2, 3}}, 2, 4);
+  for (int k = 0; k < 8; ++k) EXPECT_EQ(el[k], (Coord{2 + k, 3 + k}));
+}
+
+TEST(Expand, SecondaryDiagonalWalksDownLeft) {
+  const auto el = expand({PatternKind::kSecDiag, {2, 9}}, 2, 4);
+  for (int k = 0; k < 8; ++k) EXPECT_EQ(el[k], (Coord{2 + k, 9 - k}));
+}
+
+TEST(Expand, AlwaysProducesPTimesQDistinctElements) {
+  for (PatternKind kind : kAllPatterns) {
+    for (auto [p, q] : {std::pair<unsigned, unsigned>{2, 4}, {2, 8}, {4, 4},
+                        {1, 8}, {4, 2}}) {
+      const auto el = expand({kind, {5, 7}}, p, q);
+      EXPECT_EQ(el.size(), static_cast<std::size_t>(p) * q);
+      const std::set<Coord> uniq(el.begin(), el.end());
+      EXPECT_EQ(uniq.size(), el.size())
+          << pattern_name(kind) << " " << p << "x" << q;
+    }
+  }
+}
+
+TEST(Extent, MatchesExpansionBoundingBox) {
+  for (PatternKind kind : kAllPatterns) {
+    const unsigned p = 2, q = 4;
+    const auto el = expand({kind, {0, 0}}, p, q);
+    std::int64_t min_i = el[0].i, max_i = el[0].i;
+    std::int64_t min_j = el[0].j, max_j = el[0].j;
+    for (const Coord& c : el) {
+      min_i = std::min(min_i, c.i); max_i = std::max(max_i, c.i);
+      min_j = std::min(min_j, c.j); max_j = std::max(max_j, c.j);
+    }
+    const PatternExtent ext = pattern_extent(kind, p, q);
+    EXPECT_EQ(ext.rows, max_i - min_i + 1) << pattern_name(kind);
+    EXPECT_EQ(ext.cols, max_j - min_j + 1) << pattern_name(kind);
+    EXPECT_EQ(ext.col_offset, min_j) << pattern_name(kind);
+    EXPECT_EQ(min_i, 0) << pattern_name(kind);
+  }
+}
+
+TEST(Fits, RespectsBounds) {
+  // 8x16 space with 2x4 banks.
+  EXPECT_TRUE(fits({PatternKind::kRect, {0, 0}}, 2, 4, 8, 16));
+  EXPECT_TRUE(fits({PatternKind::kRect, {6, 12}}, 2, 4, 8, 16));
+  EXPECT_FALSE(fits({PatternKind::kRect, {7, 12}}, 2, 4, 8, 16));
+  EXPECT_FALSE(fits({PatternKind::kRect, {6, 13}}, 2, 4, 8, 16));
+  EXPECT_FALSE(fits({PatternKind::kRect, {-1, 0}}, 2, 4, 8, 16));
+
+  EXPECT_TRUE(fits({PatternKind::kRow, {0, 8}}, 2, 4, 8, 16));
+  EXPECT_FALSE(fits({PatternKind::kRow, {0, 9}}, 2, 4, 8, 16));
+
+  EXPECT_TRUE(fits({PatternKind::kCol, {0, 15}}, 2, 4, 8, 16));
+  EXPECT_FALSE(fits({PatternKind::kCol, {1, 15}}, 2, 4, 8, 16));
+
+  // Secondary diagonal needs room on the *left* of the anchor.
+  EXPECT_TRUE(fits({PatternKind::kSecDiag, {0, 7}}, 2, 4, 8, 16));
+  EXPECT_FALSE(fits({PatternKind::kSecDiag, {0, 6}}, 2, 4, 8, 16));
+  EXPECT_TRUE(fits({PatternKind::kSecDiag, {0, 15}}, 2, 4, 8, 16));
+}
+
+TEST(ExpandInto, ReusesBuffer) {
+  std::vector<Coord> buf;
+  expand_into({PatternKind::kRow, {0, 0}}, 2, 4, buf);
+  EXPECT_EQ(buf.size(), 8u);
+  expand_into({PatternKind::kRect, {1, 1}}, 2, 4, buf);
+  EXPECT_EQ(buf.size(), 8u);
+  EXPECT_EQ(buf[0], (Coord{1, 1}));
+}
+
+TEST(Expand, RejectsDegenerateGeometry) {
+  EXPECT_THROW(expand({PatternKind::kRow, {0, 0}}, 0, 4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace polymem::access

@@ -1,0 +1,99 @@
+#include "access/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace polymem::access {
+namespace {
+
+TEST(Region, MatrixElements) {
+  const Region r = Region::matrix({1, 2}, 2, 3);
+  EXPECT_EQ(r.element_count(), 6);
+  const auto el = r.elements();
+  ASSERT_EQ(el.size(), 6u);
+  EXPECT_EQ(el.front(), (Coord{1, 2}));
+  EXPECT_EQ(el.back(), (Coord{2, 4}));
+}
+
+TEST(Region, VectorAndDiagonalElements) {
+  EXPECT_EQ(Region::row_vec({0, 0}, 5).elements().back(), (Coord{0, 4}));
+  EXPECT_EQ(Region::col_vec({0, 0}, 5).elements().back(), (Coord{4, 0}));
+  EXPECT_EQ(Region::main_diag({1, 1}, 4).elements().back(), (Coord{4, 4}));
+  EXPECT_EQ(Region::sec_diag({0, 5}, 4).elements().back(), (Coord{3, 2}));
+}
+
+TEST(Region, RejectsEmpty) {
+  EXPECT_THROW(Region::matrix({0, 0}, 0, 3), InvalidArgument);
+  EXPECT_THROW(Region::row_vec({0, 0}, 0), InvalidArgument);
+}
+
+TEST(TileRegion, MatrixWithRectCoversExactly) {
+  // 4x8 matrix tiled by 2x4 rects -> 2*2 = 4 accesses.
+  const Region r = Region::matrix({0, 0}, 4, 8);
+  const auto tiles = tile_region(r, PatternKind::kRect, 2, 4);
+  EXPECT_EQ(tiles.size(), 4u);
+
+  // The union of tile elements equals the region elements exactly.
+  std::set<Coord> covered;
+  for (const auto& t : tiles)
+    for (const Coord& c : expand(t, 2, 4)) covered.insert(c);
+  const auto want = r.elements();
+  EXPECT_EQ(covered, std::set<Coord>(want.begin(), want.end()));
+}
+
+TEST(TileRegion, MatrixWithRowAccesses) {
+  // Fig. 2's R0: a matrix read with several row accesses.
+  const Region r = Region::matrix({0, 0}, 3, 16);
+  const auto tiles = tile_region(r, PatternKind::kRow, 2, 4);
+  // Each row needs 2 accesses (16 / 8), 3 rows -> 6.
+  EXPECT_EQ(tiles.size(), 6u);
+  EXPECT_EQ(tile_count(r, PatternKind::kRow, 2, 4), 6);
+}
+
+TEST(TileRegion, UnevenSizesRoundUp) {
+  const Region r = Region::matrix({0, 0}, 3, 9);
+  // 2x4 rect tiles: ceil(3/2) * ceil(9/4) = 2 * 3 = 6.
+  EXPECT_EQ(tile_count(r, PatternKind::kRect, 2, 4), 6);
+}
+
+TEST(TileRegion, VectorsAndDiagonals) {
+  EXPECT_EQ(tile_count(Region::row_vec({0, 0}, 24), PatternKind::kRow, 2, 4),
+            3);
+  EXPECT_EQ(tile_count(Region::col_vec({0, 0}, 17), PatternKind::kCol, 2, 4),
+            3);
+  const auto d =
+      tile_region(Region::main_diag({0, 0}, 16), PatternKind::kMainDiag, 2, 4);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[1].anchor, (Coord{8, 8}));
+  const auto s =
+      tile_region(Region::sec_diag({0, 20}, 16), PatternKind::kSecDiag, 2, 4);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[1].anchor, (Coord{8, 12}));
+}
+
+TEST(TileRegion, MismatchedShapePatternThrows) {
+  EXPECT_THROW(
+      tile_region(Region::row_vec({0, 0}, 8), PatternKind::kCol, 2, 4),
+      Unsupported);
+  EXPECT_THROW(
+      tile_region(Region::main_diag({0, 0}, 8), PatternKind::kRow, 2, 4),
+      Unsupported);
+  EXPECT_THROW(
+      tile_region(Region::matrix({0, 0}, 4, 4), PatternKind::kMainDiag, 2, 4),
+      Unsupported);
+}
+
+TEST(RegionShapeNames, AllDistinct) {
+  std::set<std::string> names;
+  for (RegionShape s :
+       {RegionShape::kMatrix, RegionShape::kRowVec, RegionShape::kColVec,
+        RegionShape::kMainDiag, RegionShape::kSecDiag})
+    names.insert(region_shape_name(s));
+  EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace polymem::access

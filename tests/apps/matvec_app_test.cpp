@@ -1,0 +1,82 @@
+#include "apps/matvec_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace polymem::apps {
+namespace {
+
+std::vector<double> test_matrix(std::int64_t n) {
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      a[static_cast<std::size_t>(i * n + j)] =
+          (i == j ? 2.0 : 0.0) + 0.01 * (i + j);
+  return a;
+}
+
+TEST(MatVecApp, ComputesCorrectProduct) {
+  const std::int64_t n = 16;
+  MatVecApp app(n);
+  app.load_matrix(test_matrix(n));
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (std::int64_t k = 0; k < n; ++k)
+    x[static_cast<std::size_t>(k)] = 1.0 + 0.5 * k;
+  std::vector<double> y(static_cast<std::size_t>(n));
+  const auto report = app.run(x, y);
+  EXPECT_TRUE(report.verified);
+}
+
+TEST(MatVecApp, CycleCountIsMatrixOverLanesPlusLatency) {
+  const std::int64_t n = 32;
+  MatVecApp app(n, 2, 4, /*latency=*/14);
+  app.load_matrix(test_matrix(n));
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(n));
+  const auto report = app.run(x, y);
+  EXPECT_EQ(report.parallel_reads, static_cast<std::uint64_t>(n * n / 8));
+  EXPECT_EQ(report.cycles, static_cast<std::uint64_t>(n * n / 8 + 14));
+  EXPECT_GT(report.elements_per_cycle(), 7.0);  // near the 8-lane bound
+}
+
+TEST(MatVecApp, SixteenLaneVariantDoublesThroughput) {
+  const std::int64_t n = 32;
+  MatVecApp app(n, 2, 8);
+  app.load_matrix(test_matrix(n));
+  std::vector<double> x(static_cast<std::size_t>(n), 2.0);
+  std::vector<double> y(static_cast<std::size_t>(n));
+  const auto report = app.run(x, y);
+  EXPECT_TRUE(report.verified);
+  EXPECT_GT(report.elements_per_cycle(), 12.0);
+}
+
+TEST(MatVecApp, Validation) {
+  EXPECT_THROW(MatVecApp(12), InvalidArgument);  // 12 % 8 != 0
+  MatVecApp app(8);
+  app.load_matrix(test_matrix(8));
+  std::vector<double> bad(4), y(8);
+  EXPECT_THROW(app.run(bad, y), InvalidArgument);
+}
+
+TEST(MatVecApp, LinearityProperty) {
+  // A(ax) == a(Ax): run twice and compare (exercises determinism too).
+  const std::int64_t n = 16;
+  MatVecApp app(n);
+  app.load_matrix(test_matrix(n));
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (std::int64_t k = 0; k < n; ++k)
+    x[static_cast<std::size_t>(k)] = 0.25 * k - 1.0;
+  std::vector<double> x2(x);
+  for (auto& v : x2) v *= 3.0;
+  std::vector<double> y(static_cast<std::size_t>(n)),
+      y2(static_cast<std::size_t>(n));
+  app.run(x, y);
+  app.run(x2, y2);
+  for (std::int64_t k = 0; k < n; ++k)
+    EXPECT_NEAR(y2[static_cast<std::size_t>(k)],
+                3.0 * y[static_cast<std::size_t>(k)], 1e-9);
+}
+
+}  // namespace
+}  // namespace polymem::apps

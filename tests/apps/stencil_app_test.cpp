@@ -1,0 +1,61 @@
+#include "apps/stencil_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace polymem::apps {
+namespace {
+
+std::vector<double> smooth_grid(std::int64_t n) {
+  std::vector<double> g(static_cast<std::size_t>(n * n));
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      g[static_cast<std::size_t>(i * n + j)] =
+          0.3 * i - 0.7 * j + 0.013 * i * j;
+  return g;
+}
+
+TEST(StencilApp, VerifiesAgainstHostReference) {
+  StencilApp app(16);
+  app.load_grid(smooth_grid(16));
+  const auto report = app.run();
+  EXPECT_TRUE(report.verified);
+  EXPECT_GT(report.parallel_reads, 0u);
+  EXPECT_EQ(report.parallel_reads, 4 * report.parallel_writes);
+}
+
+TEST(StencilApp, PipelineThroughputOneReadPerCycle) {
+  StencilApp app(24, /*latency=*/14);
+  app.load_grid(smooth_grid(24));
+  const auto report = app.run();
+  // cycles ~= reads + latency + 2 (fully pipelined gather).
+  EXPECT_LE(report.cycles, report.parallel_reads + 14 + 2);
+  // 10 scalar accesses per output element vs 5 parallel accesses per
+  // 8-element tile: speedup 80/5 = 16x over scalar.
+  EXPECT_GT(report.speedup_vs_scalar(), 12.0);
+}
+
+TEST(StencilApp, OutputMatchesPointwise) {
+  StencilApp app(8);
+  const auto grid = smooth_grid(8);
+  app.load_grid(grid);
+  app.run();
+  // Interior point (2, 2): mean over its 3x3 neighbourhood.
+  double sum = 0;
+  for (int di = -1; di <= 1; ++di)
+    for (int dj = -1; dj <= 1; ++dj)
+      sum += grid[static_cast<std::size_t>((2 + di) * 8 + 2 + dj)];
+  EXPECT_NEAR(app.output(2, 2), sum / 9.0, 1e-12);
+}
+
+TEST(StencilApp, RejectsBadSizes) {
+  EXPECT_THROW(StencilApp(6), InvalidArgument);   // too small
+  EXPECT_THROW(StencilApp(14), InvalidArgument);  // 14 % 4 != 0
+  StencilApp app(8);
+  std::vector<double> wrong(10);
+  EXPECT_THROW(app.load_grid(wrong), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace polymem::apps

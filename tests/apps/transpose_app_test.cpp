@@ -1,0 +1,70 @@
+#include "apps/transpose_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace polymem::apps {
+namespace {
+
+std::vector<hw::Word> iota(std::int64_t n) {
+  std::vector<hw::Word> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0u);
+  return v;
+}
+
+TEST(TransposeApp, CorrectAndVerified) {
+  TransposeApp app(16);
+  app.load_source(iota(16 * 16));
+  const auto report = app.run();
+  EXPECT_TRUE(report.verified);
+  for (std::int64_t i = 0; i < 16; ++i)
+    for (std::int64_t j = 0; j < 16; ++j)
+      EXPECT_EQ(app.destination(i, j),
+                static_cast<hw::Word>(j * 16 + i));
+}
+
+TEST(TransposeApp, FullyPipelinedCycleCount) {
+  // 32 tiles of 2x4 in a 16x16 matrix; one read per cycle, the write
+  // trails in the shadow of the next reads: tiles + latency + 1 cycles.
+  TransposeApp app(16, 2, 4, /*latency=*/14);
+  app.load_source(iota(16 * 16));
+  const auto report = app.run();
+  EXPECT_EQ(report.parallel_reads, 32u);
+  EXPECT_EQ(report.parallel_writes, 32u);
+  EXPECT_EQ(report.cycles, 32u + 14 + 1);
+  // 512 elements in & out in ~48 cycles: > 10 elements per cycle.
+  EXPECT_GT(report.elements_per_cycle(), 10.0);
+}
+
+TEST(TransposeApp, SteadyStateApproaches2NElementsPerCycle) {
+  // Large matrix: read+write concurrency delivers ~2 * lanes = 16
+  // elements per cycle.
+  TransposeApp app(64);
+  app.load_source(iota(64 * 64));
+  const auto report = app.run();
+  EXPECT_TRUE(report.verified);
+  EXPECT_GT(report.elements_per_cycle(), 15.0);
+  EXPECT_LE(report.elements_per_cycle(), 16.0);
+}
+
+TEST(TransposeApp, RejectsMisalignedSizes) {
+  EXPECT_THROW(TransposeApp(10), InvalidArgument);  // 10 % 4 != 0
+  EXPECT_THROW(TransposeApp(0), InvalidArgument);
+  std::vector<hw::Word> wrong(10);
+  TransposeApp app(8);
+  EXPECT_THROW(app.load_source(wrong), InvalidArgument);
+}
+
+TEST(TransposeApp, ZeroLatencyVariant) {
+  TransposeApp app(8, 2, 4, /*latency=*/0);
+  app.load_source(iota(64));
+  const auto report = app.run();
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.cycles, 8u + 0 + 1);
+}
+
+}  // namespace
+}  // namespace polymem::apps

@@ -1,0 +1,36 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace polymem {
+namespace {
+
+TEST(Error, RequireThrowsInvalidArgumentWithContext) {
+  try {
+    POLYMEM_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, SupportedThrowsUnsupported) {
+  EXPECT_THROW(POLYMEM_SUPPORTED(false, "not built"), Unsupported);
+}
+
+TEST(Error, PassingChecksDoNotThrow) {
+  EXPECT_NO_THROW(POLYMEM_REQUIRE(true, "fine"));
+  EXPECT_NO_THROW(POLYMEM_SUPPORTED(true, "fine"));
+}
+
+TEST(Error, HierarchyIsCatchableAsBase) {
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw Unsupported("x"), Error);
+  EXPECT_THROW(throw Error("x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace polymem

@@ -1,0 +1,74 @@
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace polymem {
+namespace {
+
+TEST(FloorDiv, MatchesTruncationForPositive) {
+  EXPECT_EQ(floordiv(7, 2), 3);
+  EXPECT_EQ(floordiv(8, 2), 4);
+  EXPECT_EQ(floordiv(0, 5), 0);
+}
+
+TEST(FloorDiv, RoundsTowardsNegativeInfinity) {
+  EXPECT_EQ(floordiv(-1, 2), -1);
+  EXPECT_EQ(floordiv(-7, 2), -4);
+  EXPECT_EQ(floordiv(-8, 2), -4);
+  EXPECT_EQ(floordiv(7, -2), -4);
+  EXPECT_EQ(floordiv(-7, -2), 3);
+}
+
+TEST(FloorMod, NonNegativeForPositiveDivisor) {
+  for (int a = -50; a <= 50; ++a) {
+    for (int b : {1, 2, 3, 4, 7, 8}) {
+      const int m = floormod(a, b);
+      EXPECT_GE(m, 0);
+      EXPECT_LT(m, b);
+      EXPECT_EQ(floordiv(a, b) * b + m, a) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(FloorDivMod, Int64Extremes) {
+  const std::int64_t big = std::int64_t{1} << 40;
+  EXPECT_EQ(floordiv(-big - 1, std::int64_t{4}), -(big / 4) - 1);
+  EXPECT_EQ(floormod(-big - 1, std::int64_t{4}), 3);
+}
+
+TEST(CeilDiv, ExactAndInexact) {
+  EXPECT_EQ(ceil_div(8, 4), 2);
+  EXPECT_EQ(ceil_div(9, 4), 3);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+}
+
+TEST(RoundUp, Basics) {
+  EXPECT_EQ(round_up(5, 4), 8);
+  EXPECT_EQ(round_up(8, 4), 8);
+  EXPECT_EQ(round_up(1, 512), 512);
+}
+
+TEST(IsPow2, Table) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Log2, FloorAndCeil) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(3), 2u);
+  EXPECT_EQ(log2_ceil(1024), 10u);
+  EXPECT_EQ(log2_ceil(1025), 11u);
+}
+
+}  // namespace
+}  // namespace polymem

@@ -1,0 +1,60 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace polymem {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_EQ(a.bits(), b.bits());
+  }
+  // Different seeds diverge (overwhelmingly likely within a few draws).
+  bool diverged = false;
+  Rng a2(42);
+  for (int k = 0; k < 10; ++k) diverged = diverged || (a2.bits() != c.bits());
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformRespectsInclusiveBounds) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int k = 0; k < 1000; ++k) {
+    const auto v = rng.uniform(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit over 1000 draws
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int k = 0; k < 1000; ++k) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int k = 0; k < 50; ++k) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng(99);
+  int hits = 0;
+  const int n = 10000;
+  for (int k = 0; k < n; ++k) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.03);
+}
+
+}  // namespace
+}  // namespace polymem

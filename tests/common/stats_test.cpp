@@ -1,0 +1,80 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace polymem {
+namespace {
+
+TEST(RunningStats, EmptyIsNeutral) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownSeries) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic population-stddev example
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 10; ++i) { a.add(i); all.add(i); }
+  for (int i = 10; i < 25; ++i) { b.add(i * 0.5); all.add(i * 0.5); }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 1.0);
+}
+
+TEST(ErrorMetrics, MeanAbsError) {
+  EXPECT_DOUBLE_EQ(mean_abs_error({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_abs_error({1, 2, 3}, {2, 2, 5}), 1.0);
+}
+
+TEST(ErrorMetrics, MeanAbsRelError) {
+  EXPECT_DOUBLE_EQ(mean_abs_rel_error({110, 90}, {100, 100}), 0.1);
+  EXPECT_THROW(mean_abs_rel_error({1}, {0}), InvalidArgument);
+  EXPECT_THROW(mean_abs_rel_error({1, 2}, {1}), InvalidArgument);
+}
+
+TEST(ErrorMetrics, Pearson) {
+  // Perfect positive and negative correlation.
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+  // Constant series degenerate to 0.
+  EXPECT_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+}  // namespace
+}  // namespace polymem

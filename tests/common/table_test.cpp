@@ -1,0 +1,63 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace polymem {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  // Every data line must be present.
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(TextTable, RejectsHeaderAfterRows) {
+  TextTable t;
+  t.add_row({"x", "y"});
+  EXPECT_THROW(t.set_header({"a", "b"}), InvalidArgument);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::num(std::uint64_t{12345}), "12345");
+  EXPECT_EQ(TextTable::num(-7), "-7");
+}
+
+TEST(TextTable, RowsWithoutHeaderMustMatchFirstRow) {
+  TextTable t;
+  t.add_row({"1", "2", "3"});
+  EXPECT_THROW(t.add_row({"1"}), InvalidArgument);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace polymem

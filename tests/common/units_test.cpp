@@ -1,0 +1,33 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace polymem {
+namespace {
+
+TEST(Units, FormatCapacity) {
+  EXPECT_EQ(format_capacity(512 * KiB), "512KB");
+  EXPECT_EQ(format_capacity(4 * MiB), "4MB");
+  EXPECT_EQ(format_capacity(2048 * KiB), "2MB");
+  EXPECT_EQ(format_capacity(100), "100B");
+}
+
+TEST(Units, BandwidthArithmetic) {
+  // Paper Sec. V: 2 ports x 8 lanes x 8 bytes x 120 MHz = 15360 MB/s.
+  const double per_port = bandwidth_bytes_per_s(8, 64, 120e6);
+  EXPECT_DOUBLE_EQ(2 * per_port, 15360e6);
+}
+
+TEST(Units, PeakReadBandwidthOfBestDesign) {
+  // Paper abstract: 512KB, 4 read ports, 8 lanes at 137 MHz -> ~32 GB/s.
+  const double bw = 4 * bandwidth_bytes_per_s(8, 64, 137e6);
+  EXPECT_NEAR(bw / GB, 35.07, 0.01);  // 35 GB/s decimal = "around 32GB/s" binary
+}
+
+TEST(Units, FormatBandwidth) {
+  EXPECT_EQ(format_bandwidth(15360e6), "15360.0 MB/s");
+  EXPECT_EQ(format_bandwidth(32e9, true), "32.00 GB/s");
+}
+
+}  // namespace
+}  // namespace polymem

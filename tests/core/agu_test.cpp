@@ -1,0 +1,105 @@
+#include "core/agu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace polymem::core {
+namespace {
+
+using access::ParallelAccess;
+using access::PatternKind;
+
+class AguTest : public ::testing::Test {
+ protected:
+  AguTest()
+      : cfg_(PolyMemConfig::with_capacity(4 * KiB, maf::Scheme::kReRo, 2, 4)),
+        maf_(cfg_.scheme, cfg_.p, cfg_.q),
+        addr_(cfg_.p, cfg_.q, cfg_.height, cfg_.width),
+        agu_(cfg_, maf_, addr_) {}
+
+  PolyMemConfig cfg_;
+  maf::Maf maf_;
+  maf::AddressingFunction addr_;
+  Agu agu_;
+};
+
+TEST_F(AguTest, ExpandsToLaneCount) {
+  const auto plan = agu_.expand({PatternKind::kRow, {0, 0}});
+  EXPECT_EQ(plan.lanes(), 8u);
+  EXPECT_EQ(plan.coords.size(), 8u);
+  EXPECT_EQ(plan.bank.size(), 8u);
+  EXPECT_EQ(plan.addr.size(), 8u);
+}
+
+TEST_F(AguTest, BankVectorIsPermutation) {
+  // Conflict-freeness materialised: the per-lane bank selects form a
+  // permutation of [0, lanes) — exactly what the shuffles require.
+  for (PatternKind kind : {PatternKind::kRect, PatternKind::kRow,
+                           PatternKind::kMainDiag, PatternKind::kSecDiag}) {
+    const access::Coord anchor =
+        kind == PatternKind::kSecDiag ? access::Coord{3, 20} : access::Coord{3, 5};
+    const auto plan = agu_.expand({kind, anchor});
+    std::set<unsigned> banks(plan.bank.begin(), plan.bank.end());
+    EXPECT_EQ(banks.size(), 8u) << access::pattern_name(kind);
+    EXPECT_EQ(*banks.rbegin(), 7u);
+  }
+}
+
+TEST_F(AguTest, CoordsMatchPatternExpansion) {
+  const ParallelAccess req{PatternKind::kRect, {2, 4}};
+  const auto plan = agu_.expand(req);
+  EXPECT_EQ(plan.coords, access::expand(req, 2, 4));
+  EXPECT_EQ(plan.request, req);
+}
+
+TEST_F(AguTest, AddressesMatchAddressingFunction) {
+  const auto plan = agu_.expand({PatternKind::kRow, {5, 8}});
+  for (unsigned k = 0; k < plan.lanes(); ++k) {
+    EXPECT_EQ(plan.bank[k], maf_.bank(plan.coords[k]));
+    EXPECT_EQ(plan.addr[k], addr_.address(plan.coords[k]));
+  }
+}
+
+TEST_F(AguTest, UnsupportedPatternThrows) {
+  // ReRo does not serve columns.
+  EXPECT_THROW(agu_.expand({PatternKind::kCol, {0, 0}}), Unsupported);
+  EXPECT_THROW(agu_.expand({PatternKind::kTRect, {0, 0}}), Unsupported);
+}
+
+TEST_F(AguTest, OutOfBoundsThrows) {
+  // 4KB / 8B = 512 elements -> 16 x 32 space.
+  EXPECT_EQ(cfg_.height, 16);
+  EXPECT_EQ(cfg_.width, 32);
+  EXPECT_NO_THROW(agu_.expand({PatternKind::kRow, {0, 24}}));
+  EXPECT_THROW(agu_.expand({PatternKind::kRow, {0, 25}}), InvalidArgument);
+  EXPECT_THROW(agu_.expand({PatternKind::kRect, {15, 0}}), InvalidArgument);
+  EXPECT_THROW(agu_.expand({PatternKind::kRow, {-1, 0}}), InvalidArgument);
+}
+
+TEST_F(AguTest, AlignedOnlyPatternsEnforceAnchors) {
+  const auto cfg = PolyMemConfig::with_capacity(4 * KiB, maf::Scheme::kRoCo,
+                                                2, 4);
+  const maf::Maf maf(cfg.scheme, cfg.p, cfg.q);
+  const maf::AddressingFunction addr(cfg.p, cfg.q, cfg.height, cfg.width);
+  const Agu agu(cfg, maf, addr);
+  EXPECT_NO_THROW(agu.expand({PatternKind::kRect, {2, 4}}));
+  EXPECT_THROW(agu.expand({PatternKind::kRect, {1, 4}}), Unsupported);
+  EXPECT_THROW(agu.expand({PatternKind::kRect, {2, 5}}), Unsupported);
+}
+
+TEST_F(AguTest, ExpandIntoReusesPlan) {
+  AccessPlan plan;
+  agu_.expand_into({PatternKind::kRow, {0, 0}}, plan);
+  const auto* coords_data = plan.coords.data();
+  agu_.expand_into({PatternKind::kRow, {1, 0}}, plan);
+  EXPECT_EQ(plan.coords.data(), coords_data);  // no reallocation
+  EXPECT_EQ(plan.coords[0], (access::Coord{1, 0}));
+}
+
+}  // namespace
+}  // namespace polymem::core

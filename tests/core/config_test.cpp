@@ -1,0 +1,86 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace polymem::core {
+namespace {
+
+TEST(PolyMemConfig, WithCapacityDerivesConsistentShape) {
+  for (std::uint64_t kb : {512, 1024, 2048, 4096}) {
+    for (auto [p, q] : {std::pair<unsigned, unsigned>{2, 4}, {2, 8}}) {
+      const auto cfg = PolyMemConfig::with_capacity(kb * KiB,
+                                                    maf::Scheme::kReRo, p, q);
+      EXPECT_EQ(cfg.capacity_bytes(), kb * KiB) << kb << "KB " << p << "x" << q;
+      EXPECT_EQ(cfg.height % p, 0u);
+      EXPECT_EQ(cfg.width % q, 0u);
+      EXPECT_EQ(cfg.lanes(), p * q);
+      // Near-square: aspect ratio at most 2.
+      EXPECT_LE(cfg.width, 2 * cfg.height);
+      EXPECT_LE(cfg.height, 2 * cfg.width);
+    }
+  }
+}
+
+TEST(PolyMemConfig, PaperDesignPoint512KB8Lanes) {
+  // 512KB of 64-bit words = 65536 elements -> 256 x 256.
+  const auto cfg =
+      PolyMemConfig::with_capacity(512 * KiB, maf::Scheme::kReO, 2, 4);
+  EXPECT_EQ(cfg.height * cfg.width, 65536);
+  EXPECT_EQ(cfg.words_per_bank(), 65536 / 8);
+  EXPECT_EQ(cfg.describe(), "512KB 8 lanes (2x4) ReO 1R");
+}
+
+TEST(PolyMemConfig, PhysicalBytesGrowWithReadPorts) {
+  // Read ports replicate data (paper Sec. IV-C).
+  const auto cfg =
+      PolyMemConfig::with_capacity(512 * KiB, maf::Scheme::kReRo, 2, 4, 4);
+  EXPECT_EQ(cfg.capacity_bytes(), 512 * KiB);
+  EXPECT_EQ(cfg.physical_bytes(), 2048 * KiB);
+}
+
+TEST(PolyMemConfig, ValidationRejectsInconsistentShapes) {
+  PolyMemConfig cfg;
+  cfg.height = 7;  // not a multiple of p = 2
+  cfg.width = 16;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.height = 8;
+  cfg.width = 18;  // not a multiple of q = 4
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.width = 16;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.read_ports = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.read_ports = 1;
+  cfg.data_width_bits = 48;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(PolyMemConfig, WithCapacityRejectsNonPow2) {
+  EXPECT_THROW(
+      PolyMemConfig::with_capacity(500 * KiB, maf::Scheme::kReO, 2, 4),
+      InvalidArgument);
+  EXPECT_THROW(
+      PolyMemConfig::with_capacity(512 * KiB, maf::Scheme::kReO, 3, 4),
+      InvalidArgument);
+}
+
+TEST(PolyMemConfig, TinyCapacityStillShapes) {
+  // One element per bank is the lower bound.
+  const auto cfg =
+      PolyMemConfig::with_capacity(64, maf::Scheme::kReO, 2, 4);
+  EXPECT_EQ(cfg.height * cfg.width, 8);
+  EXPECT_EQ(cfg.words_per_bank(), 1);
+}
+
+TEST(PolyMemConfig, ThirtyTwoBitElements) {
+  const auto cfg = PolyMemConfig::with_capacity(512 * KiB, maf::Scheme::kReO,
+                                                2, 4, 1, 32);
+  EXPECT_EQ(cfg.capacity_bytes(), 512 * KiB);
+  EXPECT_EQ(cfg.height * cfg.width, 131072);  // twice the elements
+}
+
+}  // namespace
+}  // namespace polymem::core

@@ -1,0 +1,63 @@
+#include "core/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace polymem::core {
+namespace {
+
+TEST(Layout, PackUnpackDoubleIsBitExact) {
+  for (double v : {0.0, 1.0, -1.5, 3.141592653589793, 1e-300, -1e300}) {
+    EXPECT_EQ(unpack_double(pack_double(v)), v);
+  }
+  // NaN payload preserved bit-exactly.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(pack_double(unpack_double(pack_double(nan))), pack_double(nan));
+}
+
+TEST(VectorBand, CoordsRowMajor) {
+  // The STREAM design: vector A of 170*512 elements in rows 0..169 of a
+  // 512-wide space (paper Sec. V).
+  const VectorBand a(0, 170 * 512, 512);
+  EXPECT_EQ(a.rows(), 170);
+  EXPECT_EQ(a.coord(0), (access::Coord{0, 0}));
+  EXPECT_EQ(a.coord(511), (access::Coord{0, 511}));
+  EXPECT_EQ(a.coord(512), (access::Coord{1, 0}));
+  EXPECT_EQ(a.coord(170 * 512 - 1), (access::Coord{169, 511}));
+}
+
+TEST(VectorBand, SecondBandOffsets) {
+  const VectorBand c(340, 170 * 512, 512);
+  EXPECT_EQ(c.coord(0), (access::Coord{340, 0}));
+}
+
+TEST(VectorBand, PartialLastRow) {
+  const VectorBand v(2, 10, 8);
+  EXPECT_EQ(v.rows(), 2);
+  EXPECT_EQ(v.coord(9), (access::Coord{3, 1}));
+}
+
+TEST(VectorBand, BoundsChecked) {
+  const VectorBand v(0, 16, 8);
+  EXPECT_THROW(v.coord(-1), InvalidArgument);
+  EXPECT_THROW(v.coord(16), InvalidArgument);
+}
+
+TEST(VectorBand, GroupAnchors) {
+  const VectorBand v(4, 64, 16);
+  EXPECT_EQ(v.group_anchor(0, 8), (access::Coord{4, 0}));
+  EXPECT_EQ(v.group_anchor(8, 8), (access::Coord{4, 8}));
+  EXPECT_EQ(v.group_anchor(16, 8), (access::Coord{5, 0}));
+  EXPECT_THROW(v.group_anchor(4, 8), InvalidArgument);   // unaligned
+  EXPECT_THROW(v.group_anchor(0, 3), InvalidArgument);   // 3 !| 16
+}
+
+TEST(VectorBand, ConstructorValidation) {
+  EXPECT_THROW(VectorBand(-1, 8, 8), InvalidArgument);
+  EXPECT_THROW(VectorBand(0, 8, 0), InvalidArgument);
+  EXPECT_THROW(VectorBand(0, -2, 8), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace polymem::core

@@ -1,0 +1,226 @@
+#include "core/polymem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace polymem::core {
+namespace {
+
+using access::Coord;
+using access::ParallelAccess;
+using access::PatternKind;
+
+PolyMemConfig small(maf::Scheme scheme, unsigned p = 2, unsigned q = 4,
+                    unsigned ports = 1) {
+  return PolyMemConfig::with_capacity(4 * KiB, scheme, p, q, ports);
+}
+
+// Fills the whole memory with unique values via the host backdoor — the
+// paper's DSE validation: "the host fills MAX-PolyMem with unique numerical
+// values, and then reads them back using parallel accesses."
+void fill_unique(PolyMem& mem) {
+  for (std::int64_t i = 0; i < mem.config().height; ++i)
+    for (std::int64_t j = 0; j < mem.config().width; ++j)
+      mem.store({i, j}, static_cast<Word>(i * 10000 + j));
+}
+
+Word expected_at(Coord c) { return static_cast<Word>(c.i * 10000 + c.j); }
+
+TEST(PolyMem, HostFillThenParallelReadBack) {
+  PolyMem mem(small(maf::Scheme::kReRo));
+  fill_unique(mem);
+  for (PatternKind kind : {PatternKind::kRect, PatternKind::kRow,
+                           PatternKind::kMainDiag}) {
+    const ParallelAccess acc{kind, {1, 3}};
+    const auto data = mem.read(acc);
+    const auto coords = access::expand(acc, 2, 4);
+    for (unsigned k = 0; k < 8; ++k)
+      EXPECT_EQ(data[k], expected_at(coords[k]))
+          << access::pattern_name(kind) << " lane " << k;
+  }
+}
+
+TEST(PolyMem, ParallelWriteThenScalarReadBack) {
+  PolyMem mem(small(maf::Scheme::kReRo));
+  std::vector<Word> data(8);
+  std::iota(data.begin(), data.end(), 500u);
+  const ParallelAccess acc{PatternKind::kRect, {3, 7}};
+  mem.write(acc, data);
+  const auto coords = access::expand(acc, 2, 4);
+  for (unsigned k = 0; k < 8; ++k) EXPECT_EQ(mem.load(coords[k]), data[k]);
+}
+
+TEST(PolyMem, WriteReadRoundTripAllSupportedPatternsAllSchemes) {
+  for (maf::Scheme scheme : maf::kAllSchemes) {
+    PolyMem mem(small(scheme));
+    for (PatternKind kind : access::kAllPatterns) {
+      if (mem.supports(kind) != maf::SupportLevel::kAny) continue;
+      const Coord anchor =
+          kind == PatternKind::kSecDiag ? Coord{2, 14} : Coord{2, 6};
+      if (!access::fits({kind, anchor}, 2, 4, mem.config().height,
+                        mem.config().width))
+        continue;
+      std::vector<Word> data(8);
+      for (unsigned k = 0; k < 8; ++k) data[k] = 7000 + k;
+      mem.write({kind, anchor}, data);
+      EXPECT_EQ(mem.read({kind, anchor}), data)
+          << maf::scheme_name(scheme) << " " << access::pattern_name(kind);
+    }
+  }
+}
+
+TEST(PolyMem, MultiviewSchemesCombinePatternsOnSameData) {
+  // The PolyMem pitch: write with one shape, read with another, no
+  // reconfiguration. Write rows, read back rectangles and diagonals.
+  PolyMem mem(small(maf::Scheme::kReRo));
+  for (std::int64_t i = 0; i < mem.config().height; ++i)
+    for (std::int64_t g = 0; g < mem.config().width; g += 8) {
+      std::vector<Word> row(8);
+      for (int k = 0; k < 8; ++k)
+        row[k] = expected_at({i, g + k});
+      mem.write({PatternKind::kRow, {i, g}}, row);
+    }
+  const auto rect = mem.read({PatternKind::kRect, {5, 9}});
+  const auto coords = access::expand({PatternKind::kRect, {5, 9}}, 2, 4);
+  for (unsigned k = 0; k < 8; ++k) EXPECT_EQ(rect[k], expected_at(coords[k]));
+
+  const auto diag = mem.read({PatternKind::kMainDiag, {4, 11}});
+  for (unsigned k = 0; k < 8; ++k)
+    EXPECT_EQ(diag[k], expected_at({4 + k, 11 + k}));
+}
+
+TEST(PolyMem, ReTrSchemeReadsRectAndTransposedRect) {
+  PolyMem mem(small(maf::Scheme::kReTr));
+  fill_unique(mem);
+  const auto rect = mem.read({PatternKind::kRect, {3, 5}});
+  const auto trect = mem.read({PatternKind::kTRect, {3, 5}});
+  const auto rc = access::expand({PatternKind::kRect, {3, 5}}, 2, 4);
+  const auto tc = access::expand({PatternKind::kTRect, {3, 5}}, 2, 4);
+  for (unsigned k = 0; k < 8; ++k) {
+    EXPECT_EQ(rect[k], expected_at(rc[k]));
+    EXPECT_EQ(trect[k], expected_at(tc[k]));
+  }
+}
+
+TEST(PolyMem, MultipleReadPortsSeeTheSameData) {
+  PolyMem mem(small(maf::Scheme::kReRo, 2, 4, 3));
+  fill_unique(mem);
+  const ParallelAccess acc{PatternKind::kRow, {2, 8}};
+  const auto d0 = mem.read(acc, 0);
+  const auto d1 = mem.read(acc, 1);
+  const auto d2 = mem.read(acc, 2);
+  EXPECT_EQ(d0, d1);
+  EXPECT_EQ(d0, d2);
+  EXPECT_THROW(mem.read(acc, 3), InvalidArgument);
+}
+
+TEST(PolyMem, ConcurrentReadWriteReadFirstSemantics) {
+  PolyMem mem(small(maf::Scheme::kReRo));
+  fill_unique(mem);
+  const ParallelAccess where{PatternKind::kRow, {0, 0}};
+  std::vector<Word> new_data(8, 12345);
+  std::vector<Word> read_out(8);
+  // Overlapping read+write in one cycle: the read returns the *old* data.
+  mem.read_write(where, 0, read_out, where, new_data);
+  for (unsigned k = 0; k < 8; ++k)
+    EXPECT_EQ(read_out[k], expected_at({0, static_cast<std::int64_t>(k)}));
+  // After the cycle the write has landed.
+  EXPECT_EQ(mem.read(where), new_data);
+}
+
+TEST(PolyMem, ConcurrentReadWriteDisjointRegions) {
+  // The STREAM-Copy inner loop: read from region A, write to region C,
+  // same cycle, distinct buffers.
+  PolyMem mem(small(maf::Scheme::kRoCo));
+  fill_unique(mem);
+  std::vector<Word> read_out(8);
+  std::vector<Word> write_data(8, 777);
+  mem.read_write({PatternKind::kRow, {1, 0}}, 0, read_out,
+                 {PatternKind::kRow, {9, 0}}, write_data);
+  for (unsigned k = 0; k < 8; ++k) {
+    EXPECT_EQ(read_out[k], expected_at({1, static_cast<std::int64_t>(k)}));
+    EXPECT_EQ(mem.load({9, static_cast<std::int64_t>(k)}), 777u);
+  }
+}
+
+TEST(PolyMem, WrongLaneCountRejected) {
+  PolyMem mem(small(maf::Scheme::kReRo));
+  std::vector<Word> five(5);
+  EXPECT_THROW(mem.write({PatternKind::kRow, {0, 0}}, five), InvalidArgument);
+  std::vector<Word> out(5);
+  EXPECT_THROW(mem.read_into({PatternKind::kRow, {0, 0}}, 0, out),
+               InvalidArgument);
+}
+
+TEST(PolyMem, ScalarBackdoorBoundsChecked) {
+  PolyMem mem(small(maf::Scheme::kReRo));
+  EXPECT_THROW(mem.load({-1, 0}), InvalidArgument);
+  EXPECT_THROW(mem.store({0, mem.config().width}, 1), InvalidArgument);
+}
+
+TEST(PolyMem, FillAndDumpRect) {
+  PolyMem mem(small(maf::Scheme::kReRo));
+  std::vector<Word> in(4 * 6);
+  std::iota(in.begin(), in.end(), 0u);
+  mem.fill_rect({2, 3}, 4, 6, in);
+  std::vector<Word> out(4 * 6);
+  mem.dump_rect({2, 3}, 4, 6, out);
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(mem.load({2, 3}), 0u);
+  EXPECT_EQ(mem.load({5, 8}), 23u);
+  std::vector<Word> wrong(5);
+  EXPECT_THROW(mem.fill_rect({0, 0}, 2, 3, wrong), InvalidArgument);
+}
+
+TEST(PolyMem, AccessCounters) {
+  PolyMem mem(small(maf::Scheme::kReRo));
+  std::vector<Word> data(8, 1);
+  mem.write({PatternKind::kRow, {0, 0}}, data);
+  mem.read({PatternKind::kRow, {0, 0}});
+  mem.read({PatternKind::kRow, {0, 0}});
+  EXPECT_EQ(mem.parallel_writes(), 1u);
+  EXPECT_EQ(mem.parallel_reads(), 2u);
+}
+
+TEST(PolyMem, RandomisedReadAfterWriteProperty) {
+  // Property test: random supported accesses; a shadow map predicts every
+  // read. Exercises MAF + addressing + shuffles end to end.
+  PolyMem mem(small(maf::Scheme::kReRo));
+  Rng rng(2024);
+  std::vector<std::vector<Word>> shadow(
+      mem.config().height, std::vector<Word>(mem.config().width, 0));
+  const std::vector<PatternKind> kinds = {
+      PatternKind::kRect, PatternKind::kRow, PatternKind::kMainDiag,
+      PatternKind::kSecDiag};
+  for (int step = 0; step < 500; ++step) {
+    const PatternKind kind = kinds[rng.uniform(0, 3)];
+    // Draw anchors until the access fits.
+    Coord anchor;
+    do {
+      anchor = {rng.uniform(0, mem.config().height - 1),
+                rng.uniform(0, mem.config().width - 1)};
+    } while (!access::fits({kind, anchor}, 2, 4, mem.config().height,
+                           mem.config().width));
+    const auto coords = access::expand({kind, anchor}, 2, 4);
+    if (rng.chance(0.5)) {
+      std::vector<Word> data(8);
+      for (auto& w : data) w = rng.bits();
+      mem.write({kind, anchor}, data);
+      for (unsigned k = 0; k < 8; ++k)
+        shadow[coords[k].i][coords[k].j] = data[k];
+    } else {
+      const auto data = mem.read({kind, anchor});
+      for (unsigned k = 0; k < 8; ++k)
+        EXPECT_EQ(data[k], shadow[coords[k].i][coords[k].j])
+            << "step " << step << " " << access::pattern_name(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace polymem::core

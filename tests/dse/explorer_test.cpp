@@ -1,0 +1,147 @@
+#include "dse/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace polymem::dse {
+namespace {
+
+using maf::Scheme;
+using synth::DsePoint;
+
+TEST(DseExplorer, Covers90Points) {
+  const DseExplorer explorer;
+  const auto results = explorer.explore();
+  EXPECT_EQ(results.size(), 90u);
+  // Every point carries a paper reference (the paper synthesised all 90).
+  for (const DseResult& r : results) {
+    EXPECT_TRUE(r.fmax_mhz_paper.has_value());
+    EXPECT_TRUE(r.write_bw_paper.has_value());
+  }
+}
+
+TEST(DseExplorer, BandwidthArithmetic) {
+  const DseExplorer explorer;
+  const auto r = explorer.evaluate(DsePoint{Scheme::kReO, 512, 8, 4});
+  EXPECT_DOUBLE_EQ(r.write_bw_bytes_per_s,
+                   8 * 8 * r.fmax_mhz * 1e6);
+  EXPECT_DOUBLE_EQ(r.read_bw_bytes_per_s, 4 * r.write_bw_bytes_per_s);
+  // Paper-derived columns use the paper frequency.
+  EXPECT_DOUBLE_EQ(*r.write_bw_paper, 8 * 8 * 123.0 * 1e6);
+  EXPECT_DOUBLE_EQ(*r.read_bw_paper, 4 * *r.write_bw_paper);
+}
+
+TEST(DseExplorer, PaperPeaksReproduced) {
+  // Abstract: "the design with the maximum read bandwidth is a 512KB
+  // memory, with 4 read ports ... a peak read bandwidth of around 32GB/s"
+  // — from Table IV that is the 512KB, 8-lane, 4-port ReTr at 137 MHz.
+  const DseExplorer explorer;
+  std::optional<DseResult> best_paper;
+  for (const DseResult& r : explorer.explore())
+    if (!best_paper || *r.read_bw_paper > *best_paper->read_bw_paper)
+      best_paper = r;
+  ASSERT_TRUE(best_paper.has_value());
+  EXPECT_EQ(best_paper->point.size_kb, 512u);
+  EXPECT_EQ(best_paper->point.lanes, 8u);
+  EXPECT_EQ(best_paper->point.ports, 4u);
+  EXPECT_EQ(best_paper->point.scheme, Scheme::kReTr);
+  EXPECT_GT(*best_paper->read_bw_paper, 32e9);
+
+  // Write peak: "exceeds 22GB/s for the 512KB, 16-lane, ReO configuration".
+  std::optional<DseResult> best_write;
+  for (const DseResult& r : explorer.explore())
+    if (!best_write || *r.write_bw_paper > *best_write->write_bw_paper)
+      best_write = r;
+  EXPECT_EQ(best_write->point.size_kb, 512u);
+  EXPECT_EQ(best_write->point.lanes, 16u);
+  EXPECT_EQ(best_write->point.ports, 1u);
+  EXPECT_EQ(best_write->point.scheme, Scheme::kReO);
+  EXPECT_GT(*best_write->write_bw_paper, 22e9);
+}
+
+TEST(DseExplorer, ModelPeaksLandInSameCorner) {
+  // The model's best configurations must sit at the same grid corner as
+  // the paper's: smallest capacity with maximum port-lane parallelism for
+  // read (the paper picks 8L/4P; the model may prefer the equally-parallel
+  // 16L/2P cell), 16 lanes for write.
+  const DseExplorer explorer;
+  const auto best_read = explorer.best_read_bandwidth();
+  EXPECT_EQ(best_read.point.size_kb, 512u);
+  EXPECT_EQ(best_read.point.lanes * best_read.point.ports, 32u);
+  EXPECT_GT(best_read.read_bw_bytes_per_s, 28e9);
+
+  const auto best_write = explorer.best_write_bandwidth();
+  EXPECT_EQ(best_write.point.size_kb, 512u);
+  EXPECT_EQ(best_write.point.lanes, 16u);
+  EXPECT_GT(best_write.write_bw_bytes_per_s, 18e9);
+}
+
+TEST(DseExplorer, SinglePortBandwidthScalesLinearlyWithLanes) {
+  // "single-port bandwidth scales linearly when doubling number of memory
+  // banks from 8 to 16" — in the paper's data, up to the frequency drop.
+  const DseExplorer explorer;
+  const auto r8 = explorer.evaluate(DsePoint{Scheme::kReRo, 512, 8, 1});
+  const auto r16 = explorer.evaluate(DsePoint{Scheme::kReRo, 512, 16, 1});
+  const double gain = *r16.write_bw_paper / *r8.write_bw_paper;
+  EXPECT_GT(gain, 1.5);
+  EXPECT_LT(gain, 2.1);
+}
+
+TEST(DseExplorer, DiminishingReturnsAt3And4Ports) {
+  // "good bandwidth scaling when doubling ... from 1 to 2 ports, and
+  // diminishing returns for the 3- and 4-port configurations".
+  const DseExplorer explorer;
+  auto read_bw = [&](unsigned ports) {
+    return *explorer.evaluate(DsePoint{Scheme::kReRo, 512, 8, ports})
+                .read_bw_paper;
+  };
+  const double s12 = read_bw(2) / read_bw(1);
+  const double s34 = read_bw(4) / read_bw(3);
+  EXPECT_GT(s12, 1.5);
+  EXPECT_LT(s34, 1.35);
+  EXPECT_GT(s12, s34);
+}
+
+TEST(DseExplorer, ParetoFrontierIsNonDominatedAndMonotone) {
+  const DseExplorer explorer;
+  const auto frontier = explorer.pareto_read_bw_vs_bram();
+  ASSERT_FALSE(frontier.empty());
+  EXPECT_LT(frontier.size(), 90u);  // most points are dominated
+  // Sorted by BRAM; bandwidth strictly increases along the frontier.
+  for (std::size_t k = 1; k < frontier.size(); ++k) {
+    EXPECT_GT(frontier[k].resources.bram36,
+              frontier[k - 1].resources.bram36);
+    EXPECT_GT(frontier[k].read_bw_bytes_per_s,
+              frontier[k - 1].read_bw_bytes_per_s);
+  }
+  // No grid point dominates a frontier point.
+  for (const auto& f : frontier) {
+    for (const auto& r : explorer.explore()) {
+      const bool dominates =
+          r.read_bw_bytes_per_s > f.read_bw_bytes_per_s &&
+          r.resources.bram36 <= f.resources.bram36;
+      EXPECT_FALSE(dominates);
+    }
+  }
+  // The global best read bandwidth is on the frontier (by definition).
+  const auto best = explorer.best_read_bandwidth();
+  bool found = false;
+  for (const auto& f : frontier)
+    found = found || (f.point == best.point);
+  EXPECT_TRUE(found);
+}
+
+TEST(DseExplorer, InvalidPointRejected) {
+  const DseExplorer explorer;
+  EXPECT_THROW(explorer.evaluate(DsePoint{Scheme::kReO, 4096, 8, 2}),
+               InvalidArgument);
+}
+
+TEST(PortBandwidth, Formula) {
+  EXPECT_DOUBLE_EQ(port_bandwidth_bytes_per_s(8, 120.0), 7680e6);
+}
+
+}  // namespace
+}  // namespace polymem::dse

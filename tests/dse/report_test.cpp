@@ -1,0 +1,109 @@
+#include "dse/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace polymem::dse {
+namespace {
+
+std::string render(const TextTable& table) {
+  std::ostringstream os;
+  table.print(os);
+  return os.str();
+}
+
+class ReportTest : public ::testing::Test {
+ protected:
+  ReportTest() : results_(DseExplorer().explore()) {}
+  std::vector<DseResult> results_;
+};
+
+TEST_F(ReportTest, ColumnLabelsMatchFigureAxisFormat) {
+  EXPECT_EQ(column_label({512, 8, 1}), "512,8,1");
+  EXPECT_EQ(column_label({4096, 16, 1}), "4096,16,1");
+}
+
+TEST_F(ReportTest, Table4ModelHasFiveSchemeRows) {
+  const auto table = table4_model(results_);
+  EXPECT_EQ(table.rows(), 5u);
+  const std::string s = render(table);
+  for (const char* scheme : {"ReO", "ReRo", "ReCo", "RoCo", "ReTr"})
+    EXPECT_NE(s.find(scheme), std::string::npos) << scheme;
+  EXPECT_NE(s.find("512,8,1"), std::string::npos);
+}
+
+TEST_F(ReportTest, Table4PaperContainsHeadlineCells) {
+  const std::string s = render(table4_paper());
+  EXPECT_NE(s.find("202"), std::string::npos);  // best ReO cell
+  EXPECT_NE(s.find("77"), std::string::npos);   // minimum cell
+}
+
+TEST_F(ReportTest, Table4ErrorReportsAllSchemesAndTotal) {
+  const auto table = table4_error(results_);
+  EXPECT_EQ(table.rows(), 6u);  // 5 schemes + ALL
+  const std::string s = render(table);
+  EXPECT_NE(s.find("ALL"), std::string::npos);
+}
+
+TEST_F(ReportTest, FigureTablesHave18Rows) {
+  for (const auto& table :
+       {fig4_write_bandwidth(results_), fig5_read_bandwidth(results_),
+        fig6_logic_utilisation(results_), fig7_lut_utilisation(results_),
+        fig8_bram_utilisation(results_)}) {
+    EXPECT_EQ(table.rows(), 18u);
+  }
+}
+
+TEST_F(ReportTest, Fig5PeakExceeds28GBs) {
+  const std::string s = render(fig5_read_bandwidth(results_));
+  // The 512,8,4 row must exist; detailed peak values are asserted in
+  // explorer_test. Here we check the table carries GB/s-scale numbers.
+  EXPECT_NE(s.find("512,8,4"), std::string::npos);
+}
+
+TEST_F(ReportTest, CsvRendering) {
+  std::ostringstream os;
+  fig8_bram_utilisation(results_).print_csv(os);
+  const std::string s = os.str();
+  // Header + 18 rows.
+  EXPECT_EQ(static_cast<int>(std::count(s.begin(), s.end(), '\n')), 19);
+}
+
+TEST_F(ReportTest, WriteAllCsvProducesEightArtefacts) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "polymem_report_test_csv";
+  fs::remove_all(dir);
+  const auto written = write_all_csv(dir.string(), results_);
+  EXPECT_EQ(written.size(), 8u);
+  for (const auto& path : written) {
+    EXPECT_TRUE(fs::exists(path)) << path;
+    EXPECT_GT(fs::file_size(path), 100u) << path;
+  }
+  // Spot-check one file's shape: header + 5 scheme rows.
+  std::ifstream in(dir / "table4_model.csv");
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 6);
+  fs::remove_all(dir);
+}
+
+TEST_F(ReportTest, SaveCsvRejectsUnwritablePath) {
+  EXPECT_THROW(table4_paper().save_csv("/nonexistent-dir/x.csv"),
+               InvalidArgument);
+}
+
+TEST_F(ReportTest, IncompleteResultsRejected) {
+  std::vector<DseResult> partial(results_.begin(), results_.begin() + 10);
+  EXPECT_THROW(table4_model(partial), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace polymem::dse

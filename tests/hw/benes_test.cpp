@@ -1,0 +1,115 @@
+#include "hw/benes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "common/error.hpp"
+#include "hw/bram.hpp"
+#include "hw/crossbar.hpp"
+
+namespace polymem::hw {
+namespace {
+
+std::vector<unsigned> identity(unsigned n) {
+  std::vector<unsigned> sel(n);
+  std::iota(sel.begin(), sel.end(), 0u);
+  return sel;
+}
+
+TEST(Benes, StageAndSwitchCounts) {
+  EXPECT_EQ(benes_stages(2), 1u);
+  EXPECT_EQ(benes_stages(4), 3u);
+  EXPECT_EQ(benes_stages(8), 5u);
+  EXPECT_EQ(benes_stages(16), 7u);
+  EXPECT_EQ(benes_switches(8), 5u * 4);
+  EXPECT_EQ(benes_switches(16), 7u * 8);
+  // The area argument of the ablation: Benes beats the crossbar from 16
+  // lanes up (counting a 2x2 switch as 4 crosspoints).
+  EXPECT_LT(4 * benes_switches(16), crossbar_crosspoints(16) + 1);
+}
+
+TEST(Benes, IdentityRoutesStraight) {
+  const auto sel = identity(8);
+  const auto plan = benes_route(sel);
+  EXPECT_EQ(plan.lanes, 8u);
+  EXPECT_EQ(plan.stages(), 5u);
+  std::vector<int> in = {0, 1, 2, 3, 4, 5, 6, 7}, out(8);
+  benes_apply<int>(in, plan, out);
+  EXPECT_EQ(out, in);
+}
+
+TEST(Benes, TwoLaneSwap) {
+  const std::vector<unsigned> sel = {1, 0};
+  const auto plan = benes_route(sel);
+  EXPECT_EQ(plan.stages(), 1u);
+  std::vector<int> in = {10, 20}, out(2);
+  benes_apply<int>(in, plan, out);
+  EXPECT_EQ(out, (std::vector<int>{20, 10}));
+}
+
+TEST(Benes, SingleLaneDegenerate) {
+  const std::vector<unsigned> sel = {0};
+  const auto plan = benes_route(sel);
+  EXPECT_EQ(plan.stages(), 0u);
+  std::vector<int> in = {42}, out(1);
+  benes_apply<int>(in, plan, out);
+  EXPECT_EQ(out[0], 42);
+}
+
+TEST(Benes, MatchesCrossbarOnAllPermutationsOf4) {
+  // Exhaustive: every permutation of 4 lanes routes correctly.
+  std::vector<unsigned> sel = identity(4);
+  std::vector<Word> in = {100, 101, 102, 103};
+  do {
+    const auto plan = benes_route(sel);
+    std::vector<Word> via_benes(4), via_xbar(4);
+    benes_apply<Word>(in, plan, via_benes);
+    shuffle<Word>(in, sel, via_xbar);
+    EXPECT_EQ(via_benes, via_xbar);
+  } while (std::next_permutation(sel.begin(), sel.end()));
+}
+
+TEST(Benes, MatchesCrossbarOnRandomPermutations) {
+  std::mt19937 rng(11);
+  for (unsigned lanes : {8u, 16u, 32u, 64u}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<unsigned> sel = identity(lanes);
+      std::shuffle(sel.begin(), sel.end(), rng);
+      const auto plan = benes_route(sel);
+      EXPECT_EQ(plan.switches(), benes_switches(lanes));
+      std::vector<Word> in(lanes), via_benes(lanes), via_xbar(lanes);
+      for (unsigned k = 0; k < lanes; ++k) in[k] = 1000 + k;
+      benes_apply<Word>(in, plan, via_benes);
+      shuffle<Word>(in, sel, via_xbar);
+      ASSERT_EQ(via_benes, via_xbar) << "lanes=" << lanes;
+    }
+  }
+}
+
+TEST(Benes, RoutesTheMafReorderingSignals) {
+  // The real workload: bank-select permutations produced by the MAFs are
+  // routable (of course — Benes is rearrangeable — but this pins the
+  // integration the ablation talks about).
+  const std::vector<unsigned> rero_row_banks = {4, 5, 6, 7, 0, 1, 2, 3};
+  const auto plan = benes_route(rero_row_banks);
+  std::vector<Word> in = {0, 1, 2, 3, 4, 5, 6, 7}, out(8);
+  benes_apply<Word>(in, plan, out);
+  EXPECT_EQ(out, (std::vector<Word>{4, 5, 6, 7, 0, 1, 2, 3}));
+}
+
+TEST(Benes, RejectsBadInputs) {
+  EXPECT_THROW(benes_route(std::vector<unsigned>{0, 1, 2}),
+               InvalidArgument);  // not a power of two
+  EXPECT_THROW(benes_route(std::vector<unsigned>{0, 0, 1, 1}),
+               InvalidArgument);  // not a permutation
+  EXPECT_THROW(benes_route(std::vector<unsigned>{}), InvalidArgument);
+  const auto plan = benes_route(identity(4));
+  std::vector<int> in(4), wrong(3);
+  EXPECT_THROW(benes_apply<int>(in, plan, wrong), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace polymem::hw

@@ -1,0 +1,38 @@
+#include "hw/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace polymem::hw {
+namespace {
+
+TEST(ClockDomain, CountsCycles) {
+  ClockDomain clk(120e6);
+  clk.tick();
+  clk.tick(9);
+  EXPECT_EQ(clk.cycles(), 10u);
+}
+
+TEST(ClockDomain, ConvertsCyclesToTime) {
+  ClockDomain clk(120e6);  // the paper's STREAM design clock
+  clk.tick(120);
+  EXPECT_DOUBLE_EQ(clk.elapsed_seconds(), 1e-6);
+  EXPECT_DOUBLE_EQ(clk.elapsed_ns(), 1000.0);
+  EXPECT_DOUBLE_EQ(clk.seconds_for(120'000'000), 1.0);
+}
+
+TEST(ClockDomain, Reset) {
+  ClockDomain clk(100e6);
+  clk.tick(5);
+  clk.reset();
+  EXPECT_EQ(clk.cycles(), 0u);
+}
+
+TEST(ClockDomain, RejectsNonPositiveFrequency) {
+  EXPECT_THROW(ClockDomain(0), InvalidArgument);
+  EXPECT_THROW(ClockDomain(-1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace polymem::hw

@@ -1,0 +1,57 @@
+#include "hw/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace polymem::hw {
+namespace {
+
+TEST(Fifo, FifoOrder) {
+  Fifo<int> f(4);
+  EXPECT_TRUE(f.try_push(1));
+  EXPECT_TRUE(f.try_push(2));
+  EXPECT_TRUE(f.try_push(3));
+  EXPECT_EQ(f.try_pop(), 1);
+  EXPECT_EQ(f.try_pop(), 2);
+  EXPECT_EQ(f.try_pop(), 3);
+  EXPECT_EQ(f.try_pop(), std::nullopt);
+}
+
+TEST(Fifo, BackPressureWhenFull) {
+  Fifo<int> f(2);
+  EXPECT_TRUE(f.try_push(1));
+  EXPECT_TRUE(f.try_push(2));
+  EXPECT_TRUE(f.full());
+  EXPECT_FALSE(f.try_push(3));
+  EXPECT_EQ(f.size(), 2u);
+  f.try_pop();
+  EXPECT_TRUE(f.try_push(3));
+}
+
+TEST(Fifo, FrontPeeksWithoutPopping) {
+  Fifo<int> f(2);
+  f.try_push(42);
+  EXPECT_EQ(f.front(), 42);
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(Fifo, FrontOnEmptyThrows) {
+  Fifo<int> f(2);
+  EXPECT_THROW(f.front(), InvalidArgument);
+}
+
+TEST(Fifo, ZeroCapacityRejected) {
+  EXPECT_THROW(Fifo<int>(0), InvalidArgument);
+}
+
+TEST(Fifo, MoveOnlyPayload) {
+  Fifo<std::unique_ptr<int>> f(2);
+  EXPECT_TRUE(f.try_push(std::make_unique<int>(5)));
+  auto v = f.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+}  // namespace
+}  // namespace polymem::hw

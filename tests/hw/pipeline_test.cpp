@@ -1,0 +1,57 @@
+#include "hw/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace polymem::hw {
+namespace {
+
+TEST(DelayLine, ZeroLatencyPassesThrough) {
+  DelayLine<int> d(0);
+  EXPECT_EQ(d.tick(7), 7);
+  EXPECT_EQ(d.tick(std::nullopt), std::nullopt);
+}
+
+TEST(DelayLine, ValueEmergesAfterLatencyTicks) {
+  // The paper's STREAM design sees its PolyMem read data 14 cycles after
+  // issue; this is the mechanism.
+  DelayLine<int> d(14);
+  EXPECT_EQ(d.latency(), 14u);
+  auto out = d.tick(99);  // issued at cycle 0
+  EXPECT_EQ(out, std::nullopt);
+  for (int cycle = 1; cycle < 14; ++cycle)
+    EXPECT_EQ(d.tick(std::nullopt), std::nullopt) << "cycle " << cycle;
+  EXPECT_EQ(d.tick(std::nullopt), 99);  // cycle 14
+}
+
+TEST(DelayLine, FullyPipelinedThroughput) {
+  // One value in, one value out, every cycle once the pipe is primed.
+  DelayLine<int> d(3);
+  std::vector<int> received;
+  for (int v = 0; v < 10; ++v)
+    if (auto out = d.tick(v)) received.push_back(*out);
+  // Values 0..6 have emerged (7, 8, 9 still in flight).
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(d.in_flight(), 3u);
+}
+
+TEST(DelayLine, BubblesPropagate) {
+  DelayLine<int> d(2);
+  d.tick(1);
+  d.tick(std::nullopt);  // bubble
+  EXPECT_EQ(d.tick(3), 1);
+  EXPECT_EQ(d.tick(std::nullopt), std::nullopt);  // the bubble
+  EXPECT_EQ(d.tick(std::nullopt), 3);
+}
+
+TEST(DelayLine, FlushDropsInFlight) {
+  DelayLine<int> d(3);
+  d.tick(1);
+  d.tick(2);
+  EXPECT_EQ(d.in_flight(), 2u);
+  d.flush();
+  EXPECT_EQ(d.in_flight(), 0u);
+  for (int c = 0; c < 6; ++c) EXPECT_EQ(d.tick(std::nullopt), std::nullopt);
+}
+
+}  // namespace
+}  // namespace polymem::hw

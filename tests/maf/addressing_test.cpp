@@ -1,0 +1,67 @@
+#include "maf/addressing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "common/error.hpp"
+#include "maf/maf.hpp"
+
+namespace polymem::maf {
+namespace {
+
+TEST(Addressing, Formula) {
+  // A(i, j) = |i/p| * (W/q) + |j/q| on an 8x16 space with 2x4 banks.
+  const AddressingFunction a(2, 4, 8, 16);
+  EXPECT_EQ(a.address(0, 0), 0);
+  EXPECT_EQ(a.address(1, 3), 0);    // same 2x4 block
+  EXPECT_EQ(a.address(0, 4), 1);    // next block to the right
+  EXPECT_EQ(a.address(2, 0), 4);    // next block row (W/q = 4)
+  EXPECT_EQ(a.address(7, 15), 15);  // last block
+  EXPECT_EQ(a.words_per_bank(), 16);
+}
+
+TEST(Addressing, RejectsMisalignedSpace) {
+  EXPECT_THROW(AddressingFunction(2, 4, 7, 16), InvalidArgument);
+  EXPECT_THROW(AddressingFunction(2, 4, 8, 15), InvalidArgument);
+  EXPECT_THROW(AddressingFunction(0, 4, 8, 16), InvalidArgument);
+}
+
+TEST(Addressing, InBounds) {
+  const AddressingFunction a(2, 4, 8, 16);
+  EXPECT_TRUE(a.in_bounds(0, 0));
+  EXPECT_TRUE(a.in_bounds(7, 15));
+  EXPECT_FALSE(a.in_bounds(8, 0));
+  EXPECT_FALSE(a.in_bounds(0, 16));
+  EXPECT_FALSE(a.in_bounds(-1, 0));
+  EXPECT_FALSE(a.in_bounds(0, -1));
+}
+
+// The pair (bank, address) must be a bijection from the H x W space onto
+// banks x words — this is what lets PolyMem store every element exactly
+// once with zero waste, for every scheme.
+TEST(Addressing, BankAddressBijectionForEveryScheme) {
+  for (Scheme s : kAllSchemes) {
+    for (auto [p, q] : {std::pair<unsigned, unsigned>{2, 4}, {2, 8}, {4, 4},
+                        {1, 8}, {4, 2}}) {
+      const std::int64_t h = 4 * p, w = 4 * q;
+      const Maf maf(s, p, q);
+      const AddressingFunction a(p, q, h, w);
+      std::set<std::pair<unsigned, std::int64_t>> slots;
+      for (std::int64_t i = 0; i < h; ++i) {
+        for (std::int64_t j = 0; j < w; ++j) {
+          const std::int64_t addr = a.address(i, j);
+          EXPECT_GE(addr, 0);
+          EXPECT_LT(addr, a.words_per_bank());
+          slots.insert({maf.bank(i, j), addr});
+        }
+      }
+      EXPECT_EQ(slots.size(), static_cast<std::size_t>(h * w))
+          << scheme_name(s) << " " << p << "x" << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace polymem::maf

@@ -1,0 +1,42 @@
+#include "maf/maf_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace polymem::maf {
+namespace {
+
+TEST(MafTable, EqualsAnalyticMafEverywhere) {
+  for (Scheme scheme : kAllSchemes) {
+    for (auto [p, q] : {std::pair<unsigned, unsigned>{2, 4}, {2, 8}, {4, 4},
+                        {1, 8}, {4, 2}}) {
+      const Maf maf(scheme, p, q);
+      const MafTable table(maf);
+      // Inside the period, beyond it, and on negative coordinates.
+      for (std::int64_t i = -40; i < 3 * table.period(); i += 7)
+        for (std::int64_t j = -40; j < 3 * table.period(); j += 5)
+          ASSERT_EQ(table.bank(i, j), maf.bank(i, j))
+              << scheme_name(scheme) << " " << p << "x" << q << " (" << i
+              << "," << j << ")";
+    }
+  }
+}
+
+TEST(MafTable, MetadataAndStorage) {
+  const Maf maf(Scheme::kReRo, 2, 4);
+  const MafTable table(maf);
+  EXPECT_EQ(table.scheme(), Scheme::kReRo);
+  EXPECT_EQ(table.banks(), 8u);
+  EXPECT_EQ(table.period(), 8 * 4);  // n * lcm(2, 4)
+  EXPECT_EQ(table.storage_bytes(), 32u * 32 * sizeof(BankIndex));
+}
+
+TEST(MafTable, RejectsUntabulatableGeometry) {
+  // 64x64 banks would need a (4096*64)^2 table — refuse loudly.
+  const Maf maf(Scheme::kReO, 64, 64);
+  EXPECT_THROW(MafTable{maf}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace polymem::maf

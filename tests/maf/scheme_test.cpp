@@ -1,0 +1,58 @@
+#include "maf/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace polymem::maf {
+namespace {
+
+using access::PatternKind;
+
+TEST(SchemeNames, RoundTrip) {
+  for (Scheme s : kAllSchemes) EXPECT_EQ(scheme_from_name(scheme_name(s)), s);
+  EXPECT_THROW(scheme_from_name("ReXx"), InvalidArgument);
+}
+
+TEST(SchemeNames, MatchPaperTable1) {
+  EXPECT_STREQ(scheme_name(Scheme::kReO), "ReO");
+  EXPECT_STREQ(scheme_name(Scheme::kReRo), "ReRo");
+  EXPECT_STREQ(scheme_name(Scheme::kReCo), "ReCo");
+  EXPECT_STREQ(scheme_name(Scheme::kRoCo), "RoCo");
+  EXPECT_STREQ(scheme_name(Scheme::kReTr), "ReTr");
+}
+
+TEST(AdvertisedPatterns, MatchPaperTable1) {
+  auto has = [](Scheme s, PatternKind k) {
+    const auto pats = advertised_patterns(s);
+    return std::find(pats.begin(), pats.end(), k) != pats.end();
+  };
+  // ReO (Rectangle Only): Rectangle.
+  EXPECT_TRUE(has(Scheme::kReO, PatternKind::kRect));
+  EXPECT_EQ(advertised_patterns(Scheme::kReO).size(), 1u);
+  // ReRo: Rectangle, Row, Main and secondary Diagonals.
+  EXPECT_TRUE(has(Scheme::kReRo, PatternKind::kRect));
+  EXPECT_TRUE(has(Scheme::kReRo, PatternKind::kRow));
+  EXPECT_TRUE(has(Scheme::kReRo, PatternKind::kMainDiag));
+  EXPECT_TRUE(has(Scheme::kReRo, PatternKind::kSecDiag));
+  EXPECT_FALSE(has(Scheme::kReRo, PatternKind::kCol));
+  // ReCo: Rectangle, Column, Main and secondary Diagonals.
+  EXPECT_TRUE(has(Scheme::kReCo, PatternKind::kRect));
+  EXPECT_TRUE(has(Scheme::kReCo, PatternKind::kCol));
+  EXPECT_TRUE(has(Scheme::kReCo, PatternKind::kMainDiag));
+  EXPECT_TRUE(has(Scheme::kReCo, PatternKind::kSecDiag));
+  EXPECT_FALSE(has(Scheme::kReCo, PatternKind::kRow));
+  // RoCo: Row, Column, Rectangle.
+  EXPECT_TRUE(has(Scheme::kRoCo, PatternKind::kRow));
+  EXPECT_TRUE(has(Scheme::kRoCo, PatternKind::kCol));
+  EXPECT_TRUE(has(Scheme::kRoCo, PatternKind::kRect));
+  // ReTr: Rectangle, Transposed Rectangle.
+  EXPECT_TRUE(has(Scheme::kReTr, PatternKind::kRect));
+  EXPECT_TRUE(has(Scheme::kReTr, PatternKind::kTRect));
+  EXPECT_EQ(advertised_patterns(Scheme::kReTr).size(), 2u);
+}
+
+}  // namespace
+}  // namespace polymem::maf

@@ -1,0 +1,184 @@
+// Closed-form support conditions, validated against the exhaustive
+// checker over a grid of geometries.
+//
+// The PRF thesis states conditions under which each scheme's patterns are
+// conflict-free; the paper's Table I summarises them for "typical" p, q.
+// This suite encodes the *geometry-dependent* closed forms this library
+// derived (tools/maf_search.cpp) and proves them equivalent to the
+// machine-checked oracle for every (p, q) in the grid — so the predicates
+// below can be trusted as documentation.
+#include <gtest/gtest.h>
+
+#include "maf/conflict.hpp"
+
+namespace polymem::maf {
+namespace {
+
+using access::PatternKind;
+
+// The geometry grid: every p, q in {1, 2, 4, 8} plus a few stretched
+// shapes. (Power-of-two geometries, as all of the paper's designs.)
+std::vector<std::pair<unsigned, unsigned>> grid() {
+  std::vector<std::pair<unsigned, unsigned>> g;
+  for (unsigned p : {1u, 2u, 4u, 8u})
+    for (unsigned q : {1u, 2u, 4u, 8u}) g.push_back({p, q});
+  g.push_back({2, 16});
+  g.push_back({16, 2});
+  return g;
+}
+
+// ---- closed-form predicates ---------------------------------------------
+
+SupportLevel expected_reo(PatternKind kind, unsigned p, unsigned q) {
+  switch (kind) {
+    case PatternKind::kRect:
+      return SupportLevel::kAny;
+    case PatternKind::kTRect:
+      return p == q ? SupportLevel::kAny : SupportLevel::kNone;
+    case PatternKind::kRow:
+      return p == 1 ? SupportLevel::kAny : SupportLevel::kNone;
+    case PatternKind::kCol:
+      return q == 1 ? SupportLevel::kAny : SupportLevel::kNone;
+    case PatternKind::kMainDiag:
+    case PatternKind::kSecDiag:
+      // A diagonal degenerates to a row/col walk when one axis is 1.
+      return (p == 1 || q == 1) ? SupportLevel::kAny : SupportLevel::kNone;
+  }
+  return SupportLevel::kNone;
+}
+
+SupportLevel expected_rero(PatternKind kind, unsigned p, unsigned q) {
+  switch (kind) {
+    case PatternKind::kRect:
+    case PatternKind::kRow:
+      return SupportLevel::kAny;
+    case PatternKind::kTRect:
+      // Square: trect == rect. q == 1: trect degenerates to a 1 x p row.
+      return (p == q || q == 1) ? SupportLevel::kAny : SupportLevel::kNone;
+    case PatternKind::kCol:
+      return q == 1 ? SupportLevel::kAny : SupportLevel::kNone;
+    case PatternKind::kMainDiag:
+    case PatternKind::kSecDiag:
+      // The row rotation breaks on diagonals only when q == 1 (and the
+      // grid is not a single row).
+      return (q > 1 || p == 1) ? SupportLevel::kAny : SupportLevel::kNone;
+  }
+  return SupportLevel::kNone;
+}
+
+SupportLevel expected_reco(PatternKind kind, unsigned p, unsigned q) {
+  switch (kind) {
+    case PatternKind::kRect:
+    case PatternKind::kCol:
+      return SupportLevel::kAny;
+    case PatternKind::kTRect:
+      // Square: trect == rect. p == 1: trect degenerates to a q x 1 col.
+      return (p == q || p == 1) ? SupportLevel::kAny : SupportLevel::kNone;
+    case PatternKind::kRow:
+      return p == 1 ? SupportLevel::kAny : SupportLevel::kNone;
+    case PatternKind::kMainDiag:
+    case PatternKind::kSecDiag:
+      return (p > 1 || q == 1) ? SupportLevel::kAny : SupportLevel::kNone;
+  }
+  return SupportLevel::kNone;
+}
+
+}  // namespace
+
+TEST(SupportConditions, ReOMatchesClosedForm) {
+  for (auto [p, q] : grid()) {
+    const Maf maf(Scheme::kReO, p, q);
+    for (PatternKind kind : access::kAllPatterns)
+      EXPECT_EQ(probe_support(maf, kind), expected_reo(kind, p, q))
+          << "ReO " << p << "x" << q << " " << access::pattern_name(kind);
+  }
+}
+
+TEST(SupportConditions, ReRoMatchesClosedForm) {
+  for (auto [p, q] : grid()) {
+    const Maf maf(Scheme::kReRo, p, q);
+    for (PatternKind kind : access::kAllPatterns)
+      EXPECT_EQ(probe_support(maf, kind), expected_rero(kind, p, q))
+          << "ReRo " << p << "x" << q << " " << access::pattern_name(kind);
+  }
+}
+
+TEST(SupportConditions, ReCoMatchesClosedForm) {
+  for (auto [p, q] : grid()) {
+    const Maf maf(Scheme::kReCo, p, q);
+    for (PatternKind kind : access::kAllPatterns)
+      EXPECT_EQ(probe_support(maf, kind), expected_reco(kind, p, q))
+          << "ReCo " << p << "x" << q << " " << access::pattern_name(kind);
+  }
+}
+
+TEST(SupportConditions, ReRoReCoAreTransposes) {
+  // Structural duality: ReCo(p, q) behaves like ReRo(q, p) with i and j
+  // swapped, so their support matrices mirror through the transpose.
+  auto mirror = [](PatternKind kind) {
+    switch (kind) {
+      case PatternKind::kRow: return PatternKind::kCol;
+      case PatternKind::kCol: return PatternKind::kRow;
+      case PatternKind::kRect: return PatternKind::kTRect;
+      case PatternKind::kTRect: return PatternKind::kRect;
+      default: return kind;  // diagonals map to diagonals
+    }
+  };
+  for (auto [p, q] : grid()) {
+    const Maf rero(Scheme::kReRo, p, q);
+    const Maf reco(Scheme::kReCo, q, p);
+    for (PatternKind kind :
+         {PatternKind::kRow, PatternKind::kCol, PatternKind::kMainDiag}) {
+      EXPECT_EQ(probe_support(rero, kind),
+                probe_support(reco, mirror(kind)))
+          << p << "x" << q << " " << access::pattern_name(kind);
+    }
+  }
+}
+
+TEST(SupportConditions, RoCoRowsAndColumnsAlwaysAny) {
+  for (auto [p, q] : grid()) {
+    const Maf maf(Scheme::kRoCo, p, q);
+    EXPECT_EQ(probe_support(maf, PatternKind::kRow), SupportLevel::kAny);
+    EXPECT_EQ(probe_support(maf, PatternKind::kCol), SupportLevel::kAny);
+    // Rectangles: at least aligned, everywhere.
+    EXPECT_NE(probe_support(maf, PatternKind::kRect), SupportLevel::kNone);
+  }
+}
+
+TEST(SupportConditions, RoCoRectAlignedOnlyExactlyWhenBothAxesNontrivial) {
+  for (auto [p, q] : grid()) {
+    const Maf maf(Scheme::kRoCo, p, q);
+    const SupportLevel rect = probe_support(maf, PatternKind::kRect);
+    if (p == 1 || q == 1) {
+      EXPECT_EQ(rect, SupportLevel::kAny) << p << "x" << q;
+    } else {
+      EXPECT_EQ(rect, SupportLevel::kAligned) << p << "x" << q;
+    }
+  }
+}
+
+TEST(SupportConditions, ReTrRectAndTRectAnyForAllPow2Geometries) {
+  for (auto [p, q] : grid()) {
+    const Maf maf(Scheme::kReTr, p, q);
+    EXPECT_EQ(probe_support(maf, PatternKind::kRect), SupportLevel::kAny)
+        << p << "x" << q;
+    EXPECT_EQ(probe_support(maf, PatternKind::kTRect), SupportLevel::kAny)
+        << p << "x" << q;
+  }
+}
+
+TEST(SupportConditions, EverySchemeServesAlignedRectangles) {
+  // The addressing function's correctness rests on this: each aligned
+  // p x q block hits every bank exactly once, for every scheme.
+  for (Scheme scheme : kAllSchemes) {
+    for (auto [p, q] : grid()) {
+      const Maf maf(scheme, p, q);
+      EXPECT_TRUE(verify_conflict_free(maf, PatternKind::kRect,
+                                       /*aligned_only=*/true))
+          << scheme_name(scheme) << " " << p << "x" << q;
+    }
+  }
+}
+
+}  // namespace polymem::maf

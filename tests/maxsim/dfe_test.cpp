@@ -1,0 +1,119 @@
+#include "maxsim/dfe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace polymem::maxsim {
+namespace {
+
+// Consumes words from `in` into a sink vector, one per cycle.
+class SinkKernel : public Kernel {
+ public:
+  SinkKernel(Stream& in, std::size_t expect)
+      : Kernel("sink"), in_(&in), expect_(expect) {}
+  void tick() override {
+    if (auto w = in_->pop()) received.push_back(*w);
+  }
+  bool done() const override { return received.size() >= expect_; }
+
+  std::vector<hw::Word> received;
+
+ private:
+  Stream* in_;
+  std::size_t expect_;
+};
+
+// Produces `n` sequential words into `out`, one per cycle.
+class SourceKernel : public Kernel {
+ public:
+  SourceKernel(Stream& out, int n) : Kernel("source"), out_(&out), n_(n) {}
+  void tick() override {
+    if (next_ < n_ && out_->push(static_cast<hw::Word>(next_))) ++next_;
+  }
+  bool done() const override { return next_ == n_; }
+
+ private:
+  Stream* out_;
+  int n_;
+  int next_ = 0;
+};
+
+TEST(DfeDevice, WriteStreamDeliversAllWordsAndAccountsTime) {
+  Manager m;
+  Stream& in = m.add_stream("in", 8);
+  auto& sink = m.add_kernel<SinkKernel>(in, 100);
+  DfeDevice dfe(120.0);
+  std::vector<hw::Word> data(100);
+  for (std::size_t k = 0; k < data.size(); ++k) data[k] = k;
+
+  const auto timing = dfe.write_stream(m, "in", data);
+  EXPECT_EQ(sink.received, data);
+  EXPECT_GT(timing.cycles, 0u);
+  EXPECT_EQ(timing.pcie_bytes, 800u);
+  // seconds = PCIe call (300ns + 800B/2GB/s) + cycles at 120MHz.
+  const double expect =
+      300e-9 + 800 / 2e9 + static_cast<double>(timing.cycles) / 120e6;
+  EXPECT_NEAR(timing.seconds, expect, 1e-12);
+}
+
+TEST(DfeDevice, ReadStreamPullsAllWords) {
+  Manager m;
+  Stream& out = m.add_stream("out", 4);
+  m.add_kernel<SourceKernel>(out, 50);
+  DfeDevice dfe(120.0);
+  std::vector<hw::Word> received(50);
+  const auto timing = dfe.read_stream(m, "out", received);
+  for (int k = 0; k < 50; ++k)
+    EXPECT_EQ(received[static_cast<std::size_t>(k)],
+              static_cast<hw::Word>(k));
+  EXPECT_EQ(timing.pcie_bytes, 400u);
+}
+
+TEST(DfeDevice, RunActionPaysOnlyCallOverhead) {
+  Manager m;
+  Stream& s = m.add_stream("s", 64);
+  for (int k = 0; k < 10; ++k) s.push(k);
+  m.add_kernel<SinkKernel>(s, 10);
+  DfeDevice dfe(100.0);
+  const auto timing = dfe.run_action("compute", m);
+  EXPECT_EQ(timing.pcie_bytes, 0u);
+  EXPECT_EQ(timing.cycles, 10u);  // one word per cycle
+  EXPECT_NEAR(timing.seconds, 300e-9 + 10 / 100e6, 1e-12);
+}
+
+TEST(DfeDevice, HistoryAccumulates) {
+  Manager m;
+  Stream& s = m.add_stream("s", 64);
+  m.add_kernel<SinkKernel>(s, 0);  // immediately done
+  DfeDevice dfe(100.0);
+  dfe.run_action("a", m);
+  dfe.run_action("b", m);
+  ASSERT_EQ(dfe.history().size(), 2u);
+  EXPECT_EQ(dfe.history()[0].name, "a");
+  EXPECT_NEAR(dfe.total_seconds(), 2 * 300e-9, 1e-12);
+  EXPECT_EQ(dfe.pcie().calls(), 2u);
+}
+
+TEST(DfeDevice, StalledStreamTimesOut) {
+  Manager m;
+  m.add_stream("in", 2);
+  // No kernel drains the stream.
+  DfeDevice dfe(100.0);
+  std::vector<hw::Word> data(100, 1);
+  EXPECT_THROW(dfe.write_stream(m, "in", data, /*max_cycles=*/1000),
+               InvalidArgument);
+}
+
+TEST(DfeDevice, ClockAdvancesWithActions) {
+  Manager m;
+  Stream& s = m.add_stream("s", 64);
+  for (int k = 0; k < 7; ++k) s.push(k);
+  m.add_kernel<SinkKernel>(s, 7);
+  DfeDevice dfe(100.0);
+  dfe.run_action("go", m);
+  EXPECT_EQ(dfe.clock().cycles(), 7u);
+}
+
+}  // namespace
+}  // namespace polymem::maxsim

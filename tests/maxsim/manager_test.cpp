@@ -1,0 +1,83 @@
+#include "maxsim/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace polymem::maxsim {
+namespace {
+
+// A kernel that copies `n` words from `in` to `out`, one per cycle.
+class CopyKernel : public Kernel {
+ public:
+  CopyKernel(Stream& in, Stream& out, int n)
+      : Kernel("copy"), in_(&in), out_(&out), remaining_(n) {}
+
+  void tick() override {
+    if (remaining_ == 0) return;
+    if (out_->full()) return;  // back-pressure
+    if (auto w = in_->pop()) {
+      out_->push(*w);
+      --remaining_;
+    }
+  }
+  bool done() const override { return remaining_ == 0; }
+
+ private:
+  Stream* in_;
+  Stream* out_;
+  int remaining_;
+};
+
+TEST(Manager, StreamsByName) {
+  Manager m;
+  m.add_stream("x", 4);
+  EXPECT_EQ(m.stream("x").capacity(), 4u);
+  EXPECT_THROW(m.stream("y"), InvalidArgument);
+  EXPECT_THROW(m.add_stream("x", 8), InvalidArgument);
+}
+
+TEST(Manager, TicksAllKernelsOncePerCycle) {
+  Manager m;
+  Stream& in = m.add_stream("in", 16);
+  Stream& mid = m.add_stream("mid", 16);
+  Stream& out = m.add_stream("out", 16);
+  m.add_kernel<CopyKernel>(in, mid, 4);
+  m.add_kernel<CopyKernel>(mid, out, 4);
+  EXPECT_EQ(m.kernel_count(), 2u);
+  for (int k = 0; k < 4; ++k) in.push(100 + k);
+  const auto cycles = m.run_to_completion(100);
+  EXPECT_GT(cycles, 0u);
+  EXPECT_EQ(m.cycles(), cycles);
+  for (int k = 0; k < 4; ++k) EXPECT_EQ(out.pop(), 100u + k);
+  EXPECT_TRUE(m.all_done());
+}
+
+TEST(Manager, PipelineRespectesBackPressure) {
+  Manager m;
+  Stream& in = m.add_stream("in", 16);
+  Stream& mid = m.add_stream("mid", 1);  // tight buffer
+  Stream& out = m.add_stream("out", 16);
+  m.add_kernel<CopyKernel>(in, mid, 8);
+  m.add_kernel<CopyKernel>(mid, out, 8);
+  for (int k = 0; k < 8; ++k) in.push(k);
+  m.run_to_completion(1000);
+  for (int k = 0; k < 8; ++k) EXPECT_EQ(out.pop(), static_cast<hw::Word>(k));
+}
+
+TEST(Manager, DeadlockDetected) {
+  Manager m;
+  Stream& in = m.add_stream("in", 4);
+  Stream& out = m.add_stream("out", 4);
+  m.add_kernel<CopyKernel>(in, out, 5);
+  for (int k = 0; k < 3; ++k) in.push(k);  // starves after 3 words
+  EXPECT_THROW(m.run_to_completion(100), Error);
+}
+
+TEST(Manager, RunWithNoKernelsCompletesImmediately) {
+  Manager m;
+  EXPECT_EQ(m.run_to_completion(10), 0u);
+}
+
+}  // namespace
+}  // namespace polymem::maxsim

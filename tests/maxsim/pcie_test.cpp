@@ -1,0 +1,51 @@
+#include "maxsim/pcie.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace polymem::maxsim {
+namespace {
+
+TEST(PcieLink, DefaultMatchesPaperOverhead) {
+  // Sec. V: "This minimum overhead is ... around 300ns".
+  const PcieLink link;
+  EXPECT_DOUBLE_EQ(link.call_overhead_seconds(), 300e-9);
+}
+
+TEST(PcieLink, ZeroByteCallCostsOnlyOverhead) {
+  const PcieLink link(2e9, 300.0);
+  EXPECT_DOUBLE_EQ(link.call_seconds(0), 300e-9);
+}
+
+TEST(PcieLink, PayloadAddsTransferTime) {
+  const PcieLink link(2e9, 300.0);
+  // 2MB at 2GB/s = 1ms, dominating the 300ns overhead.
+  EXPECT_NEAR(link.call_seconds(2'000'000), 1e-3, 1e-6);
+  EXPECT_GT(link.call_seconds(1), link.call_seconds(0));
+}
+
+TEST(PcieLink, OverheadDominatesShortCalls) {
+  // The Fig. 10 left-side ramp: calls comparable to 300ns are
+  // overhead-bound.
+  const PcieLink link;
+  const double tiny = link.call_seconds(64);
+  EXPECT_GT(300e-9 / tiny, 0.9);
+}
+
+TEST(PcieLink, Accounting) {
+  PcieLink link(1e9, 100.0);
+  link.record_call(1000);
+  link.record_call(0);
+  EXPECT_EQ(link.calls(), 2u);
+  EXPECT_EQ(link.bytes_moved(), 1000u);
+  EXPECT_NEAR(link.busy_seconds(), 2 * 100e-9 + 1000 / 1e9, 1e-12);
+}
+
+TEST(PcieLink, RejectsBadParameters) {
+  EXPECT_THROW(PcieLink(0, 300), InvalidArgument);
+  EXPECT_THROW(PcieLink(1e9, -1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace polymem::maxsim

@@ -1,0 +1,102 @@
+// Machine-checked reproduction of paper Fig. 2: ten regions, R1..R9 each
+// readable in ONE parallel access, R0 in several, on 8 banks (2x4).
+#include "prf/fig2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "prf/register_file.hpp"
+
+namespace polymem::prf {
+namespace {
+
+core::PolyMemConfig fig2_config(maf::Scheme scheme) {
+  core::PolyMemConfig c;
+  c.scheme = scheme;
+  c.p = 2;
+  c.q = 4;
+  c.height = kFig2Height;
+  c.width = kFig2Width;
+  c.validate();
+  return c;
+}
+
+TEST(Fig2, TenRegionsAllKindsPresent) {
+  const auto& regs = fig2_registers();
+  ASSERT_EQ(regs.size(), 10u);
+  std::set<access::RegionShape> shapes;
+  for (const auto& r : regs) shapes.insert(r.region.shape);
+  // matrix, row, column, main diagonal, secondary diagonal all appear.
+  EXPECT_EQ(shapes.size(), 5u);
+}
+
+TEST(Fig2, RegionsAreDisjointAndInBounds) {
+  std::set<access::Coord> seen;
+  for (const auto& r : fig2_registers()) {
+    for (const access::Coord& c : r.region.elements()) {
+      EXPECT_TRUE(c.i >= 0 && c.i < kFig2Height && c.j >= 0 &&
+                  c.j < kFig2Width)
+          << r.name << " " << c;
+      EXPECT_TRUE(seen.insert(c).second)
+          << r.name << " overlaps at " << c;
+    }
+  }
+}
+
+TEST(Fig2, R1ToR9AreSingleAccessAndR0Needs4) {
+  for (const auto& r : fig2_registers()) {
+    // Build a register file on a PolyMem whose scheme serves the region.
+    core::PolyMem mem(fig2_config(r.served_by));
+    RegisterFile rf(mem);
+    rf.define(r.name, r.region, r.pattern);
+    EXPECT_EQ(rf.read_access_count(r.name), r.expected_accesses) << r.name;
+  }
+}
+
+TEST(Fig2, EveryRegisterRoundTripsOnItsScheme) {
+  for (const auto& r : fig2_registers()) {
+    core::PolyMem mem(fig2_config(r.served_by));
+    RegisterFile rf(mem);
+    rf.define(r.name, r.region, r.pattern);
+    std::vector<core::Word> data(
+        static_cast<std::size_t>(r.region.element_count()));
+    std::iota(data.begin(), data.end(), 1000u);
+    rf.write_register(r.name, data);
+    EXPECT_EQ(rf.read_register(r.name), data) << r.name;
+  }
+}
+
+TEST(Fig2, MultiviewSchemeHoldsMostOfTheMap) {
+  // One ReRo memory can host every register except the two columns (R5,
+  // R6 need ReCo) and the transposed matrix (R9 needs ReTr) — exactly the
+  // multiview trade-off of Table I.
+  core::PolyMem mem(fig2_config(maf::Scheme::kReRo));
+  RegisterFile rf(mem);
+  int defined = 0, rejected = 0;
+  for (const auto& r : fig2_registers()) {
+    try {
+      rf.define(r.name, r.region, r.pattern);
+      ++defined;
+    } catch (const Unsupported&) {
+      ++rejected;
+      EXPECT_TRUE(r.name == "R5" || r.name == "R6" || r.name == "R9")
+          << r.name;
+    }
+  }
+  EXPECT_EQ(defined, 7);
+  EXPECT_EQ(rejected, 3);
+}
+
+TEST(Fig2, TransposedMatrixReadableUnderReTr) {
+  core::PolyMem mem(fig2_config(maf::Scheme::kReTr));
+  RegisterFile rf(mem);
+  const auto& r9 = fig2_registers().back();
+  ASSERT_EQ(r9.name, "R9");
+  rf.define("R9", r9.region, r9.pattern);
+  EXPECT_EQ(rf.read_access_count("R9"), 1);
+}
+
+}  // namespace
+}  // namespace polymem::prf

@@ -1,0 +1,193 @@
+#include "prf/register_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace polymem::prf {
+namespace {
+
+using access::PatternKind;
+using access::Region;
+
+core::PolyMemConfig cfg(maf::Scheme scheme) {
+  core::PolyMemConfig c;
+  c.scheme = scheme;
+  c.p = 2;
+  c.q = 4;
+  c.height = 16;
+  c.width = 32;
+  c.validate();
+  return c;
+}
+
+std::vector<core::Word> iota_words(std::int64_t n, core::Word base) {
+  std::vector<core::Word> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), base);
+  return v;
+}
+
+TEST(RegisterFile, DefineLookupUndefine) {
+  core::PolyMem mem(cfg(maf::Scheme::kReRo));
+  RegisterFile rf(mem);
+  EXPECT_FALSE(rf.defined("A"));
+  rf.define("A", Region::matrix({0, 0}, 2, 4), PatternKind::kRect);
+  EXPECT_TRUE(rf.defined("A"));
+  EXPECT_EQ(rf.reg("A").elements(), 8);
+  EXPECT_EQ(rf.names(), std::vector<std::string>{"A"});
+  rf.undefine("A");
+  EXPECT_FALSE(rf.defined("A"));
+  EXPECT_THROW(rf.undefine("A"), InvalidArgument);
+  EXPECT_THROW(rf.reg("A"), InvalidArgument);
+}
+
+TEST(RegisterFile, DuplicateNameRejected) {
+  core::PolyMem mem(cfg(maf::Scheme::kReRo));
+  RegisterFile rf(mem);
+  rf.define("A", Region::matrix({0, 0}, 2, 4), PatternKind::kRect);
+  EXPECT_THROW(
+      rf.define("A", Region::matrix({4, 0}, 2, 4), PatternKind::kRect),
+      InvalidArgument);
+}
+
+TEST(RegisterFile, OverlapRejected) {
+  core::PolyMem mem(cfg(maf::Scheme::kReRo));
+  RegisterFile rf(mem);
+  rf.define("A", Region::matrix({0, 0}, 4, 8), PatternKind::kRect);
+  EXPECT_THROW(
+      rf.define("B", Region::matrix({3, 7}, 2, 4), PatternKind::kRect),
+      InvalidArgument);
+  // Disjoint is fine.
+  EXPECT_NO_THROW(
+      rf.define("B", Region::matrix({4, 8}, 2, 4), PatternKind::kRect));
+}
+
+TEST(RegisterFile, UnsupportedPatternRejectedAtDefineTime) {
+  core::PolyMem mem(cfg(maf::Scheme::kReRo));  // no columns under ReRo
+  RegisterFile rf(mem);
+  EXPECT_THROW(
+      rf.define("C", Region::col_vec({0, 0}, 8), PatternKind::kCol),
+      Unsupported);
+  // The same register is fine on a ReCo memory.
+  core::PolyMem reco(cfg(maf::Scheme::kReCo));
+  RegisterFile rf2(reco);
+  EXPECT_NO_THROW(
+      rf2.define("C", Region::col_vec({0, 0}, 8), PatternKind::kCol));
+}
+
+TEST(RegisterFile, OutOfSpaceRegionRejected) {
+  core::PolyMem mem(cfg(maf::Scheme::kReRo));
+  RegisterFile rf(mem);
+  EXPECT_THROW(
+      rf.define("X", Region::row_vec({0, 28}, 8), PatternKind::kRow),
+      InvalidArgument);
+}
+
+TEST(RegisterFile, ReadWriteRoundTripExactCover) {
+  core::PolyMem mem(cfg(maf::Scheme::kReRo));
+  RegisterFile rf(mem);
+  rf.define("M", Region::matrix({2, 4}, 4, 8), PatternKind::kRect);
+  const auto data = iota_words(32, 100);
+  TransferStats wstats;
+  rf.write_register("M", data, &wstats);
+  EXPECT_EQ(wstats.parallel_writes, 4);
+  EXPECT_EQ(wstats.parallel_reads, 0);  // exact cover: no RMW needed
+  EXPECT_EQ(wstats.elements_moved, 32);
+  TransferStats rstats;
+  EXPECT_EQ(rf.read_register("M", &rstats), data);
+  EXPECT_EQ(rstats.parallel_reads, 4);
+  EXPECT_EQ(rf.read_access_count("M"), 4);
+}
+
+TEST(RegisterFile, SingleAccessRegisters) {
+  core::PolyMem mem(cfg(maf::Scheme::kReRo));
+  RegisterFile rf(mem);
+  rf.define("row", Region::row_vec({0, 0}, 8), PatternKind::kRow);
+  rf.define("diag", Region::main_diag({2, 2}, 8), PatternKind::kMainDiag);
+  EXPECT_EQ(rf.read_access_count("row"), 1);
+  EXPECT_EQ(rf.read_access_count("diag"), 1);
+  const auto d = iota_words(8, 7);
+  rf.write_register("diag", d);
+  EXPECT_EQ(rf.read_register("diag"), d);
+  // The diagonal landed where it should.
+  EXPECT_EQ(mem.load({2, 2}), 7u);
+  EXPECT_EQ(mem.load({9, 9}), 14u);
+}
+
+TEST(RegisterFile, PartialTileWritePreservesNeighbours) {
+  core::PolyMem mem(cfg(maf::Scheme::kReRo));
+  RegisterFile rf(mem);
+  // A 12-element row register: two row accesses, the second half-used.
+  rf.define("V", Region::row_vec({5, 0}, 12), PatternKind::kRow);
+  // Neighbouring data just right of the register.
+  for (std::int64_t j = 12; j < 16; ++j) mem.store({5, j}, 999);
+  TransferStats stats;
+  rf.write_register("V", iota_words(12, 0), &stats);
+  EXPECT_EQ(stats.parallel_writes, 2);
+  EXPECT_EQ(stats.parallel_reads, 1);  // RMW on the partial tile
+  for (std::int64_t j = 0; j < 12; ++j)
+    EXPECT_EQ(mem.load({5, j}), static_cast<core::Word>(j));
+  for (std::int64_t j = 12; j < 16; ++j) EXPECT_EQ(mem.load({5, j}), 999u);
+  EXPECT_EQ(rf.read_register("V"), iota_words(12, 0));
+}
+
+TEST(RegisterFile, RedefineResizesAtRuntime) {
+  core::PolyMem mem(cfg(maf::Scheme::kReRo));
+  RegisterFile rf(mem);
+  rf.define("R", Region::row_vec({0, 0}, 8), PatternKind::kRow);
+  EXPECT_EQ(rf.read_access_count("R"), 1);
+  // The polymorphism move: grow the register, same name, at runtime.
+  rf.redefine("R", Region::matrix({0, 0}, 4, 16), PatternKind::kRect);
+  EXPECT_EQ(rf.reg("R").elements(), 64);
+  EXPECT_EQ(rf.read_access_count("R"), 8);
+  const auto data = iota_words(64, 0);
+  rf.write_register("R", data);
+  EXPECT_EQ(rf.read_register("R"), data);
+}
+
+TEST(RegisterFile, FailedRedefineKeepsOldRegister) {
+  core::PolyMem mem(cfg(maf::Scheme::kReRo));
+  RegisterFile rf(mem);
+  rf.define("R", Region::row_vec({0, 0}, 8), PatternKind::kRow);
+  // Column pattern unsupported under ReRo: redefine must throw and keep R.
+  EXPECT_THROW(
+      rf.redefine("R", Region::col_vec({0, 0}, 8), PatternKind::kCol),
+      Unsupported);
+  EXPECT_TRUE(rf.defined("R"));
+  EXPECT_EQ(rf.reg("R").pattern, PatternKind::kRow);
+  EXPECT_THROW(
+      rf.redefine("missing", Region::row_vec({1, 0}, 8), PatternKind::kRow),
+      InvalidArgument);
+}
+
+TEST(RegisterFile, WriteSizeMismatchRejected) {
+  core::PolyMem mem(cfg(maf::Scheme::kReRo));
+  RegisterFile rf(mem);
+  rf.define("A", Region::row_vec({0, 0}, 8), PatternKind::kRow);
+  const auto wrong = iota_words(7, 0);
+  EXPECT_THROW(rf.write_register("A", wrong), InvalidArgument);
+}
+
+TEST(RegisterFile, ManyRegistersCoexist) {
+  core::PolyMem mem(cfg(maf::Scheme::kReRo));
+  RegisterFile rf(mem);
+  // Carve the space into 16 disjoint 2x4 tiles-as-registers and use all.
+  int id = 0;
+  for (std::int64_t i = 0; i < 8; i += 2)
+    for (std::int64_t j = 0; j < 32; j += 8)
+      rf.define("T" + std::to_string(id++), Region::matrix({i, j}, 2, 4),
+                PatternKind::kRect);
+  EXPECT_EQ(rf.names().size(), 16u);
+  for (int k = 0; k < 16; ++k)
+    rf.write_register("T" + std::to_string(k),
+                      iota_words(8, static_cast<core::Word>(k * 10)));
+  for (int k = 0; k < 16; ++k)
+    EXPECT_EQ(rf.read_register("T" + std::to_string(k)),
+              iota_words(8, static_cast<core::Word>(k * 10)));
+}
+
+}  // namespace
+}  // namespace polymem::prf

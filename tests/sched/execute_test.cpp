@@ -1,0 +1,92 @@
+#include "sched/execute.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace polymem::sched {
+namespace {
+
+using access::Coord;
+
+core::Word value_at(Coord c) {
+  return static_cast<core::Word>(c.i * 4096 + c.j);
+}
+
+core::PolyMemConfig cfg(maf::Scheme scheme, unsigned latency = 14) {
+  auto c = core::PolyMemConfig::with_capacity(8 * KiB, scheme, 2, 4);
+  c.read_latency = latency;
+  return c;
+}
+
+void fill(core::CyclePolyMem& mem) {
+  for (std::int64_t i = 0; i < mem.config().height; ++i)
+    for (std::int64_t j = 0; j < mem.config().width; ++j)
+      mem.functional().store({i, j}, value_at({i, j}));
+}
+
+TEST(ExecuteSchedule, DenseTraceMeetsSteadyStateSpeedup) {
+  const Scheduler sched(maf::Scheme::kReO, 2, 4);
+  const auto trace = AccessTrace::dense_block({1, 3}, 8, 16);  // 128 elements
+  const auto schedule = sched.schedule(trace);
+  ASSERT_EQ(schedule.length(), 16);
+
+  core::CyclePolyMem mem(cfg(maf::Scheme::kReO));
+  fill(mem);
+  const auto result = execute_schedule(trace, schedule, mem, value_at);
+  EXPECT_EQ(result.scalar_cycles, 128u);
+  // 16 back-to-back accesses + 14-cycle latency = 30 cycles.
+  EXPECT_EQ(result.polymem_cycles, 30u);
+  EXPECT_NEAR(result.measured_speedup, 128.0 / 30.0, 1e-12);
+  EXPECT_DOUBLE_EQ(result.steady_state_speedup, 8.0);
+  EXPECT_EQ(result.elements_fetched, 16u * 8);
+}
+
+TEST(ExecuteSchedule, MeasuredApproachesPredictedForLongSchedules) {
+  // Latency amortises: for a big trace, measured -> steady-state.
+  core::CyclePolyMem mem(cfg(maf::Scheme::kReRo));
+  Scheduler sched(maf::Scheme::kReRo, 2, 4);
+  sched.set_bounds(mem.config().height, mem.config().width);
+  const auto trace = AccessTrace::dense_block({0, 0}, 16, 32);  // 512 el.
+  const auto schedule = sched.schedule(trace, SolverKind::kGreedy);
+  fill(mem);
+  const auto result = execute_schedule(trace, schedule, mem, value_at);
+  EXPECT_GT(result.measured_speedup, 0.8 * result.steady_state_speedup);
+}
+
+TEST(ExecuteSchedule, DetectsWrongData) {
+  const Scheduler sched(maf::Scheme::kReRo, 2, 4);
+  const auto trace = AccessTrace::dense_block({0, 0}, 2, 8);
+  const auto schedule = sched.schedule(trace);
+  core::CyclePolyMem mem(cfg(maf::Scheme::kReRo));
+  fill(mem);
+  mem.functional().store({1, 3}, 0xBAD);  // corrupt one element
+  EXPECT_THROW(execute_schedule(trace, schedule, mem, value_at), Error);
+}
+
+TEST(ExecuteSchedule, SparseTraceSpeedupBelowDense) {
+  core::CyclePolyMem mem(cfg(maf::Scheme::kReRo));
+  Scheduler sched(maf::Scheme::kReRo, 2, 4);
+  sched.set_bounds(mem.config().height, mem.config().width);
+  const auto sparse = AccessTrace::random_sparse({0, 0}, 10, 16, 0.3, 3);
+  const auto schedule = sched.schedule(sparse, SolverKind::kGreedy);
+  fill(mem);
+  const auto result = execute_schedule(sparse, schedule, mem, value_at);
+  // Irregularity costs lanes: speedup strictly below the dense 8x.
+  EXPECT_LT(result.steady_state_speedup, 8.0);
+  EXPECT_GT(result.steady_state_speedup, 1.0);
+}
+
+TEST(ExecuteSchedule, ZeroLatencyMeasuresExactlySteadyState) {
+  const Scheduler sched(maf::Scheme::kReO, 2, 4);
+  const auto trace = AccessTrace::dense_block({0, 0}, 4, 8);
+  const auto schedule = sched.schedule(trace);
+  core::CyclePolyMem mem(cfg(maf::Scheme::kReO, /*latency=*/0));
+  fill(mem);
+  const auto result = execute_schedule(trace, schedule, mem, value_at);
+  EXPECT_DOUBLE_EQ(result.measured_speedup, result.steady_state_speedup);
+}
+
+}  // namespace
+}  // namespace polymem::sched

@@ -1,0 +1,160 @@
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace polymem::sched {
+namespace {
+
+using access::Coord;
+using access::PatternKind;
+using maf::Scheme;
+
+// Verifies that the schedule covers every trace element.
+void expect_covers(const Schedule& schedule, const AccessTrace& trace,
+                   unsigned p, unsigned q) {
+  std::set<Coord> covered;
+  for (const auto& acc : schedule.accesses)
+    for (const Coord& c : access::expand(acc, p, q)) covered.insert(c);
+  for (const Coord& c : trace.elements())
+    EXPECT_TRUE(covered.count(c)) << "uncovered " << c;
+}
+
+TEST(Scheduler, AlignedDenseBlockNeedsExactlyAreaOverLanes) {
+  // An aligned 4x8 block under ReO (2x4 rects): 32 elements / 8 lanes = 4.
+  const Scheduler sched(Scheme::kReO, 2, 4);
+  const auto trace = AccessTrace::dense_block({0, 0}, 4, 8);
+  const auto schedule = sched.schedule(trace);
+  EXPECT_TRUE(schedule.optimal);
+  EXPECT_EQ(schedule.length(), 4);
+  expect_covers(schedule, trace, 2, 4);
+}
+
+TEST(Scheduler, UnalignedBlockStillOptimalUnderReO) {
+  // ReO rectangles are conflict-free at ANY anchor, so an unaligned block
+  // costs the same 4 accesses.
+  const Scheduler sched(Scheme::kReO, 2, 4);
+  const auto trace = AccessTrace::dense_block({3, 5}, 4, 8);
+  const auto schedule = sched.schedule(trace);
+  EXPECT_EQ(schedule.length(), 4);
+  expect_covers(schedule, trace, 2, 4);
+}
+
+TEST(Scheduler, RoCoPaysForUnalignedBlocks) {
+  // RoCo rectangles are aligned-only. An unaligned 2x4 block is a single
+  // access under ReO (rect anywhere) but costs two under RoCo (its rows
+  // span two row accesses; no aligned rect matches).
+  const auto trace = AccessTrace::dense_block({1, 1}, 2, 4);
+  const auto roco = Scheduler(Scheme::kRoCo, 2, 4).schedule(trace);
+  expect_covers(roco, trace, 2, 4);
+  EXPECT_EQ(roco.length(), 2);
+  EXPECT_EQ(Scheduler(Scheme::kReO, 2, 4).schedule(trace).length(), 1);
+
+  // A full-width unaligned 4x8 block, however, is served in the optimal
+  // 4 accesses by RoCo's rows — multiview pays off.
+  const auto wide = AccessTrace::dense_block({1, 1}, 4, 8);
+  EXPECT_EQ(Scheduler(Scheme::kRoCo, 2, 4).schedule(wide).length(), 4);
+}
+
+TEST(Scheduler, RowTraceOptimalUnderReRo) {
+  const Scheduler sched(Scheme::kReRo, 2, 4);
+  // One full row of 24 elements: 3 row accesses.
+  const auto trace = AccessTrace::dense_block({5, 8}, 1, 24);
+  const auto schedule = sched.schedule(trace);
+  EXPECT_EQ(schedule.length(), 3);
+  for (const auto& acc : schedule.accesses)
+    EXPECT_EQ(acc.kind, PatternKind::kRow);
+}
+
+TEST(Scheduler, DiagonalTraceUsesDiagonalAccesses) {
+  const Scheduler sched(Scheme::kReRo, 2, 4);
+  const auto trace = AccessTrace(
+      access::expand({PatternKind::kMainDiag, {2, 3}}, 2, 4));
+  const auto schedule = sched.schedule(trace);
+  EXPECT_EQ(schedule.length(), 1);
+  EXPECT_EQ(schedule.accesses[0].kind, PatternKind::kMainDiag);
+  EXPECT_EQ(schedule.accesses[0].anchor, (Coord{2, 3}));
+}
+
+TEST(Scheduler, CandidateAccessesAllSupportedAndTouching) {
+  const Scheduler sched(Scheme::kReRo, 2, 4);
+  const auto trace = AccessTrace::dense_block({4, 4}, 2, 4);
+  const auto candidates = sched.candidate_accesses(trace);
+  EXPECT_FALSE(candidates.empty());
+  const auto& el = trace.elements();
+  for (const auto& acc : candidates) {
+    EXPECT_TRUE(maf::access_supported(sched.maf(), acc));
+    bool touches = false;
+    for (const Coord& c : access::expand(acc, 2, 4))
+      touches = touches || std::binary_search(el.begin(), el.end(), c);
+    EXPECT_TRUE(touches);
+    // ReRo serves no columns or transposed rects.
+    EXPECT_NE(acc.kind, PatternKind::kCol);
+    EXPECT_NE(acc.kind, PatternKind::kTRect);
+  }
+}
+
+TEST(Scheduler, GreedyNeverBeatsExact) {
+  const Scheduler sched(Scheme::kReRo, 2, 4);
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto trace = AccessTrace::random_sparse({0, 0}, 8, 12, 0.35, seed);
+    const auto exact = sched.schedule(trace, SolverKind::kExact);
+    const auto greedy = sched.schedule(trace, SolverKind::kGreedy);
+    expect_covers(exact, trace, 2, 4);
+    expect_covers(greedy, trace, 2, 4);
+    EXPECT_LE(exact.length(), greedy.length()) << "seed " << seed;
+  }
+}
+
+TEST(Scheduler, MetricsMatchDefinitions) {
+  const Scheduler sched(Scheme::kReO, 2, 4);
+  const auto trace = AccessTrace::dense_block({0, 0}, 4, 8);
+  const auto schedule = sched.schedule(trace);
+  const auto metrics = sched.evaluate(trace, schedule);
+  EXPECT_EQ(metrics.trace_elements, 32);
+  EXPECT_EQ(metrics.schedule_length, 4);
+  EXPECT_DOUBLE_EQ(metrics.speedup, 8.0);      // 32 elements / 4 accesses
+  EXPECT_DOUBLE_EQ(metrics.efficiency, 1.0);   // all lanes useful
+}
+
+TEST(Scheduler, SparseTraceHasLowEfficiency) {
+  const Scheduler sched(Scheme::kReRo, 2, 4);
+  // 4 isolated elements, far apart: 4 accesses, speedup 1, efficiency 1/8.
+  const AccessTrace trace({{0, 0}, {20, 0}, {0, 30}, {20, 30}});
+  const auto schedule = sched.schedule(trace);
+  const auto metrics = sched.evaluate(trace, schedule);
+  EXPECT_EQ(metrics.schedule_length, 4);
+  EXPECT_DOUBLE_EQ(metrics.speedup, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.efficiency, 0.125);
+}
+
+TEST(Scheduler, EmptyTraceEmptySchedule) {
+  const Scheduler sched(Scheme::kReO, 2, 4);
+  const auto schedule = sched.schedule(AccessTrace{});
+  EXPECT_EQ(schedule.length(), 0);
+  EXPECT_TRUE(schedule.optimal);
+}
+
+TEST(RankConfigurations, PicksTheBestSchemeForTheWorkload) {
+  // A columns-heavy workload: ReCo (or RoCo) must beat ReRo.
+  std::vector<Coord> cols;
+  for (int c = 0; c < 3; ++c)
+    for (int k = 0; k < 16; ++k) cols.push_back({k, 10 * c});
+  const AccessTrace trace{std::move(cols)};
+  const std::vector<std::tuple<Scheme, unsigned, unsigned>> configs = {
+      {Scheme::kReRo, 2, 4}, {Scheme::kReCo, 2, 4}, {Scheme::kRoCo, 2, 4}};
+  const auto ranking = rank_configurations(trace, configs);
+  ASSERT_EQ(ranking.size(), 3u);
+  EXPECT_NE(ranking[0].scheme, Scheme::kReRo);
+  EXPECT_GT(ranking[0].metrics.speedup,
+            ranking[2].metrics.speedup - 1e-12);
+  // Column accesses of 8 elements: 3 cols x 16 rows = 48 elements in 6.
+  EXPECT_EQ(ranking[0].schedule.length(), 6);
+}
+
+}  // namespace
+}  // namespace polymem::sched

@@ -1,0 +1,185 @@
+#include "sched/setcover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace polymem::sched {
+namespace {
+
+TEST(SetCover, ValidateCatchesBadInstances) {
+  CoverInstance bad;
+  bad.universe_size = 3;
+  bad.sets = {{0, 1}};  // element 2 uncoverable
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+
+  CoverInstance oob;
+  oob.universe_size = 2;
+  oob.sets = {{0, 2}};
+  EXPECT_THROW(oob.validate(), InvalidArgument);
+}
+
+TEST(SetCover, GreedyFindsACover) {
+  CoverInstance inst;
+  inst.universe_size = 5;
+  inst.sets = {{0, 1, 2}, {2, 3}, {3, 4}, {0, 4}};
+  const auto chosen = greedy_cover(inst);
+  EXPECT_TRUE(is_cover(inst, chosen));
+}
+
+TEST(SetCover, ExactFindsMinimum) {
+  // Greedy's classic failure: picks the big middle set then needs 2 more;
+  // the optimum is the two side sets.
+  CoverInstance inst;
+  inst.universe_size = 6;
+  inst.sets = {{0, 1, 2}, {3, 4, 5}, {1, 2, 3, 4}, {0}, {5}};
+  const auto exact = exact_cover(inst);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_TRUE(is_cover(inst, *exact));
+  EXPECT_EQ(exact->size(), 2u);
+}
+
+TEST(SetCover, GreedyCanBeSuboptimalButNeverBetterThanExact) {
+  CoverInstance inst;
+  inst.universe_size = 6;
+  inst.sets = {{0, 1, 2}, {3, 4, 5}, {1, 2, 3, 4}, {0}, {5}};
+  const auto greedy = greedy_cover(inst);
+  const auto exact = exact_cover(inst);
+  EXPECT_GE(greedy.size(), exact->size());
+  EXPECT_EQ(greedy.size(), 3u);  // greedy takes the 4-element trap set
+}
+
+TEST(SetCover, SingleSetCoversEverything) {
+  CoverInstance inst;
+  inst.universe_size = 4;
+  inst.sets = {{0}, {0, 1, 2, 3}, {1, 2}};
+  const auto exact = exact_cover(inst);
+  EXPECT_EQ(exact->size(), 1u);
+  EXPECT_EQ((*exact)[0], 1);
+}
+
+TEST(SetCover, EmptyUniverseNeedsNothing) {
+  CoverInstance inst;
+  inst.universe_size = 0;
+  EXPECT_TRUE(greedy_cover(inst).empty());
+  EXPECT_TRUE(exact_cover(inst)->empty());
+}
+
+TEST(SetCover, NodeBudgetExhaustionReturnsNullopt) {
+  // The greedy seed of the trap instance is suboptimal (3 sets), so the
+  // lower bound cannot prove optimality at the root: the search must
+  // descend, and a 1-node budget runs out before it can.
+  CoverInstance inst;
+  inst.universe_size = 6;
+  inst.sets = {{0, 1, 2}, {3, 4, 5}, {1, 2, 3, 4}, {0}, {5}};
+  EXPECT_EQ(exact_cover(inst, /*max_nodes=*/1), std::nullopt);
+  EXPECT_TRUE(exact_cover(inst).has_value());
+}
+
+TEST(PruneDominated, DropsSubsetsKeepsMaximal) {
+  CoverInstance inst;
+  inst.universe_size = 5;
+  inst.sets = {{0, 1}, {0, 1, 2}, {3}, {3, 4}, {2}};
+  std::vector<int> kept;
+  const auto pruned = prune_dominated(inst, kept);
+  // {0,1} c {0,1,2}; {3} c {3,4}; {2} c {0,1,2}.
+  EXPECT_EQ(kept, (std::vector<int>{1, 3}));
+  EXPECT_EQ(pruned.sets.size(), 2u);
+  EXPECT_EQ(pruned.universe_size, 5);
+}
+
+TEST(PruneDominated, DuplicatesKeepExactlyOne) {
+  CoverInstance inst;
+  inst.universe_size = 2;
+  inst.sets = {{0, 1}, {0, 1}, {0, 1}};
+  std::vector<int> kept;
+  const auto pruned = prune_dominated(inst, kept);
+  EXPECT_EQ(kept, std::vector<int>{0});
+  EXPECT_EQ(pruned.sets.size(), 1u);
+}
+
+TEST(PruneDominated, PreservesTheOptimum) {
+  Rng rng(21);
+  for (int trial = 0; trial < 25; ++trial) {
+    CoverInstance inst;
+    inst.universe_size = static_cast<int>(rng.uniform(4, 9));
+    const int num_sets = static_cast<int>(rng.uniform(4, 12));
+    for (int s = 0; s < num_sets; ++s) {
+      std::vector<int> set;
+      for (int e = 0; e < inst.universe_size; ++e)
+        if (rng.chance(0.35)) set.push_back(e);
+      inst.sets.push_back(std::move(set));
+    }
+    std::vector<int> all(static_cast<std::size_t>(inst.universe_size));
+    for (int e = 0; e < inst.universe_size; ++e)
+      all[static_cast<std::size_t>(e)] = e;
+    inst.sets.push_back(std::move(all));
+
+    std::vector<int> kept;
+    const auto pruned = prune_dominated(inst, kept);
+    const auto full = exact_cover(inst);
+    const auto reduced = exact_cover(pruned);
+    ASSERT_TRUE(full && reduced);
+    EXPECT_EQ(full->size(), reduced->size()) << "trial " << trial;
+    // The pruned solution maps back to a valid cover of the original.
+    std::vector<int> mapped;
+    for (int s : *reduced)
+      mapped.push_back(kept[static_cast<std::size_t>(s)]);
+    EXPECT_TRUE(is_cover(inst, mapped));
+  }
+}
+
+TEST(PruneDominated, NothingToPruneIsIdentity) {
+  CoverInstance inst;
+  inst.universe_size = 4;
+  inst.sets = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  std::vector<int> kept;
+  const auto pruned = prune_dominated(inst, kept);
+  EXPECT_EQ(pruned.sets, inst.sets);
+  EXPECT_EQ(kept, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// Property: on random small instances, exact <= greedy and exact is
+// optimal (verified by brute force over all subsets).
+TEST(SetCover, ExactMatchesBruteForceOnRandomInstances) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    CoverInstance inst;
+    inst.universe_size = static_cast<int>(rng.uniform(3, 8));
+    const int num_sets = static_cast<int>(rng.uniform(3, 9));
+    for (int s = 0; s < num_sets; ++s) {
+      std::vector<int> set;
+      for (int e = 0; e < inst.universe_size; ++e)
+        if (rng.chance(0.4)) set.push_back(e);
+      inst.sets.push_back(std::move(set));
+    }
+    // Guarantee coverability.
+    std::vector<int> all(static_cast<std::size_t>(inst.universe_size));
+    for (int e = 0; e < inst.universe_size; ++e)
+      all[static_cast<std::size_t>(e)] = e;
+    inst.sets.push_back(std::move(all));
+
+    // Brute force: smallest subset of sets that covers.
+    const int n = static_cast<int>(inst.sets.size());
+    std::size_t best = SIZE_MAX;
+    for (int mask = 1; mask < (1 << n); ++mask) {
+      std::vector<int> chosen;
+      for (int s = 0; s < n; ++s)
+        if (mask & (1 << s)) chosen.push_back(s);
+      if (chosen.size() < best && is_cover(inst, chosen))
+        best = chosen.size();
+    }
+
+    const auto exact = exact_cover(inst);
+    ASSERT_TRUE(exact.has_value()) << "trial " << trial;
+    EXPECT_TRUE(is_cover(inst, *exact));
+    EXPECT_EQ(exact->size(), best) << "trial " << trial;
+    EXPECT_GE(greedy_cover(inst).size(), exact->size());
+  }
+}
+
+}  // namespace
+}  // namespace polymem::sched

@@ -1,0 +1,75 @@
+#include "sched/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace polymem::sched {
+namespace {
+
+using access::Coord;
+
+TEST(AccessTrace, DeduplicatesAndSorts) {
+  const AccessTrace trace({{1, 1}, {0, 0}, {1, 1}, {0, 2}});
+  EXPECT_EQ(trace.size(), 3);
+  EXPECT_TRUE(std::is_sorted(trace.elements().begin(),
+                             trace.elements().end()));
+}
+
+TEST(AccessTrace, BoundingBox) {
+  const AccessTrace trace({{2, 5}, {7, 1}, {3, 9}});
+  EXPECT_EQ(trace.min(), (Coord{2, 1}));
+  EXPECT_EQ(trace.max(), (Coord{7, 9}));
+  EXPECT_THROW(AccessTrace().min(), InvalidArgument);
+}
+
+TEST(AccessTrace, DenseBlock) {
+  const auto trace = AccessTrace::dense_block({2, 3}, 4, 5);
+  EXPECT_EQ(trace.size(), 20);
+  EXPECT_EQ(trace.min(), (Coord{2, 3}));
+  EXPECT_EQ(trace.max(), (Coord{5, 7}));
+}
+
+TEST(AccessTrace, StencilUnionOfShifts) {
+  // 5-point star over a 2x2 tile.
+  const std::vector<Coord> star = {{0, 0}, {-1, 0}, {1, 0}, {0, -1}, {0, 1}};
+  const auto trace = AccessTrace::stencil({4, 4}, 2, 2, star);
+  // Union of 4 stars: the 2x2 core + halo = 12 distinct elements.
+  EXPECT_EQ(trace.size(), 12);
+  const auto& el = trace.elements();
+  EXPECT_TRUE(std::binary_search(el.begin(), el.end(), Coord{3, 4}));
+  EXPECT_TRUE(std::binary_search(el.begin(), el.end(), Coord{6, 5}));
+  EXPECT_FALSE(std::binary_search(el.begin(), el.end(), Coord{3, 3}));
+}
+
+TEST(AccessTrace, RandomSparseIsDeterministicPerSeed) {
+  const auto a = AccessTrace::random_sparse({0, 0}, 10, 10, 0.3, 11);
+  const auto b = AccessTrace::random_sparse({0, 0}, 10, 10, 0.3, 11);
+  const auto c = AccessTrace::random_sparse({0, 0}, 10, 10, 0.3, 12);
+  EXPECT_EQ(a.elements(), b.elements());
+  EXPECT_NE(a.elements(), c.elements());
+  EXPECT_GT(a.size(), 10);  // ~30 of 100 expected
+  EXPECT_LT(a.size(), 60);
+}
+
+TEST(AccessTrace, DiagonalBand) {
+  const auto trace = AccessTrace::diagonal_band({0, 5}, 4, 1);
+  EXPECT_EQ(trace.size(), 12);  // 4 diagonal positions x 3-wide band
+  const auto& el = trace.elements();
+  EXPECT_TRUE(std::binary_search(el.begin(), el.end(), Coord{0, 5}));
+  EXPECT_TRUE(std::binary_search(el.begin(), el.end(), Coord{3, 8}));
+  EXPECT_TRUE(std::binary_search(el.begin(), el.end(), Coord{3, 7}));
+}
+
+TEST(AccessTrace, GeneratorValidation) {
+  EXPECT_THROW(AccessTrace::dense_block({0, 0}, 0, 5), InvalidArgument);
+  EXPECT_THROW(AccessTrace::stencil({0, 0}, 1, 1, {}), InvalidArgument);
+  EXPECT_THROW(AccessTrace::random_sparse({0, 0}, 2, 2, 0.0, 1),
+               InvalidArgument);
+  EXPECT_THROW(AccessTrace::diagonal_band({0, 0}, 0, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace polymem::sched

@@ -1,0 +1,70 @@
+#include "stream/design.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace polymem::stream {
+namespace {
+
+TEST(StreamDesignConfig, DefaultsMatchPaperSectionV) {
+  const StreamDesignConfig cfg;
+  // "we synthesized this design using a PolyMem with 8 lanes (p*q = 2*4)"
+  EXPECT_EQ(cfg.p, 2u);
+  EXPECT_EQ(cfg.q, 4u);
+  // "Because we access data in rows only, we have used the RoCo scheme."
+  EXPECT_EQ(cfg.scheme, maf::Scheme::kRoCo);
+  // "The maximum allocated size for each array is 170*512*8 bytes".
+  EXPECT_EQ(cfg.vector_capacity, 170 * 512);
+  EXPECT_EQ(cfg.vector_capacity * 8, 696320);  // ~700KB
+  // "the STREAM design, using 2 read ports".
+  EXPECT_EQ(cfg.read_ports, 2u);
+  // "synthesize this STREAM-Copy design ... at 120MHz".
+  EXPECT_DOUBLE_EQ(cfg.clock_mhz, 120.0);
+  // "The required delay applied on the output data is 14 clock cycles".
+  EXPECT_EQ(cfg.read_latency, 14u);
+}
+
+TEST(StreamDesignConfig, PolyMemConfigHoldsThreeBands) {
+  const StreamDesignConfig cfg;
+  const auto pm = cfg.polymem_config();
+  EXPECT_EQ(pm.width, 512);
+  EXPECT_EQ(pm.height, 510);  // 3 x 170 rows
+  EXPECT_GE(pm.capacity_bytes(), 3ull * 170 * 512 * 8);
+  EXPECT_EQ(pm.read_latency, 14u);
+}
+
+TEST(StreamDesign, WiresFourStreamsAndController) {
+  StreamDesign design;
+  EXPECT_NO_THROW(design.manager().stream(StreamDesign::kAIn));
+  EXPECT_NO_THROW(design.manager().stream(StreamDesign::kBIn));
+  EXPECT_NO_THROW(design.manager().stream(StreamDesign::kCIn));
+  EXPECT_NO_THROW(design.manager().stream(StreamDesign::kOut));
+  EXPECT_EQ(design.manager().kernel_count(), 1u);
+  EXPECT_TRUE(design.controller().done());  // idle at reset
+}
+
+TEST(StreamDesign, SmallCustomConfig) {
+  StreamDesignConfig cfg;
+  cfg.vector_capacity = 64;
+  cfg.width = 32;
+  StreamDesign design(cfg);
+  EXPECT_EQ(design.controller().config().height, 6);  // 3 x 2 rows
+  EXPECT_EQ(design.controller().vector_capacity(), 64);
+}
+
+TEST(StreamDesign, BandsAreDisjointAndOrdered) {
+  StreamDesignConfig cfg;
+  cfg.vector_capacity = 64;
+  cfg.width = 32;
+  StreamDesign design(cfg);
+  const auto a = design.controller().band(Vector::kA);
+  const auto b = design.controller().band(Vector::kB);
+  const auto c = design.controller().band(Vector::kC);
+  EXPECT_EQ(a.first_row(), 0);
+  EXPECT_EQ(b.first_row(), 2);
+  EXPECT_EQ(c.first_row(), 4);
+}
+
+}  // namespace
+}  // namespace polymem::stream

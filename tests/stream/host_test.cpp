@@ -1,0 +1,140 @@
+#include "stream/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace polymem::stream {
+namespace {
+
+StreamDesignConfig small_cfg() {
+  StreamDesignConfig cfg;
+  cfg.vector_capacity = 512;
+  cfg.width = 64;
+  cfg.stream_depth = 128;
+  return cfg;
+}
+
+std::vector<double> iota_doubles(int n, double base) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) v[static_cast<std::size_t>(k)] = base + k;
+  return v;
+}
+
+TEST(StreamHost, EndToEndCopyRoundTrip) {
+  // The full paper flow: Load (PCIe in), Copy (measured), Offload
+  // (PCIe out) — with C arriving as a copy of A.
+  StreamHost host(small_cfg());
+  const auto a = iota_doubles(512, 1.0);
+  const auto b = iota_doubles(512, 1000.0);
+  const auto c0 = std::vector<double>(512, 0.0);
+  host.load(a, b, c0);
+  host.run(Mode::kCopy, 512, /*runs=*/1);
+  std::vector<double> a2(512), b2(512), c2(512);
+  host.offload(a2, b2, c2);
+  EXPECT_EQ(a2, a);
+  EXPECT_EQ(b2, b);
+  EXPECT_EQ(c2, a);  // Copy: c = a
+}
+
+TEST(StreamHost, AllFourStreamKernelsCorrect) {
+  StreamHost host(small_cfg());
+  const auto a0 = iota_doubles(512, 2.0);
+  const auto b0 = iota_doubles(512, 5.0);
+  const auto c0 = iota_doubles(512, -3.0);
+  host.load(a0, b0, c0);
+
+  // Copy: c = a.
+  host.run(Mode::kCopy, 512, 1);
+  // Scale: a = q*b.
+  host.run(Mode::kScale, 512, 1, 2.0);
+  // Sum: a' = b + c (c is now the old a).
+  host.run(Mode::kSum, 512, 1);
+  // Triad: a'' = b + q*c.
+  host.run(Mode::kTriad, 512, 1, 0.5);
+
+  std::vector<double> a(512), b(512), c(512);
+  host.offload(a, b, c);
+  for (int k = 0; k < 512; ++k) {
+    EXPECT_DOUBLE_EQ(c[k], a0[k]);                 // from Copy
+    EXPECT_DOUBLE_EQ(b[k], b0[k]);                 // untouched
+    EXPECT_DOUBLE_EQ(a[k], b0[k] + 0.5 * a0[k]);   // final Triad
+  }
+}
+
+TEST(StreamHost, CopyTimingMatchesAnalyticModel) {
+  // Per run: groups + latency + 1 cycles at 120MHz, plus one 300ns call.
+  StreamHost host(small_cfg());
+  host.load(iota_doubles(512, 0.0), iota_doubles(512, 0.0),
+            iota_doubles(512, 0.0));
+  const auto result = host.run(Mode::kCopy, 512, 5);
+  EXPECT_EQ(result.cycles_per_run, 512u / 8 + 14 + 1);
+  const double expected =
+      300e-9 + static_cast<double>(result.cycles_per_run) / 120e6;
+  EXPECT_NEAR(result.seconds.min(), expected, 1e-12);
+  EXPECT_NEAR(result.seconds.max(), expected, 1e-12);  // deterministic
+  EXPECT_EQ(result.seconds.count(), 5u);
+}
+
+TEST(StreamHost, TheoreticalPeakMatchesPaperFormula) {
+  // "2 x 8 x 8 x 120 = 15360 MB/s" (Sec. V).
+  StreamHost host(small_cfg());
+  EXPECT_DOUBLE_EQ(host.theoretical_peak_bytes_per_s(Mode::kCopy), 15360e6);
+  EXPECT_DOUBLE_EQ(host.theoretical_peak_bytes_per_s(Mode::kTriad),
+                   1.5 * 15360e6);
+}
+
+TEST(StreamHost, LargeCopyReaches99PercentOfPeak) {
+  // The paper's headline: at ~700KB, measured Copy bandwidth exceeds 99%
+  // of the 15360 MB/s theoretical peak.
+  StreamHost host;  // full-size paper design (170*512 elements)
+  const std::int64_t n = 170 * 512;
+  std::vector<double> zeros(static_cast<std::size_t>(n), 1.0);
+  host.load(zeros, zeros, zeros);
+  const auto result = host.run(Mode::kCopy, n, 1);
+  const double ratio = result.best_rate_bytes_per_s() /
+                       host.theoretical_peak_bytes_per_s(Mode::kCopy);
+  EXPECT_GT(ratio, 0.99);
+  EXPECT_LT(ratio, 1.0);
+}
+
+TEST(StreamHost, SmallCopiesAreOverheadBound) {
+  // The left ramp of Fig. 10: with runtimes comparable to the 300ns call
+  // overhead, the achieved bandwidth collapses.
+  StreamHost host(small_cfg());
+  host.load(iota_doubles(512, 0.0), iota_doubles(512, 0.0),
+            iota_doubles(512, 0.0));
+  const auto small = host.run(Mode::kCopy, 8, 1);
+  const auto large = host.run(Mode::kCopy, 512, 1);
+  EXPECT_LT(small.best_rate_bytes_per_s(),
+            0.5 * large.best_rate_bytes_per_s());
+}
+
+TEST(StreamHost, ReportHasStreamFormat) {
+  StreamHost host(small_cfg());
+  host.load(iota_doubles(512, 0.0), iota_doubles(512, 1.0),
+            iota_doubles(512, 2.0));
+  std::vector<StreamResult> results;
+  results.push_back(host.run(Mode::kCopy, 512, 3));
+  results.push_back(host.run(Mode::kScale, 512, 3));
+  const auto table = host.report(results);
+  std::ostringstream os;
+  table.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Copy"), std::string::npos);
+  EXPECT_NE(s.find("Scale"), std::string::npos);
+  EXPECT_NE(s.find("BestRate"), std::string::npos);
+}
+
+TEST(StreamHost, MismatchedVectorSizesRejected) {
+  StreamHost host(small_cfg());
+  std::vector<double> a(512), b(256), c(512);
+  EXPECT_THROW(host.load(a, b, c), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace polymem::stream

@@ -1,0 +1,92 @@
+#include "synth/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace polymem::synth {
+namespace {
+
+using maf::Scheme;
+
+TEST(Calibration, Table4Has90Cells) {
+  // 5 schemes x 18 synthesised (size, lanes, ports) columns.
+  EXPECT_EQ(paper_table4().size(), 90u);
+  EXPECT_EQ(table4_columns().size(), 18u);
+}
+
+TEST(Calibration, HeadlineCellsMatchPaperText) {
+  // "The highest frequency, 202MHz, is achieved by the 512KB, 8-lane,
+  //  single read port ReO design."
+  EXPECT_EQ(paper_fmax_mhz({Scheme::kReO, 512, 8, 1}), 202.0);
+  // "the highest clock frequency is 196MHz for the 512KB, 8-lane, single
+  //  read port ReCo configuration" (multiview).
+  EXPECT_EQ(paper_fmax_mhz({Scheme::kReCo, 512, 8, 1}), 196.0);
+  // The STREAM section: "just 2 MHz lower than the maximum clock frequency
+  //  for a 2048KB configuration with a single read port" -> 122 MHz RoCo.
+  EXPECT_EQ(paper_fmax_mhz({Scheme::kRoCo, 2048, 8, 1}), 122.0);
+}
+
+TEST(Calibration, GlobalExtremaMatchPaperText) {
+  // Max is 202; "The minimum clock frequency is 77MHz."
+  double lo = 1e9, hi = 0;
+  for (const FmaxSample& s : paper_table4()) {
+    lo = std::min(lo, s.mhz);
+    hi = std::max(hi, s.mhz);
+  }
+  EXPECT_EQ(hi, 202.0);
+  EXPECT_EQ(lo, 77.0);
+}
+
+TEST(Calibration, UnsynthesisedPointsReturnNothing) {
+  EXPECT_FALSE(paper_fmax_mhz({Scheme::kReO, 4096, 8, 2}).has_value());
+  EXPECT_FALSE(paper_fmax_mhz({Scheme::kReO, 512, 16, 3}).has_value());
+  EXPECT_FALSE(paper_fmax_mhz({Scheme::kReO, 2048, 8, 3}).has_value());
+}
+
+TEST(Calibration, ValidityRuleMatchesTable4Columns) {
+  // The Table III validity predicate must generate exactly the 18
+  // synthesised columns.
+  std::set<std::tuple<unsigned, unsigned, unsigned>> from_rule;
+  for (unsigned size : {512u, 1024u, 2048u, 4096u})
+    for (unsigned lanes : {8u, 16u})
+      for (unsigned ports = 1; ports <= 4; ++ports)
+        if (dse_point_valid(size, lanes, ports))
+          from_rule.insert({size, lanes, ports});
+  std::set<std::tuple<unsigned, unsigned, unsigned>> from_table;
+  for (const DseColumn& c : table4_columns())
+    from_table.insert({c.size_kb, c.lanes, c.ports});
+  EXPECT_EQ(from_rule, from_table);
+  EXPECT_EQ(from_rule.size(), 18u);
+}
+
+TEST(Calibration, ValidityRejectsOverCapacityReplication) {
+  EXPECT_FALSE(dse_point_valid(4096, 8, 2));   // 8MB of data: no
+  EXPECT_FALSE(dse_point_valid(2048, 8, 3));   // 6MB: no
+  EXPECT_TRUE(dse_point_valid(1024, 8, 4));    // exactly 4MB: yes
+  EXPECT_TRUE(dse_point_valid(2048, 8, 2));    // exactly 4MB: yes
+  EXPECT_FALSE(dse_point_valid(512, 16, 3));   // 16 lanes cap at 2 ports
+  EXPECT_FALSE(dse_point_valid(256, 8, 1));    // not a Table III size
+  EXPECT_FALSE(dse_point_valid(512, 4, 1));    // not a Table III lane count
+  EXPECT_FALSE(dse_point_valid(512, 8, 0));
+}
+
+TEST(Calibration, Geometry) {
+  unsigned p = 0, q = 0;
+  dse_geometry(8, p, q);
+  EXPECT_EQ(p, 2u);
+  EXPECT_EQ(q, 4u);
+  dse_geometry(16, p, q);
+  EXPECT_EQ(p, 2u);
+  EXPECT_EQ(q, 8u);
+}
+
+TEST(Calibration, EveryCellPositiveAndPlausible) {
+  for (const FmaxSample& s : paper_table4()) {
+    EXPECT_GE(s.mhz, 77.0);
+    EXPECT_LE(s.mhz, 202.0);
+  }
+}
+
+}  // namespace
+}  // namespace polymem::synth

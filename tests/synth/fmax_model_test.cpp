@@ -1,0 +1,101 @@
+#include "synth/fmax_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace polymem::synth {
+namespace {
+
+using maf::Scheme;
+
+TEST(FmaxModel, CalibratedFitIsTight) {
+  // The analytical model must track the paper's 90 synthesis results to
+  // within 10% mean relative error (the shape claim of DESIGN.md).
+  const FmaxModel& model = FmaxModel::paper_calibrated();
+  EXPECT_LT(model.mean_rel_error_vs_paper(), 0.10);
+}
+
+TEST(FmaxModel, CorrelatesStronglyWithPaper) {
+  const FmaxModel& model = FmaxModel::paper_calibrated();
+  std::vector<double> predicted, reference;
+  for (const FmaxSample& s : paper_table4()) {
+    predicted.push_back(model.fmax_mhz(s.point));
+    reference.push_back(s.mhz);
+  }
+  EXPECT_GT(pearson(predicted, reference), 0.9);
+}
+
+TEST(FmaxModel, FrequencyFallsWithCapacity) {
+  // Sec. IV-B: "bandwidth is reduced if the number of lanes and ports is
+  // kept constant, but the capacity of PolyMem is increased" — via fmax.
+  const FmaxModel& model = FmaxModel::paper_calibrated();
+  for (Scheme s : maf::kAllSchemes) {
+    double prev = 1e9;
+    for (unsigned size : {512u, 1024u, 2048u, 4096u}) {
+      const double f = model.fmax_mhz(DsePoint{s, size, 8, 1});
+      EXPECT_LT(f, prev) << maf::scheme_name(s) << " " << size;
+      prev = f;
+    }
+  }
+}
+
+TEST(FmaxModel, FrequencyFallsWithReadPorts) {
+  const FmaxModel& model = FmaxModel::paper_calibrated();
+  double prev = 1e9;
+  for (unsigned ports = 1; ports <= 4; ++ports) {
+    const double f =
+        model.fmax_mhz(DsePoint{Scheme::kReRo, 512, 8, ports});
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(FmaxModel, FrequencyFallsWithLanes) {
+  const FmaxModel& model = FmaxModel::paper_calibrated();
+  EXPECT_LT(model.fmax_mhz(DsePoint{Scheme::kReRo, 512, 16, 1}),
+            model.fmax_mhz(DsePoint{Scheme::kReRo, 512, 8, 1}));
+}
+
+TEST(FmaxModel, PredictionsWithinPaperEnvelope) {
+  // All synthesised points landed in 77..202 MHz; the model must stay in
+  // a modestly widened envelope on those same points.
+  const FmaxModel& model = FmaxModel::paper_calibrated();
+  for (const FmaxSample& s : paper_table4()) {
+    const double f = model.fmax_mhz(s.point);
+    EXPECT_GT(f, 65.0);
+    EXPECT_LT(f, 230.0);
+  }
+}
+
+TEST(FmaxModel, MakeConfigBuildsDseGeometry) {
+  const auto cfg =
+      FmaxModel::make_config(DsePoint{Scheme::kReTr, 1024, 16, 2});
+  EXPECT_EQ(cfg.capacity_bytes(), 1024 * KiB);
+  EXPECT_EQ(cfg.p, 2u);
+  EXPECT_EQ(cfg.q, 8u);
+  EXPECT_EQ(cfg.read_ports, 2u);
+  EXPECT_EQ(cfg.scheme, Scheme::kReTr);
+}
+
+TEST(FmaxModel, PeriodIsInverseOfFrequency) {
+  const FmaxModel& model = FmaxModel::paper_calibrated();
+  const auto cfg = FmaxModel::make_config(DsePoint{Scheme::kReO, 512, 8, 1});
+  EXPECT_NEAR(model.period_ns(cfg) * model.fmax_mhz(cfg), 1000.0, 1e-6);
+}
+
+TEST(FmaxModel, ExplicitParamsAreHonoured) {
+  FmaxParams params;
+  params.t0 = 10.0;
+  params.tb = 0.0;
+  params.tp = 0.0;
+  params.tl = 0.0;
+  params.scheme_offset = {};
+  const FmaxModel model(params);
+  const auto cfg = FmaxModel::make_config(DsePoint{Scheme::kReO, 512, 8, 1});
+  EXPECT_DOUBLE_EQ(model.fmax_mhz(cfg), 100.0);
+}
+
+}  // namespace
+}  // namespace polymem::synth

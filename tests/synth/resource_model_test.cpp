@@ -1,0 +1,154 @@
+// Pins the resource model against the utilisation numbers quoted in the
+// paper's Sec. IV-C text, and checks the monotonicity/shape claims of
+// Figs. 6-8.
+#include "synth/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "synth/calibration.hpp"
+#include "synth/fmax_model.hpp"
+
+namespace polymem::synth {
+namespace {
+
+using maf::Scheme;
+
+core::PolyMemConfig cfg(Scheme s, unsigned size_kb, unsigned lanes,
+                        unsigned ports) {
+  return FmaxModel::make_config(DsePoint{s, size_kb, lanes, ports});
+}
+
+TEST(ResourceModel, BramAnchorsFromPaperText) {
+  const ResourceModel model;
+  // "the logic utilization varies ... 16.07% of the BRAMs [512KB ReRo 8L
+  //  1P], the 16-lane PolyMem uses 19.31% and the 8-lane, dual read port
+  //  configuration uses 29.04%".
+  EXPECT_NEAR(model.estimate(cfg(Scheme::kReRo, 512, 8, 1)).bram_pct, 16.07,
+              2.5);
+  EXPECT_NEAR(model.estimate(cfg(Scheme::kReRo, 512, 16, 1)).bram_pct, 19.31,
+              2.5);
+  EXPECT_NEAR(model.estimate(cfg(Scheme::kReRo, 512, 8, 2)).bram_pct, 29.04,
+              2.5);
+  // "up to 97% for a 2MB, 16-lane, 2-read ports PolyMem".
+  EXPECT_NEAR(model.estimate(cfg(Scheme::kReRo, 2048, 16, 2)).bram_pct, 97.0,
+              4.0);
+}
+
+TEST(ResourceModel, BramIndependentOfScheme) {
+  // "the memory scheme has no influence on the amount of BRAMs used".
+  const ResourceModel model;
+  const auto ref = model.estimate(cfg(Scheme::kReO, 1024, 8, 2)).bram36;
+  for (Scheme s : maf::kAllSchemes)
+    EXPECT_EQ(model.estimate(cfg(s, 1024, 8, 2)).bram36, ref);
+}
+
+TEST(ResourceModel, BramGrowsWithCapacityLanesAndPorts) {
+  const ResourceModel model;
+  auto bram = [&](unsigned size, unsigned lanes, unsigned ports) {
+    return model.estimate(cfg(Scheme::kReRo, size, lanes, ports)).bram_pct;
+  };
+  EXPECT_LT(bram(512, 8, 1), bram(1024, 8, 1));
+  EXPECT_LT(bram(1024, 8, 1), bram(2048, 8, 1));
+  EXPECT_LT(bram(2048, 8, 1), bram(4096, 8, 1));
+  EXPECT_LT(bram(512, 8, 1), bram(512, 16, 1));
+  EXPECT_LT(bram(512, 8, 1), bram(512, 8, 2));
+  EXPECT_LT(bram(512, 8, 2), bram(512, 8, 4));
+}
+
+TEST(ResourceModel, ReadPortDuplicationDoublesDataBrams) {
+  const ResourceModel model;
+  const auto one = model.estimate(cfg(Scheme::kReRo, 512, 8, 1));
+  const auto two = model.estimate(cfg(Scheme::kReRo, 512, 8, 2));
+  EXPECT_EQ(two.bram36_data, 2 * one.bram36_data);
+}
+
+TEST(ResourceModel, EveryValidDsePointFitsTheDevice) {
+  // The paper synthesised all 90 Table IV points; the model must agree
+  // they fit (BRAM <= 100%, logic < 38%, LUTs < 28%: Sec. IV-C bullets).
+  const ResourceModel model;
+  for (const FmaxSample& s : paper_table4()) {
+    const auto est = model.estimate(FmaxModel::make_config(s.point));
+    EXPECT_TRUE(est.fits()) << s.point.size_kb << "KB " << s.point.lanes
+                            << "L " << s.point.ports << "P";
+    EXPECT_LT(est.logic_pct, 38.0);
+    EXPECT_LT(est.lut_pct, 28.5);
+  }
+}
+
+TEST(ResourceModel, LogicAnchorsFromPaperText) {
+  const ResourceModel model;
+  // "varies between 10.58% for a 512KB, ReO configuration to 13.05% for
+  //  the 4096KB featuring the RoCo scheme" (8 lanes, 1 read port).
+  EXPECT_NEAR(model.estimate(cfg(Scheme::kReO, 512, 8, 1)).logic_pct, 10.58,
+              0.5);
+  EXPECT_NEAR(model.estimate(cfg(Scheme::kRoCo, 4096, 8, 1)).logic_pct, 13.05,
+              0.5);
+  // "for the ReRo, 512KB, 8 lane configuration, the logic utilization
+  //  doubles from 10.78% for the single port case to 22.34% for the
+  //  4-port PolyMem".
+  EXPECT_NEAR(model.estimate(cfg(Scheme::kReRo, 512, 8, 1)).logic_pct, 10.78,
+              0.5);
+  EXPECT_NEAR(model.estimate(cfg(Scheme::kReRo, 512, 8, 4)).logic_pct, 22.34,
+              0.8);
+  // "the logic utilization increases from 10.78% to 23.73%" (8 -> 16 lanes).
+  EXPECT_NEAR(model.estimate(cfg(Scheme::kReRo, 512, 16, 1)).logic_pct, 23.73,
+              0.8);
+}
+
+TEST(ResourceModel, LogicSupraLinearInLanes) {
+  // Doubling lanes more than doubles the crossbar contribution
+  // (Sec. IV-C: "supra-linear logic utilization increase").
+  const ResourceModel model;
+  const double base = 3.5;  // platform offset excluded from the ratio
+  const double l8 =
+      model.estimate(cfg(Scheme::kReRo, 512, 8, 1)).logic_pct - base;
+  const double l16 =
+      model.estimate(cfg(Scheme::kReRo, 512, 16, 1)).logic_pct - base;
+  EXPECT_GT(l16, 2.0 * l8);
+  EXPECT_LT(l16, 4.0 * l8);  // but sub-quadratic overall
+}
+
+TEST(ResourceModel, LogicNearlyFlatInCapacity) {
+  // "little to no increase in logic utilization" when only capacity grows.
+  const ResourceModel model;
+  const double small = model.estimate(cfg(Scheme::kReRo, 512, 8, 1)).logic_pct;
+  const double large = model.estimate(cfg(Scheme::kReRo, 4096, 8, 1)).logic_pct;
+  EXPECT_LT(large - small, 3.0);
+  EXPECT_GT(large, small);
+}
+
+TEST(ResourceModel, LutsTrackLogic) {
+  const ResourceModel model;
+  for (const auto& point :
+       {DsePoint{Scheme::kReRo, 512, 8, 1}, DsePoint{Scheme::kReRo, 512, 16, 2},
+        DsePoint{Scheme::kReO, 4096, 8, 1}}) {
+    const auto est = model.estimate(FmaxModel::make_config(point));
+    EXPECT_GT(est.lut_pct, 0.5 * est.logic_pct);
+    EXPECT_LT(est.lut_pct, est.logic_pct);
+    // LUT% within the paper's 7..28% envelope.
+    EXPECT_GE(est.lut_pct, 6.5);
+    EXPECT_LE(est.lut_pct, 28.5);
+  }
+}
+
+TEST(ResourceModel, ModularDesignDoublesLogic) {
+  // Sec. III-C: modular multi-kernel design costs 2x resources.
+  const ResourceModel model;
+  const auto fused = model.estimate(cfg(Scheme::kReRo, 512, 8, 1));
+  const auto modular = model.estimate_modular(cfg(Scheme::kReRo, 512, 8, 1));
+  EXPECT_DOUBLE_EQ(modular.logic_pct, 2 * fused.logic_pct);
+  EXPECT_DOUBLE_EQ(modular.lut_pct, 2 * fused.lut_pct);
+  EXPECT_EQ(modular.bram36, fused.bram36);  // BRAM is data-bound
+}
+
+TEST(ResourceModel, AbsoluteCountsConsistentWithPercentages) {
+  const ResourceModel model;
+  const auto est = model.estimate(cfg(Scheme::kReRo, 512, 8, 1));
+  const auto& dev = model.device();
+  EXPECT_NEAR(est.luts, est.lut_pct / 100.0 * dev.luts, 1.0);
+  EXPECT_NEAR(est.logic_cells, est.logic_pct / 100.0 * dev.logic_cells, 1.0);
+}
+
+}  // namespace
+}  // namespace polymem::synth

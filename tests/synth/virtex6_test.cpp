@@ -1,0 +1,26 @@
+#include "synth/virtex6.hpp"
+
+#include <gtest/gtest.h>
+
+namespace polymem::synth {
+namespace {
+
+TEST(Virtex6, MatchesPaperDescription) {
+  const DeviceSpec& dev = virtex6_sx475t();
+  EXPECT_EQ(dev.name, "XC6VSX475T");
+  // "475k logic cells and 4MB of on-chip BRAMs" (Sec. IV-A).
+  EXPECT_NEAR(static_cast<double>(dev.logic_cells), 475e3, 2e3);
+  EXPECT_GE(dev.bram_bytes_total(), 4ull * 1024 * 1024);
+  // The paper instantiated a 4MB PolyMem, so the device must hold at
+  // least 4MB of data plus infrastructure, but not wildly more.
+  EXPECT_LE(dev.bram_bytes_total(), 5ull * 1024 * 1024);
+}
+
+TEST(Virtex6, Bram36Geometry) {
+  const DeviceSpec& dev = virtex6_sx475t();
+  EXPECT_EQ(dev.bram36_blocks, 1064u);
+  EXPECT_EQ(dev.bram36_bytes, 4608u);  // 36Kb with parity, 512x72 mode
+}
+
+}  // namespace
+}  // namespace polymem::synth

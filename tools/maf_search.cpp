@@ -1,0 +1,154 @@
+// maf_search: derive and verify Module Assignment Functions (MAFs).
+//
+// Verifies the classic PRF MAFs (ReO, ReRo, ReCo, RoCo) against their
+// advertised pattern families, and searches a family of linear skewing
+// functions for a ReTr MAF (conflict-free p x q AND q x p rectangles),
+// so the library can ship a machine-verified formula.
+#include <cstdio>
+#include <cstdint>
+#include <vector>
+#include <array>
+#include <string>
+#include <functional>
+
+struct PQ { int p, q; };
+
+using Maf = std::function<int(int i, int j, int p, int q)>; // -> bank in [0, p*q)
+
+// Enumerate the p*q elements of a pattern anchored at (a, b).
+enum class Pat { Rect, TRect, Row, Col, MDiag, SDiag };
+static const char* pat_name(Pat x) {
+  switch (x) {
+    case Pat::Rect: return "rect";
+    case Pat::TRect: return "trect";
+    case Pat::Row: return "row";
+    case Pat::Col: return "col";
+    case Pat::MDiag: return "mdiag";
+    case Pat::SDiag: return "sdiag";
+  }
+  return "?";
+}
+
+static void elements(Pat pat, int a, int b, int p, int q,
+                     std::vector<std::pair<int,int>>& out) {
+  const int n = p * q;
+  out.clear();
+  switch (pat) {
+    case Pat::Rect:
+      for (int u = 0; u < p; ++u)
+        for (int v = 0; v < q; ++v) out.emplace_back(a + u, b + v);
+      break;
+    case Pat::TRect:
+      for (int u = 0; u < q; ++u)
+        for (int v = 0; v < p; ++v) out.emplace_back(a + u, b + v);
+      break;
+    case Pat::Row:
+      for (int k = 0; k < n; ++k) out.emplace_back(a, b + k);
+      break;
+    case Pat::Col:
+      for (int k = 0; k < n; ++k) out.emplace_back(a + k, b);
+      break;
+    case Pat::MDiag:
+      for (int k = 0; k < n; ++k) out.emplace_back(a + k, b + k);
+      break;
+    case Pat::SDiag:
+      for (int k = 0; k < n; ++k) out.emplace_back(a + k, b - k);
+      break;
+  }
+}
+
+// True if all accesses of `pat` at every anchor map to distinct banks.
+// Anchors swept over several MAF periods; coordinates may be negative for
+// SDiag so we offset anchors to stay non-negative.
+static bool conflict_free(const Maf& maf, Pat pat, int p, int q,
+                          bool aligned_only = false) {
+  const int n = p * q;
+  const int span = 4 * n; // > any period of the linear skew family
+  std::vector<std::pair<int,int>> el;
+  std::vector<char> seen(n);
+  for (int a = 0; a < span; ++a) {
+    for (int b = 0; b < span; ++b) {
+      if (aligned_only && (a % p || b % q)) continue;
+      int boff = (pat == Pat::SDiag) ? span : 0;
+      elements(pat, a, b + boff, p, q, el);
+      std::fill(seen.begin(), seen.end(), 0);
+      bool ok = true;
+      for (auto [i, j] : el) {
+        int m = maf(i, j, p, q);
+        if (m < 0 || m >= n || seen[m]) { ok = false; break; }
+        seen[m] = 1;
+      }
+      if (!ok) return false;
+    }
+  }
+  return true;
+}
+
+static int floordiv(int a, int b) { return (a >= 0) ? a / b : -((-a + b - 1) / b); }
+static int mod(int a, int b) { int r = a % b; return r < 0 ? r + b : r; }
+
+int main() {
+  // ---- classic PRF MAFs --------------------------------------------------
+  Maf reo = [](int i, int j, int p, int q) {
+    return mod(i, p) * q + mod(j, q);
+  };
+  Maf rero = [](int i, int j, int p, int q) {
+    return mod(i + floordiv(j, q), p) * q + mod(j, q);
+  };
+  Maf reco = [](int i, int j, int p, int q) {
+    return mod(i, p) * q + mod(j + floordiv(i, p), q);
+  };
+  Maf roco = [](int i, int j, int p, int q) {
+    return mod(i + floordiv(j, q), p) * q + mod(j + floordiv(i, p), q);
+  };
+
+  std::vector<PQ> pqs = {{2,2},{2,4},{2,8},{4,2},{4,4},{8,2},{1,8},{8,1},{4,8},{2,16}};
+  auto report = [&](const char* name, const Maf& maf) {
+    std::printf("%-5s:", name);
+    for (auto [p, q] : pqs) {
+      std::printf("  (%d,%d)[", p, q);
+      for (Pat pat : {Pat::Rect, Pat::TRect, Pat::Row, Pat::Col, Pat::MDiag, Pat::SDiag}) {
+        bool cf = conflict_free(maf, pat, p, q);
+        bool al = cf ? cf : conflict_free(maf, pat, p, q, true);
+        std::printf("%s%s%s ", cf ? "" : (al ? "(" : "!"), pat_name(pat),
+                    cf ? "" : (al ? ")" : ""));
+      }
+      std::printf("]\n      ");
+    }
+    std::printf("\n");
+  };
+  report("ReO", reo);
+  report("ReRo", rero);
+  report("ReCo", reco);
+  report("RoCo", roco);
+
+  // ---- ReTr search -------------------------------------------------------
+  // family: m(i,j) = (a1*j + a2*fd(j,p) + a3*fd(j,q) + a4*i + a5*fd(i,p) + a6*fd(i,q)) mod n
+  for (auto [p, q] : std::vector<PQ>{{2,4},{2,8},{4,2},{4,4},{2,2},{4,8}}) {
+    const int n = p * q;
+    bool found = false;
+    for (int a1 = 0; a1 < n && !found; ++a1)
+    for (int a2 = 0; a2 < n && !found; ++a2)
+    for (int a3 = 0; a3 < n && !found; ++a3)
+    for (int a4 = 0; a4 < n && !found; ++a4)
+    for (int a5 = 0; a5 < n && !found; ++a5)
+    for (int a6 = 0; a6 < n && !found; ++a6) {
+      Maf cand = [=](int i, int j, int pp, int qq) {
+        return mod(a1*j + a2*floordiv(j,pp) + a3*floordiv(j,qq)
+                 + a4*i + a5*floordiv(i,pp) + a6*floordiv(i,qq), pp*qq);
+      };
+      if (conflict_free(cand, Pat::Rect, p, q) &&
+          conflict_free(cand, Pat::TRect, p, q)) {
+        std::printf("ReTr (%d,%d): m = (%d*j + %d*|j/p| + %d*|j/q| + %d*i + %d*|i/p| + %d*|i/q|) mod %d\n",
+                    p, q, a1, a2, a3, a4, a5, a6, n);
+        // which other patterns come for free?
+        for (Pat pat : {Pat::Row, Pat::Col, Pat::MDiag, Pat::SDiag})
+          if (conflict_free(cand, pat, p, q))
+            std::printf("          also conflict-free: %s\n", pat_name(pat));
+        found = true;
+      }
+    }
+    if (!found) std::printf("ReTr (%d,%d): NOT FOUND in family\n", p, q);
+  }
+  return 0;
+}

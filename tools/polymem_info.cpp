@@ -1,0 +1,105 @@
+// polymem_info: the single-configuration explorer.
+//
+// Reads a PolyMem configuration from a key=value file (the same style the
+// paper's design used: "a simple configuration file sets ... the required
+// DSE parameters", Sec. IV-A) and prints everything the library knows
+// about it: geometry, machine-checked pattern support, synthesis
+// estimates, and bandwidths.
+//
+// Usage:   polymem_info <config-file>
+//          polymem_info --example        (prints a template and exits)
+//
+// Config keys: capacity_kb (512), scheme (ReRo), p (2), q (4),
+//              read_ports (1), clock_mhz (optional override).
+#include <cstdio>
+#include <iostream>
+
+#include "common/config.hpp"
+#include "dse/explorer.hpp"
+#include "maf/conflict.hpp"
+#include "synth/fmax_model.hpp"
+#include "synth/resource_model.hpp"
+
+namespace {
+
+constexpr const char* kExample =
+    "# PolyMem configuration (paper Table III parameters)\n"
+    "capacity_kb = 512\n"
+    "scheme = ReRo        # ReO | ReRo | ReCo | RoCo | ReTr\n"
+    "p = 2\n"
+    "q = 4\n"
+    "read_ports = 1\n"
+    "# clock_mhz = 120    # optional: override the model's estimate\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace polymem;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <config-file> | --example\n", argv[0]);
+    return 2;
+  }
+  if (std::string(argv[1]) == "--example") {
+    std::fputs(kExample, stdout);
+    return 0;
+  }
+
+  try {
+    const auto file = ConfigFile::load(argv[1]);
+    const auto capacity_kb =
+        static_cast<std::uint64_t>(file.get_int_or("capacity_kb", 512));
+    const auto scheme =
+        maf::scheme_from_name(file.get_string_or("scheme", "ReRo"));
+    const auto p = static_cast<unsigned>(file.get_int_or("p", 2));
+    const auto q = static_cast<unsigned>(file.get_int_or("q", 4));
+    const auto ports =
+        static_cast<unsigned>(file.get_int_or("read_ports", 1));
+
+    const auto cfg = core::PolyMemConfig::with_capacity(
+        capacity_kb * KiB, scheme, p, q, ports);
+    const auto& fmax_model = synth::FmaxModel::paper_calibrated();
+    const synth::ResourceModel resources;
+    const double mhz =
+        file.has("clock_mhz") ? file.get_double("clock_mhz")
+                              : fmax_model.fmax_mhz(cfg);
+    const auto est = resources.estimate(cfg);
+
+    std::printf("configuration : %s\n", cfg.describe().c_str());
+    std::printf("address space : %lld x %lld elements (%u-bit)\n",
+                static_cast<long long>(cfg.height),
+                static_cast<long long>(cfg.width), cfg.data_width_bits);
+    std::printf("banks         : %u x %u, %lld words each, x%u replicas\n",
+                cfg.p, cfg.q, static_cast<long long>(cfg.words_per_bank()),
+                cfg.read_ports);
+    std::printf("physical data : %s\n",
+                format_capacity(cfg.physical_bytes()).c_str());
+
+    std::printf("\npattern support (machine-checked):\n");
+    const maf::Maf maf(scheme, p, q);
+    for (access::PatternKind kind : access::kAllPatterns)
+      std::printf("  %-6s: %s\n", access::pattern_name(kind),
+                  maf::support_level_name(maf::probe_support(maf, kind)));
+
+    std::printf("\nsynthesis estimate (Virtex-6 SX475T):\n");
+    std::printf("  clock      : %.0f MHz%s\n", mhz,
+                file.has("clock_mhz") ? " (user override)" : " (model)");
+    std::printf("  BRAM       : %llu RAMB36 = %.1f%%\n",
+                static_cast<unsigned long long>(est.bram36), est.bram_pct);
+    std::printf("  logic      : %.1f%%   LUTs: %.1f%%\n", est.logic_pct,
+                est.lut_pct);
+    std::printf("  fits       : %s\n", est.fits() ? "yes" : "NO");
+
+    const double port_bw = bandwidth_bytes_per_s(cfg.lanes(), 64, mhz * 1e6);
+    std::printf("\nbandwidth at %.0f MHz:\n", mhz);
+    std::printf("  write (per port)   : %s\n",
+                format_bandwidth(port_bw, true).c_str());
+    std::printf("  read (aggregated)  : %s\n",
+                format_bandwidth(ports * port_bw, true).c_str());
+    std::printf("  read+write ceiling : %s\n",
+                format_bandwidth((ports + 1) * port_bw, true).c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
