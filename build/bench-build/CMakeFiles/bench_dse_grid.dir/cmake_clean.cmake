@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dse_grid"
+  "../bench/bench_dse_grid.pdb"
+  "CMakeFiles/bench_dse_grid.dir/bench_dse_grid.cpp.o"
+  "CMakeFiles/bench_dse_grid.dir/bench_dse_grid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dse_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

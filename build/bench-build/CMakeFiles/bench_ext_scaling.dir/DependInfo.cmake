@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_scaling.cpp" "bench-build/CMakeFiles/bench_ext_scaling.dir/bench_ext_scaling.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ext_scaling.dir/bench_ext_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/polymem_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/maf/CMakeFiles/polymem_maf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/polymem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/polymem_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/polymem_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/polymem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

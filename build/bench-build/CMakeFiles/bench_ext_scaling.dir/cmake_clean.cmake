@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_scaling"
+  "../bench/bench_ext_scaling.pdb"
+  "CMakeFiles/bench_ext_scaling.dir/bench_ext_scaling.cpp.o"
+  "CMakeFiles/bench_ext_scaling.dir/bench_ext_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_stream_full"
+  "../bench/bench_ext_stream_full.pdb"
+  "CMakeFiles/bench_ext_stream_full.dir/bench_ext_stream_full.cpp.o"
+  "CMakeFiles/bench_ext_stream_full.dir/bench_ext_stream_full.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_stream_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_stream_copy"
+  "../bench/bench_fig10_stream_copy.pdb"
+  "CMakeFiles/bench_fig10_stream_copy.dir/bench_fig10_stream_copy.cpp.o"
+  "CMakeFiles/bench_fig10_stream_copy.dir/bench_fig10_stream_copy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_stream_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

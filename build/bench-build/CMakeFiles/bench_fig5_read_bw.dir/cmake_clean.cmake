@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_read_bw"
+  "../bench/bench_fig5_read_bw.pdb"
+  "CMakeFiles/bench_fig5_read_bw.dir/bench_fig5_read_bw.cpp.o"
+  "CMakeFiles/bench_fig5_read_bw.dir/bench_fig5_read_bw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_read_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

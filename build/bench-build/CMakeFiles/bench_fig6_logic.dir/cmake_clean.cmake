@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_logic"
+  "../bench/bench_fig6_logic.pdb"
+  "CMakeFiles/bench_fig6_logic.dir/bench_fig6_logic.cpp.o"
+  "CMakeFiles/bench_fig6_logic.dir/bench_fig6_logic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_luts"
+  "../bench/bench_fig7_luts.pdb"
+  "CMakeFiles/bench_fig7_luts.dir/bench_fig7_luts.cpp.o"
+  "CMakeFiles/bench_fig7_luts.dir/bench_fig7_luts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_luts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_bram"
+  "../bench/bench_fig8_bram.pdb"
+  "CMakeFiles/bench_fig8_bram.dir/bench_fig8_bram.cpp.o"
+  "CMakeFiles/bench_fig8_bram.dir/bench_fig8_bram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

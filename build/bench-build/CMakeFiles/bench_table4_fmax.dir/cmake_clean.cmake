@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_fmax"
+  "../bench/bench_table4_fmax.pdb"
+  "CMakeFiles/bench_table4_fmax.dir/bench_table4_fmax.cpp.o"
+  "CMakeFiles/bench_table4_fmax.dir/bench_table4_fmax.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_copy.dir/stream_copy.cpp.o"
+  "CMakeFiles/stream_copy.dir/stream_copy.cpp.o.d"
+  "stream_copy"
+  "stream_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

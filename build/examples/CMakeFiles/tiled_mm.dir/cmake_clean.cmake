@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiled_mm.dir/tiled_mm.cpp.o"
+  "CMakeFiles/tiled_mm.dir/tiled_mm.cpp.o.d"
+  "tiled_mm"
+  "tiled_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiled_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("access")
+subdirs("maf")
+subdirs("hw")
+subdirs("core")
+subdirs("prf")
+subdirs("apps")
+subdirs("synth")
+subdirs("maxsim")
+subdirs("stream")
+subdirs("dse")
+subdirs("sched")

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/access/pattern.cpp" "src/access/CMakeFiles/polymem_access.dir/pattern.cpp.o" "gcc" "src/access/CMakeFiles/polymem_access.dir/pattern.cpp.o.d"
+  "/root/repo/src/access/region.cpp" "src/access/CMakeFiles/polymem_access.dir/region.cpp.o" "gcc" "src/access/CMakeFiles/polymem_access.dir/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/polymem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

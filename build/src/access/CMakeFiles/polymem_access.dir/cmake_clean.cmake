@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymem_access.dir/pattern.cpp.o"
+  "CMakeFiles/polymem_access.dir/pattern.cpp.o.d"
+  "CMakeFiles/polymem_access.dir/region.cpp.o"
+  "CMakeFiles/polymem_access.dir/region.cpp.o.d"
+  "libpolymem_access.a"
+  "libpolymem_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymem_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

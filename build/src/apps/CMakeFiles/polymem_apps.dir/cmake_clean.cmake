@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymem_apps.dir/matvec_app.cpp.o"
+  "CMakeFiles/polymem_apps.dir/matvec_app.cpp.o.d"
+  "CMakeFiles/polymem_apps.dir/stencil_app.cpp.o"
+  "CMakeFiles/polymem_apps.dir/stencil_app.cpp.o.d"
+  "CMakeFiles/polymem_apps.dir/transpose_app.cpp.o"
+  "CMakeFiles/polymem_apps.dir/transpose_app.cpp.o.d"
+  "libpolymem_apps.a"
+  "libpolymem_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymem_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

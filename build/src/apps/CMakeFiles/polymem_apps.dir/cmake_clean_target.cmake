@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpolymem_apps.a"
+)

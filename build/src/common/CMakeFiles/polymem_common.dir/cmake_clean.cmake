@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymem_common.dir/config.cpp.o"
+  "CMakeFiles/polymem_common.dir/config.cpp.o.d"
+  "CMakeFiles/polymem_common.dir/error.cpp.o"
+  "CMakeFiles/polymem_common.dir/error.cpp.o.d"
+  "CMakeFiles/polymem_common.dir/stats.cpp.o"
+  "CMakeFiles/polymem_common.dir/stats.cpp.o.d"
+  "CMakeFiles/polymem_common.dir/table.cpp.o"
+  "CMakeFiles/polymem_common.dir/table.cpp.o.d"
+  "CMakeFiles/polymem_common.dir/units.cpp.o"
+  "CMakeFiles/polymem_common.dir/units.cpp.o.d"
+  "libpolymem_common.a"
+  "libpolymem_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymem_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

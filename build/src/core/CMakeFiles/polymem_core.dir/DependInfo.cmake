@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agu.cpp" "src/core/CMakeFiles/polymem_core.dir/agu.cpp.o" "gcc" "src/core/CMakeFiles/polymem_core.dir/agu.cpp.o.d"
+  "/root/repo/src/core/banks.cpp" "src/core/CMakeFiles/polymem_core.dir/banks.cpp.o" "gcc" "src/core/CMakeFiles/polymem_core.dir/banks.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/polymem_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/polymem_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/cycle_polymem.cpp" "src/core/CMakeFiles/polymem_core.dir/cycle_polymem.cpp.o" "gcc" "src/core/CMakeFiles/polymem_core.dir/cycle_polymem.cpp.o.d"
+  "/root/repo/src/core/polymem.cpp" "src/core/CMakeFiles/polymem_core.dir/polymem.cpp.o" "gcc" "src/core/CMakeFiles/polymem_core.dir/polymem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/maf/CMakeFiles/polymem_maf.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/polymem_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/polymem_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/polymem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

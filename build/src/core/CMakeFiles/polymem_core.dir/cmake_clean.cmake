@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymem_core.dir/agu.cpp.o"
+  "CMakeFiles/polymem_core.dir/agu.cpp.o.d"
+  "CMakeFiles/polymem_core.dir/banks.cpp.o"
+  "CMakeFiles/polymem_core.dir/banks.cpp.o.d"
+  "CMakeFiles/polymem_core.dir/config.cpp.o"
+  "CMakeFiles/polymem_core.dir/config.cpp.o.d"
+  "CMakeFiles/polymem_core.dir/cycle_polymem.cpp.o"
+  "CMakeFiles/polymem_core.dir/cycle_polymem.cpp.o.d"
+  "CMakeFiles/polymem_core.dir/polymem.cpp.o"
+  "CMakeFiles/polymem_core.dir/polymem.cpp.o.d"
+  "libpolymem_core.a"
+  "libpolymem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymem_dse.dir/explorer.cpp.o"
+  "CMakeFiles/polymem_dse.dir/explorer.cpp.o.d"
+  "CMakeFiles/polymem_dse.dir/report.cpp.o"
+  "CMakeFiles/polymem_dse.dir/report.cpp.o.d"
+  "libpolymem_dse.a"
+  "libpolymem_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymem_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/benes.cpp" "src/hw/CMakeFiles/polymem_hw.dir/benes.cpp.o" "gcc" "src/hw/CMakeFiles/polymem_hw.dir/benes.cpp.o.d"
+  "/root/repo/src/hw/bram.cpp" "src/hw/CMakeFiles/polymem_hw.dir/bram.cpp.o" "gcc" "src/hw/CMakeFiles/polymem_hw.dir/bram.cpp.o.d"
+  "/root/repo/src/hw/crossbar.cpp" "src/hw/CMakeFiles/polymem_hw.dir/crossbar.cpp.o" "gcc" "src/hw/CMakeFiles/polymem_hw.dir/crossbar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/polymem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

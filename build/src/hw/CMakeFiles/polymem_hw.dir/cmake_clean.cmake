@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymem_hw.dir/benes.cpp.o"
+  "CMakeFiles/polymem_hw.dir/benes.cpp.o.d"
+  "CMakeFiles/polymem_hw.dir/bram.cpp.o"
+  "CMakeFiles/polymem_hw.dir/bram.cpp.o.d"
+  "CMakeFiles/polymem_hw.dir/crossbar.cpp.o"
+  "CMakeFiles/polymem_hw.dir/crossbar.cpp.o.d"
+  "libpolymem_hw.a"
+  "libpolymem_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymem_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/maf/addressing.cpp" "src/maf/CMakeFiles/polymem_maf.dir/addressing.cpp.o" "gcc" "src/maf/CMakeFiles/polymem_maf.dir/addressing.cpp.o.d"
+  "/root/repo/src/maf/conflict.cpp" "src/maf/CMakeFiles/polymem_maf.dir/conflict.cpp.o" "gcc" "src/maf/CMakeFiles/polymem_maf.dir/conflict.cpp.o.d"
+  "/root/repo/src/maf/maf.cpp" "src/maf/CMakeFiles/polymem_maf.dir/maf.cpp.o" "gcc" "src/maf/CMakeFiles/polymem_maf.dir/maf.cpp.o.d"
+  "/root/repo/src/maf/maf_table.cpp" "src/maf/CMakeFiles/polymem_maf.dir/maf_table.cpp.o" "gcc" "src/maf/CMakeFiles/polymem_maf.dir/maf_table.cpp.o.d"
+  "/root/repo/src/maf/scheme.cpp" "src/maf/CMakeFiles/polymem_maf.dir/scheme.cpp.o" "gcc" "src/maf/CMakeFiles/polymem_maf.dir/scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/access/CMakeFiles/polymem_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/polymem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymem_maf.dir/addressing.cpp.o"
+  "CMakeFiles/polymem_maf.dir/addressing.cpp.o.d"
+  "CMakeFiles/polymem_maf.dir/conflict.cpp.o"
+  "CMakeFiles/polymem_maf.dir/conflict.cpp.o.d"
+  "CMakeFiles/polymem_maf.dir/maf.cpp.o"
+  "CMakeFiles/polymem_maf.dir/maf.cpp.o.d"
+  "CMakeFiles/polymem_maf.dir/maf_table.cpp.o"
+  "CMakeFiles/polymem_maf.dir/maf_table.cpp.o.d"
+  "CMakeFiles/polymem_maf.dir/scheme.cpp.o"
+  "CMakeFiles/polymem_maf.dir/scheme.cpp.o.d"
+  "libpolymem_maf.a"
+  "libpolymem_maf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymem_maf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/maxsim/dfe.cpp" "src/maxsim/CMakeFiles/polymem_maxsim.dir/dfe.cpp.o" "gcc" "src/maxsim/CMakeFiles/polymem_maxsim.dir/dfe.cpp.o.d"
+  "/root/repo/src/maxsim/dma.cpp" "src/maxsim/CMakeFiles/polymem_maxsim.dir/dma.cpp.o" "gcc" "src/maxsim/CMakeFiles/polymem_maxsim.dir/dma.cpp.o.d"
+  "/root/repo/src/maxsim/lmem.cpp" "src/maxsim/CMakeFiles/polymem_maxsim.dir/lmem.cpp.o" "gcc" "src/maxsim/CMakeFiles/polymem_maxsim.dir/lmem.cpp.o.d"
+  "/root/repo/src/maxsim/manager.cpp" "src/maxsim/CMakeFiles/polymem_maxsim.dir/manager.cpp.o" "gcc" "src/maxsim/CMakeFiles/polymem_maxsim.dir/manager.cpp.o.d"
+  "/root/repo/src/maxsim/pcie.cpp" "src/maxsim/CMakeFiles/polymem_maxsim.dir/pcie.cpp.o" "gcc" "src/maxsim/CMakeFiles/polymem_maxsim.dir/pcie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/polymem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/polymem_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/polymem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/maf/CMakeFiles/polymem_maf.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/polymem_access.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

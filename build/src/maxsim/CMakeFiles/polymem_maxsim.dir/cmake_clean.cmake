@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymem_maxsim.dir/dfe.cpp.o"
+  "CMakeFiles/polymem_maxsim.dir/dfe.cpp.o.d"
+  "CMakeFiles/polymem_maxsim.dir/dma.cpp.o"
+  "CMakeFiles/polymem_maxsim.dir/dma.cpp.o.d"
+  "CMakeFiles/polymem_maxsim.dir/lmem.cpp.o"
+  "CMakeFiles/polymem_maxsim.dir/lmem.cpp.o.d"
+  "CMakeFiles/polymem_maxsim.dir/manager.cpp.o"
+  "CMakeFiles/polymem_maxsim.dir/manager.cpp.o.d"
+  "CMakeFiles/polymem_maxsim.dir/pcie.cpp.o"
+  "CMakeFiles/polymem_maxsim.dir/pcie.cpp.o.d"
+  "libpolymem_maxsim.a"
+  "libpolymem_maxsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymem_maxsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymem_prf.dir/fig2.cpp.o"
+  "CMakeFiles/polymem_prf.dir/fig2.cpp.o.d"
+  "CMakeFiles/polymem_prf.dir/register_file.cpp.o"
+  "CMakeFiles/polymem_prf.dir/register_file.cpp.o.d"
+  "libpolymem_prf.a"
+  "libpolymem_prf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymem_prf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymem_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/polymem_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/polymem_sched.dir/setcover.cpp.o"
+  "CMakeFiles/polymem_sched.dir/setcover.cpp.o.d"
+  "CMakeFiles/polymem_sched.dir/trace.cpp.o"
+  "CMakeFiles/polymem_sched.dir/trace.cpp.o.d"
+  "libpolymem_sched.a"
+  "libpolymem_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymem_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/controller.cpp" "src/stream/CMakeFiles/polymem_stream.dir/controller.cpp.o" "gcc" "src/stream/CMakeFiles/polymem_stream.dir/controller.cpp.o.d"
+  "/root/repo/src/stream/design.cpp" "src/stream/CMakeFiles/polymem_stream.dir/design.cpp.o" "gcc" "src/stream/CMakeFiles/polymem_stream.dir/design.cpp.o.d"
+  "/root/repo/src/stream/host.cpp" "src/stream/CMakeFiles/polymem_stream.dir/host.cpp.o" "gcc" "src/stream/CMakeFiles/polymem_stream.dir/host.cpp.o.d"
+  "/root/repo/src/stream/modular.cpp" "src/stream/CMakeFiles/polymem_stream.dir/modular.cpp.o" "gcc" "src/stream/CMakeFiles/polymem_stream.dir/modular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/polymem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/maxsim/CMakeFiles/polymem_maxsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/polymem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/maf/CMakeFiles/polymem_maf.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/polymem_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/polymem_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

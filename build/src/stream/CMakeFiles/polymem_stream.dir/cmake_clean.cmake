@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymem_stream.dir/controller.cpp.o"
+  "CMakeFiles/polymem_stream.dir/controller.cpp.o.d"
+  "CMakeFiles/polymem_stream.dir/design.cpp.o"
+  "CMakeFiles/polymem_stream.dir/design.cpp.o.d"
+  "CMakeFiles/polymem_stream.dir/host.cpp.o"
+  "CMakeFiles/polymem_stream.dir/host.cpp.o.d"
+  "CMakeFiles/polymem_stream.dir/modular.cpp.o"
+  "CMakeFiles/polymem_stream.dir/modular.cpp.o.d"
+  "libpolymem_stream.a"
+  "libpolymem_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymem_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

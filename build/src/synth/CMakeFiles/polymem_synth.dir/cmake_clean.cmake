@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymem_synth.dir/calibration.cpp.o"
+  "CMakeFiles/polymem_synth.dir/calibration.cpp.o.d"
+  "CMakeFiles/polymem_synth.dir/fmax_model.cpp.o"
+  "CMakeFiles/polymem_synth.dir/fmax_model.cpp.o.d"
+  "CMakeFiles/polymem_synth.dir/resource_model.cpp.o"
+  "CMakeFiles/polymem_synth.dir/resource_model.cpp.o.d"
+  "CMakeFiles/polymem_synth.dir/virtex6.cpp.o"
+  "CMakeFiles/polymem_synth.dir/virtex6.cpp.o.d"
+  "libpolymem_synth.a"
+  "libpolymem_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymem_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

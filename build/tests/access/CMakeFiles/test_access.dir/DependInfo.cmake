@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/access/coord_test.cpp" "tests/access/CMakeFiles/test_access.dir/coord_test.cpp.o" "gcc" "tests/access/CMakeFiles/test_access.dir/coord_test.cpp.o.d"
+  "/root/repo/tests/access/pattern_test.cpp" "tests/access/CMakeFiles/test_access.dir/pattern_test.cpp.o" "gcc" "tests/access/CMakeFiles/test_access.dir/pattern_test.cpp.o.d"
+  "/root/repo/tests/access/region_test.cpp" "tests/access/CMakeFiles/test_access.dir/region_test.cpp.o" "gcc" "tests/access/CMakeFiles/test_access.dir/region_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/access/CMakeFiles/polymem_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/polymem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

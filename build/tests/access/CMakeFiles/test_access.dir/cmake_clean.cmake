@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_access.dir/coord_test.cpp.o"
+  "CMakeFiles/test_access.dir/coord_test.cpp.o.d"
+  "CMakeFiles/test_access.dir/pattern_test.cpp.o"
+  "CMakeFiles/test_access.dir/pattern_test.cpp.o.d"
+  "CMakeFiles/test_access.dir/region_test.cpp.o"
+  "CMakeFiles/test_access.dir/region_test.cpp.o.d"
+  "test_access"
+  "test_access.pdb"
+  "test_access[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

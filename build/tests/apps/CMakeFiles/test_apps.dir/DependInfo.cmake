@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/matvec_app_test.cpp" "tests/apps/CMakeFiles/test_apps.dir/matvec_app_test.cpp.o" "gcc" "tests/apps/CMakeFiles/test_apps.dir/matvec_app_test.cpp.o.d"
+  "/root/repo/tests/apps/stencil_app_test.cpp" "tests/apps/CMakeFiles/test_apps.dir/stencil_app_test.cpp.o" "gcc" "tests/apps/CMakeFiles/test_apps.dir/stencil_app_test.cpp.o.d"
+  "/root/repo/tests/apps/transpose_app_test.cpp" "tests/apps/CMakeFiles/test_apps.dir/transpose_app_test.cpp.o" "gcc" "tests/apps/CMakeFiles/test_apps.dir/transpose_app_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/polymem_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/polymem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/maf/CMakeFiles/polymem_maf.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/polymem_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/polymem_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/polymem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

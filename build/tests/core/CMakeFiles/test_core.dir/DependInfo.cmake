@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/agu_test.cpp" "tests/core/CMakeFiles/test_core.dir/agu_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/agu_test.cpp.o.d"
+  "/root/repo/tests/core/banks_test.cpp" "tests/core/CMakeFiles/test_core.dir/banks_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/banks_test.cpp.o.d"
+  "/root/repo/tests/core/config_test.cpp" "tests/core/CMakeFiles/test_core.dir/config_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/config_test.cpp.o.d"
+  "/root/repo/tests/core/cycle_polymem_test.cpp" "tests/core/CMakeFiles/test_core.dir/cycle_polymem_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/cycle_polymem_test.cpp.o.d"
+  "/root/repo/tests/core/equivalence_test.cpp" "tests/core/CMakeFiles/test_core.dir/equivalence_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/equivalence_test.cpp.o.d"
+  "/root/repo/tests/core/failure_injection_test.cpp" "tests/core/CMakeFiles/test_core.dir/failure_injection_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/core/layout_test.cpp" "tests/core/CMakeFiles/test_core.dir/layout_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/layout_test.cpp.o.d"
+  "/root/repo/tests/core/polymem_test.cpp" "tests/core/CMakeFiles/test_core.dir/polymem_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/polymem_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/polymem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/maf/CMakeFiles/polymem_maf.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/polymem_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/polymem_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/polymem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

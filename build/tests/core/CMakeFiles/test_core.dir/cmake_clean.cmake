@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/agu_test.cpp.o"
+  "CMakeFiles/test_core.dir/agu_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/banks_test.cpp.o"
+  "CMakeFiles/test_core.dir/banks_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/config_test.cpp.o"
+  "CMakeFiles/test_core.dir/config_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/cycle_polymem_test.cpp.o"
+  "CMakeFiles/test_core.dir/cycle_polymem_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/equivalence_test.cpp.o"
+  "CMakeFiles/test_core.dir/equivalence_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/failure_injection_test.cpp.o"
+  "CMakeFiles/test_core.dir/failure_injection_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/layout_test.cpp.o"
+  "CMakeFiles/test_core.dir/layout_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/polymem_test.cpp.o"
+  "CMakeFiles/test_core.dir/polymem_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/benes_test.cpp" "tests/hw/CMakeFiles/test_hw.dir/benes_test.cpp.o" "gcc" "tests/hw/CMakeFiles/test_hw.dir/benes_test.cpp.o.d"
+  "/root/repo/tests/hw/bram_test.cpp" "tests/hw/CMakeFiles/test_hw.dir/bram_test.cpp.o" "gcc" "tests/hw/CMakeFiles/test_hw.dir/bram_test.cpp.o.d"
+  "/root/repo/tests/hw/clock_test.cpp" "tests/hw/CMakeFiles/test_hw.dir/clock_test.cpp.o" "gcc" "tests/hw/CMakeFiles/test_hw.dir/clock_test.cpp.o.d"
+  "/root/repo/tests/hw/crossbar_test.cpp" "tests/hw/CMakeFiles/test_hw.dir/crossbar_test.cpp.o" "gcc" "tests/hw/CMakeFiles/test_hw.dir/crossbar_test.cpp.o.d"
+  "/root/repo/tests/hw/fifo_test.cpp" "tests/hw/CMakeFiles/test_hw.dir/fifo_test.cpp.o" "gcc" "tests/hw/CMakeFiles/test_hw.dir/fifo_test.cpp.o.d"
+  "/root/repo/tests/hw/pipeline_test.cpp" "tests/hw/CMakeFiles/test_hw.dir/pipeline_test.cpp.o" "gcc" "tests/hw/CMakeFiles/test_hw.dir/pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/polymem_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/polymem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

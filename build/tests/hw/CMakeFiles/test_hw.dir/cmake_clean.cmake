@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/benes_test.cpp.o"
+  "CMakeFiles/test_hw.dir/benes_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/bram_test.cpp.o"
+  "CMakeFiles/test_hw.dir/bram_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/clock_test.cpp.o"
+  "CMakeFiles/test_hw.dir/clock_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/crossbar_test.cpp.o"
+  "CMakeFiles/test_hw.dir/crossbar_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/fifo_test.cpp.o"
+  "CMakeFiles/test_hw.dir/fifo_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/pipeline_test.cpp.o"
+  "CMakeFiles/test_hw.dir/pipeline_test.cpp.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

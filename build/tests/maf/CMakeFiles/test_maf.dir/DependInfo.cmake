@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/maf/addressing_test.cpp" "tests/maf/CMakeFiles/test_maf.dir/addressing_test.cpp.o" "gcc" "tests/maf/CMakeFiles/test_maf.dir/addressing_test.cpp.o.d"
+  "/root/repo/tests/maf/conflict_test.cpp" "tests/maf/CMakeFiles/test_maf.dir/conflict_test.cpp.o" "gcc" "tests/maf/CMakeFiles/test_maf.dir/conflict_test.cpp.o.d"
+  "/root/repo/tests/maf/maf_table_test.cpp" "tests/maf/CMakeFiles/test_maf.dir/maf_table_test.cpp.o" "gcc" "tests/maf/CMakeFiles/test_maf.dir/maf_table_test.cpp.o.d"
+  "/root/repo/tests/maf/maf_test.cpp" "tests/maf/CMakeFiles/test_maf.dir/maf_test.cpp.o" "gcc" "tests/maf/CMakeFiles/test_maf.dir/maf_test.cpp.o.d"
+  "/root/repo/tests/maf/scheme_test.cpp" "tests/maf/CMakeFiles/test_maf.dir/scheme_test.cpp.o" "gcc" "tests/maf/CMakeFiles/test_maf.dir/scheme_test.cpp.o.d"
+  "/root/repo/tests/maf/support_conditions_test.cpp" "tests/maf/CMakeFiles/test_maf.dir/support_conditions_test.cpp.o" "gcc" "tests/maf/CMakeFiles/test_maf.dir/support_conditions_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/maf/CMakeFiles/polymem_maf.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/polymem_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/polymem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maf.dir/addressing_test.cpp.o"
+  "CMakeFiles/test_maf.dir/addressing_test.cpp.o.d"
+  "CMakeFiles/test_maf.dir/conflict_test.cpp.o"
+  "CMakeFiles/test_maf.dir/conflict_test.cpp.o.d"
+  "CMakeFiles/test_maf.dir/maf_table_test.cpp.o"
+  "CMakeFiles/test_maf.dir/maf_table_test.cpp.o.d"
+  "CMakeFiles/test_maf.dir/maf_test.cpp.o"
+  "CMakeFiles/test_maf.dir/maf_test.cpp.o.d"
+  "CMakeFiles/test_maf.dir/scheme_test.cpp.o"
+  "CMakeFiles/test_maf.dir/scheme_test.cpp.o.d"
+  "CMakeFiles/test_maf.dir/support_conditions_test.cpp.o"
+  "CMakeFiles/test_maf.dir/support_conditions_test.cpp.o.d"
+  "test_maf"
+  "test_maf.pdb"
+  "test_maf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

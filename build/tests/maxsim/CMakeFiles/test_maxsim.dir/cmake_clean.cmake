@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maxsim.dir/dfe_test.cpp.o"
+  "CMakeFiles/test_maxsim.dir/dfe_test.cpp.o.d"
+  "CMakeFiles/test_maxsim.dir/dma_test.cpp.o"
+  "CMakeFiles/test_maxsim.dir/dma_test.cpp.o.d"
+  "CMakeFiles/test_maxsim.dir/lmem_test.cpp.o"
+  "CMakeFiles/test_maxsim.dir/lmem_test.cpp.o.d"
+  "CMakeFiles/test_maxsim.dir/manager_test.cpp.o"
+  "CMakeFiles/test_maxsim.dir/manager_test.cpp.o.d"
+  "CMakeFiles/test_maxsim.dir/pcie_test.cpp.o"
+  "CMakeFiles/test_maxsim.dir/pcie_test.cpp.o.d"
+  "test_maxsim"
+  "test_maxsim.pdb"
+  "test_maxsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maxsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

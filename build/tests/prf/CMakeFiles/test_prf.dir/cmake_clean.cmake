@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prf.dir/fig2_test.cpp.o"
+  "CMakeFiles/test_prf.dir/fig2_test.cpp.o.d"
+  "CMakeFiles/test_prf.dir/register_file_test.cpp.o"
+  "CMakeFiles/test_prf.dir/register_file_test.cpp.o.d"
+  "test_prf"
+  "test_prf.pdb"
+  "test_prf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

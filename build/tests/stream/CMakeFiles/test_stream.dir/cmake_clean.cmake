@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream.dir/controller_test.cpp.o"
+  "CMakeFiles/test_stream.dir/controller_test.cpp.o.d"
+  "CMakeFiles/test_stream.dir/design_test.cpp.o"
+  "CMakeFiles/test_stream.dir/design_test.cpp.o.d"
+  "CMakeFiles/test_stream.dir/host_test.cpp.o"
+  "CMakeFiles/test_stream.dir/host_test.cpp.o.d"
+  "CMakeFiles/test_stream.dir/modular_test.cpp.o"
+  "CMakeFiles/test_stream.dir/modular_test.cpp.o.d"
+  "CMakeFiles/test_stream.dir/stage_isolation_test.cpp.o"
+  "CMakeFiles/test_stream.dir/stage_isolation_test.cpp.o.d"
+  "CMakeFiles/test_stream.dir/variants_test.cpp.o"
+  "CMakeFiles/test_stream.dir/variants_test.cpp.o.d"
+  "test_stream"
+  "test_stream.pdb"
+  "test_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth.dir/calibration_test.cpp.o"
+  "CMakeFiles/test_synth.dir/calibration_test.cpp.o.d"
+  "CMakeFiles/test_synth.dir/fmax_model_test.cpp.o"
+  "CMakeFiles/test_synth.dir/fmax_model_test.cpp.o.d"
+  "CMakeFiles/test_synth.dir/resource_model_test.cpp.o"
+  "CMakeFiles/test_synth.dir/resource_model_test.cpp.o.d"
+  "CMakeFiles/test_synth.dir/virtex6_test.cpp.o"
+  "CMakeFiles/test_synth.dir/virtex6_test.cpp.o.d"
+  "test_synth"
+  "test_synth.pdb"
+  "test_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

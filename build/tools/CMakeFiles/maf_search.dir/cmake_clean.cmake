@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maf_search.dir/maf_search.cpp.o"
+  "CMakeFiles/maf_search.dir/maf_search.cpp.o.d"
+  "maf_search"
+  "maf_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maf_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

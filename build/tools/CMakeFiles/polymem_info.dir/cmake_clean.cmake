@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymem_info.dir/polymem_info.cpp.o"
+  "CMakeFiles/polymem_info.dir/polymem_info.cpp.o.d"
+  "polymem_info"
+  "polymem_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymem_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_polymem_info_example "/root/repo/build/tools/polymem_info" "--example")
+set_tests_properties(tool_polymem_info_example PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_polymem_info_config "sh" "-c" "/root/repo/build/tools/polymem_info --example > pm_info_test.cfg && /root/repo/build/tools/polymem_info pm_info_test.cfg")
+set_tests_properties(tool_polymem_info_config PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
