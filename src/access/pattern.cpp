@@ -40,28 +40,31 @@ void expand_into(const ParallelAccess& access, unsigned p, unsigned q,
   POLYMEM_REQUIRE(p >= 1 && q >= 1, "bank geometry must be at least 1x1");
   const std::int64_t n = static_cast<std::int64_t>(p) * q;
   const auto [a, b] = access.anchor;
-  out.clear();
-  out.reserve(static_cast<std::size_t>(n));
+  // Indexed writes into a pre-sized vector: a no-op resize in steady state,
+  // so callers that reuse `out` (the AGU scratch) never reallocate and skip
+  // push_back's per-element capacity checks.
+  out.resize(static_cast<std::size_t>(n));
+  Coord* dst = out.data();
   switch (access.kind) {
     case PatternKind::kRow:
-      for (std::int64_t k = 0; k < n; ++k) out.push_back({a, b + k});
+      for (std::int64_t k = 0; k < n; ++k) dst[k] = {a, b + k};
       break;
     case PatternKind::kCol:
-      for (std::int64_t k = 0; k < n; ++k) out.push_back({a + k, b});
+      for (std::int64_t k = 0; k < n; ++k) dst[k] = {a + k, b};
       break;
     case PatternKind::kRect:
       for (std::int64_t u = 0; u < p; ++u)
-        for (std::int64_t v = 0; v < q; ++v) out.push_back({a + u, b + v});
+        for (std::int64_t v = 0; v < q; ++v) *dst++ = {a + u, b + v};
       break;
     case PatternKind::kTRect:
       for (std::int64_t u = 0; u < q; ++u)
-        for (std::int64_t v = 0; v < p; ++v) out.push_back({a + u, b + v});
+        for (std::int64_t v = 0; v < p; ++v) *dst++ = {a + u, b + v};
       break;
     case PatternKind::kMainDiag:
-      for (std::int64_t k = 0; k < n; ++k) out.push_back({a + k, b + k});
+      for (std::int64_t k = 0; k < n; ++k) dst[k] = {a + k, b + k};
       break;
     case PatternKind::kSecDiag:
-      for (std::int64_t k = 0; k < n; ++k) out.push_back({a + k, b - k});
+      for (std::int64_t k = 0; k < n; ++k) dst[k] = {a + k, b - k};
       break;
     default:
       throw InvalidArgument("unknown pattern kind");

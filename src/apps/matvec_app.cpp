@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -37,10 +38,15 @@ void MatVecApp::load_matrix(std::span<const double> values) {
   POLYMEM_REQUIRE(values.size() == static_cast<std::size_t>(n_ * n_),
                   "matrix must be n*n doubles");
   auto& f = mem_.functional();
-  std::size_t k = 0;
-  for (std::int64_t i = 0; i < n_; ++i)
-    for (std::int64_t j = 0; j < n_; ++j)
-      f.store({i, j}, core::pack_double(values[k++]));
+  // One batched write over the whole matrix: n rows x (n/lanes) row
+  // segments, validated once and executed through the plan-template cache.
+  const auto lanes = static_cast<std::int64_t>(mem_.config().lanes());
+  std::vector<hw::Word> words(values.size());
+  for (std::size_t k = 0; k < values.size(); ++k)
+    words[k] = core::pack_double(values[k]);
+  f.write_batch({PatternKind::kRow, {0, 0}, {0, lanes}, n_ / lanes, {1, 0},
+                 n_},
+                words);
 }
 
 AppReport MatVecApp::run(std::span<const double> x, std::span<double> y) {
@@ -86,10 +92,14 @@ AppReport MatVecApp::run(std::span<const double> x, std::span<double> y) {
   report.elements_touched = static_cast<std::uint64_t>(n_ * n_);
 
   report.verified = true;
+  // Host reference from one bulk dump instead of n*n scalar loads.
+  std::vector<hw::Word> matrix(static_cast<std::size_t>(n_ * n_));
+  mem_.functional().dump_rect({0, 0}, n_, n_, matrix);
   for (std::int64_t i = 0; i < n_ && report.verified; ++i) {
     double ref = 0;
     for (std::int64_t j = 0; j < n_; ++j)
-      ref += core::unpack_double(mem_.functional().load({i, j})) *
+      ref += core::unpack_double(
+                 matrix[static_cast<std::size_t>(i * n_ + j)]) *
              x[static_cast<std::size_t>(j)];
     if (std::abs(ref - y[static_cast<std::size_t>(i)]) > 1e-9)
       report.verified = false;

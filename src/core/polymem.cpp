@@ -1,5 +1,7 @@
 #include "core/polymem.hpp"
 
+#include <sstream>
+
 #include "common/error.hpp"
 #include "core/shuffle.hpp"
 
@@ -10,9 +12,22 @@ PolyMem::PolyMem(PolyMemConfig config)
       maf_(config.scheme, config.p, config.q),
       addressing_(config.p, config.q, config.height, config.width),
       agu_(config_, maf_, addressing_),
-      banks_(config.lanes(), config.read_ports, config.words_per_bank()) {
-  scratch_.bank_addr.resize(config.lanes());
-  scratch_.bank_data.resize(config.lanes());
+      banks_(config.lanes(), config.read_ports, config.words_per_bank()),
+      plan_cache_(config_, maf_, addressing_) {
+  init_scratch(scratch_);
+  init_scratch(write_scratch_);
+  copy_buf_.resize(config_.lanes());
+}
+
+void PolyMem::init_scratch(Scratch& s) {
+  // Sized once here; every later access reuses the buffers (the AGU's
+  // resize calls become no-ops and expansion never reallocates).
+  const unsigned lanes = config_.lanes();
+  s.plan.coords.reserve(lanes);
+  s.plan.bank.reserve(lanes);
+  s.plan.addr.reserve(lanes);
+  s.bank_addr.resize(lanes);
+  s.bank_data.resize(lanes);
 }
 
 maf::SupportLevel PolyMem::supports(access::PatternKind pattern) const {
@@ -23,12 +38,38 @@ void PolyMem::plan_and_route_write(const access::ParallelAccess& where,
                                    std::span<const Word> data, Scratch& s) {
   POLYMEM_REQUIRE(data.size() == config_.lanes(),
                   "write data must provide one word per lane");
+  if (use_plan_cache_) {
+    std::int64_t delta;
+    if (const PlanTemplate* t = plan_cache_.lookup(where, delta)) {
+      const unsigned lanes = config_.lanes();
+      for (unsigned b = 0; b < lanes; ++b) {
+        s.bank_addr[b] = t->bank_addr0[b] + delta;
+        s.bank_data[b] = data[t->lane_for_bank[b]];
+      }
+      s.tmpl = t;
+      return;
+    }
+  }
+  s.tmpl = nullptr;
   agu_.expand_into(where, s.plan);
   address_shuffle(s.plan, s.bank_addr);
   write_data_shuffle(s.plan, data, s.bank_data);
 }
 
 void PolyMem::plan_read(const access::ParallelAccess& where, Scratch& s) {
+  if (use_plan_cache_) {
+    std::int64_t delta;
+    if (const PlanTemplate* t = plan_cache_.lookup(where, delta)) {
+      const unsigned lanes = config_.lanes();
+      for (unsigned b = 0; b < lanes; ++b)
+        s.bank_addr[b] = t->bank_addr0[b] + delta;
+      s.tmpl = t;
+      return;
+    }
+  }
+  // Fallback: the naive AGU path — also the error-reporting path for
+  // unsupported patterns and out-of-bounds accesses.
+  s.tmpl = nullptr;
   agu_.expand_into(where, s.plan);
   address_shuffle(s.plan, s.bank_addr);
 }
@@ -49,7 +90,15 @@ void PolyMem::read_into(const access::ParallelAccess& where, unsigned port,
   plan_read(where, scratch_);
   banks_.begin_cycle();
   banks_.read(port, scratch_.bank_addr, scratch_.bank_data);
-  read_data_shuffle(scratch_.plan, scratch_.bank_data, out);
+  if (scratch_.tmpl) {
+    // The template's permutation was validated at build time; route the
+    // lanes directly instead of through the checked crossbar model.
+    const unsigned lanes = config_.lanes();
+    for (unsigned k = 0; k < lanes; ++k)
+      out[k] = scratch_.bank_data[scratch_.tmpl->bank[k]];
+  } else {
+    read_data_shuffle(scratch_.plan, scratch_.bank_data, out);
+  }
   ++parallel_reads_;
 }
 
@@ -68,21 +117,159 @@ void PolyMem::read_write(const access::ParallelAccess& read_from,
   POLYMEM_REQUIRE(read_out.size() == config_.lanes() &&
                       write_data.size() == config_.lanes(),
                   "buffers must provide one word per lane");
-  // The read and the write of the same cycle each need their own plan.
-  Scratch write_scratch;
-  write_scratch.bank_addr.resize(config_.lanes());
-  write_scratch.bank_data.resize(config_.lanes());
+  // The read and the write of the same cycle each need their own plan;
+  // both live in member scratch, so steady state allocates nothing.
   plan_read(read_from, scratch_);
-  plan_and_route_write(write_to, write_data, write_scratch);
+  plan_and_route_write(write_to, write_data, write_scratch_);
 
   banks_.begin_cycle();
   // Read first: an overlapping concurrent write lands *after* the read,
   // matching BRAM read-first port behaviour.
   banks_.read(port, scratch_.bank_addr, scratch_.bank_data);
-  read_data_shuffle(scratch_.plan, scratch_.bank_data, read_out);
-  banks_.write(write_scratch.bank_addr, write_scratch.bank_data);
+  if (scratch_.tmpl) {
+    const unsigned lanes = config_.lanes();
+    for (unsigned k = 0; k < lanes; ++k)
+      read_out[k] = scratch_.bank_data[scratch_.tmpl->bank[k]];
+  } else {
+    read_data_shuffle(scratch_.plan, scratch_.bank_data, read_out);
+  }
+  banks_.write(write_scratch_.bank_addr, write_scratch_.bank_data);
   ++parallel_reads_;
   ++parallel_writes_;
+}
+
+void PolyMem::validate_batch(const AccessBatch& batch) const {
+  POLYMEM_REQUIRE(batch.inner_count >= 0 && batch.outer_count >= 0,
+                  "batch counts must be non-negative");
+  if (batch.count() == 0) return;
+  const maf::SupportLevel level = maf::probe_support(maf_, batch.kind);
+  if (level == maf::SupportLevel::kNone) {
+    std::ostringstream os;
+    os << "scheme " << maf::scheme_name(config_.scheme) << " (" << config_.p
+       << 'x' << config_.q << ") does not serve pattern "
+       << access::pattern_name(batch.kind);
+    throw Unsupported(os.str());
+  }
+  if (level == maf::SupportLevel::kAligned) {
+    const auto p = static_cast<std::int64_t>(config_.p);
+    const auto q = static_cast<std::int64_t>(config_.q);
+    const bool aligned =
+        batch.start.i % p == 0 && batch.start.j % q == 0 &&
+        batch.inner_stride.i % p == 0 && batch.inner_stride.j % q == 0 &&
+        batch.outer_stride.i % p == 0 && batch.outer_stride.j % q == 0;
+    if (!aligned) {
+      std::ostringstream os;
+      os << "scheme " << maf::scheme_name(config_.scheme) << " (" << config_.p
+         << 'x' << config_.q << ") serves pattern "
+         << access::pattern_name(batch.kind)
+         << " only at p/q-aligned anchors; batch start or strides break "
+            "alignment";
+      throw Unsupported(os.str());
+    }
+  }
+  // Anchor coordinates are affine in the (inner, outer) index box, so the
+  // per-axis extremes — all `fits` cares about — occur at the corners.
+  for (int corner = 0; corner < 4; ++corner) {
+    const std::int64_t k = (corner & 1) ? batch.inner_count - 1 : 0;
+    const std::int64_t o = (corner & 2) ? batch.outer_count - 1 : 0;
+    const access::Coord anchor{
+        batch.start.i + o * batch.outer_stride.i + k * batch.inner_stride.i,
+        batch.start.j + o * batch.outer_stride.j + k * batch.inner_stride.j};
+    if (!access::fits({batch.kind, anchor}, config_.p, config_.q,
+                      config_.height, config_.width)) {
+      std::ostringstream os;
+      os << "batch access " << access::pattern_name(batch.kind) << " at "
+         << anchor << " exceeds the " << config_.height << 'x'
+         << config_.width << " address space";
+      throw InvalidArgument(os.str());
+    }
+  }
+}
+
+void PolyMem::read_batch(const AccessBatch& batch, unsigned port,
+                         std::span<Word> out) {
+  POLYMEM_REQUIRE(port < config_.read_ports, "read port out of range");
+  validate_batch(batch);
+  const unsigned lanes = config_.lanes();
+  POLYMEM_REQUIRE(out.size() == static_cast<std::size_t>(batch.count()) * lanes,
+                  "batch read buffer must provide count * lanes words");
+  Word* chunk = out.data();
+  access::ParallelAccess acc{batch.kind, batch.start};
+  for (std::int64_t o = 0; o < batch.outer_count; ++o) {
+    acc.anchor = {batch.start.i + o * batch.outer_stride.i,
+                  batch.start.j + o * batch.outer_stride.j};
+    for (std::int64_t t = 0; t < batch.inner_count; ++t) {
+      plan_read(acc, scratch_);
+      banks_.begin_cycle();
+      banks_.read(port, scratch_.bank_addr, scratch_.bank_data);
+      const unsigned* bank = scratch_.tmpl ? scratch_.tmpl->bank.data()
+                                           : scratch_.plan.bank.data();
+      for (unsigned k = 0; k < lanes; ++k)
+        chunk[k] = scratch_.bank_data[bank[k]];
+      chunk += lanes;
+      ++parallel_reads_;
+      acc.anchor.i += batch.inner_stride.i;
+      acc.anchor.j += batch.inner_stride.j;
+    }
+  }
+}
+
+void PolyMem::write_batch(const AccessBatch& batch,
+                          std::span<const Word> data) {
+  validate_batch(batch);
+  const unsigned lanes = config_.lanes();
+  POLYMEM_REQUIRE(
+      data.size() == static_cast<std::size_t>(batch.count()) * lanes,
+      "batch write buffer must provide count * lanes words");
+  const Word* chunk = data.data();
+  access::ParallelAccess acc{batch.kind, batch.start};
+  for (std::int64_t o = 0; o < batch.outer_count; ++o) {
+    acc.anchor = {batch.start.i + o * batch.outer_stride.i,
+                  batch.start.j + o * batch.outer_stride.j};
+    for (std::int64_t t = 0; t < batch.inner_count; ++t) {
+      plan_and_route_write(acc, std::span<const Word>(chunk, lanes),
+                           scratch_);
+      banks_.begin_cycle();
+      banks_.write(scratch_.bank_addr, scratch_.bank_data);
+      chunk += lanes;
+      ++parallel_writes_;
+      acc.anchor.i += batch.inner_stride.i;
+      acc.anchor.j += batch.inner_stride.j;
+    }
+  }
+}
+
+void PolyMem::stream_copy_batch(const AccessBatch& from,
+                                const AccessBatch& to, unsigned port) {
+  POLYMEM_REQUIRE(port < config_.read_ports, "read port out of range");
+  POLYMEM_REQUIRE(from.count() == to.count(),
+                  "copy batches must have equal access counts");
+  validate_batch(from);
+  validate_batch(to);
+  const unsigned lanes = config_.lanes();
+  access::ParallelAccess src{from.kind, from.start};
+  access::ParallelAccess dst{to.kind, to.start};
+  for (std::int64_t o = 0; o < from.outer_count; ++o) {
+    src.anchor = {from.start.i + o * from.outer_stride.i,
+                  from.start.j + o * from.outer_stride.j};
+    for (std::int64_t t = 0; t < from.inner_count; ++t) {
+      const std::int64_t flat = o * from.inner_count + t;
+      dst.anchor = to.access(flat).anchor;
+      plan_read(src, scratch_);
+      banks_.begin_cycle();
+      banks_.read(port, scratch_.bank_addr, scratch_.bank_data);
+      const unsigned* bank = scratch_.tmpl ? scratch_.tmpl->bank.data()
+                                           : scratch_.plan.bank.data();
+      for (unsigned k = 0; k < lanes; ++k)
+        copy_buf_[k] = scratch_.bank_data[bank[k]];
+      plan_and_route_write(dst, copy_buf_, write_scratch_);
+      banks_.write(write_scratch_.bank_addr, write_scratch_.bank_data);
+      ++parallel_reads_;
+      ++parallel_writes_;
+      src.anchor.i += from.inner_stride.i;
+      src.anchor.j += from.inner_stride.j;
+    }
+  }
 }
 
 Word PolyMem::load(access::Coord c) const {
@@ -97,24 +284,46 @@ void PolyMem::store(access::Coord c, Word value) {
 
 void PolyMem::fill_rect(access::Coord origin, std::int64_t rows,
                         std::int64_t cols, std::span<const Word> values) {
+  POLYMEM_REQUIRE(rows >= 0 && cols >= 0,
+                  "rectangle extents must be non-negative");
   POLYMEM_REQUIRE(values.size() ==
                       static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
                   "value buffer must match the rectangle size");
+  if (rows == 0 || cols == 0) return;
+  POLYMEM_REQUIRE(addressing_.in_bounds(origin) &&
+                      addressing_.in_bounds(
+                          {origin.i + rows - 1, origin.j + cols - 1}),
+                  "rectangle exceeds the address space");
   std::size_t k = 0;
-  for (std::int64_t u = 0; u < rows; ++u)
-    for (std::int64_t v = 0; v < cols; ++v)
-      store({origin.i + u, origin.j + v}, values[k++]);
+  for (std::int64_t u = 0; u < rows; ++u) {
+    const std::int64_t i = origin.i + u;
+    for (std::int64_t v = 0; v < cols; ++v) {
+      const std::int64_t j = origin.j + v;
+      banks_.poke(maf_.bank(i, j), addressing_.address(i, j), values[k++]);
+    }
+  }
 }
 
 void PolyMem::dump_rect(access::Coord origin, std::int64_t rows,
                         std::int64_t cols, std::span<Word> values) const {
+  POLYMEM_REQUIRE(rows >= 0 && cols >= 0,
+                  "rectangle extents must be non-negative");
   POLYMEM_REQUIRE(values.size() ==
                       static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
                   "value buffer must match the rectangle size");
+  if (rows == 0 || cols == 0) return;
+  POLYMEM_REQUIRE(addressing_.in_bounds(origin) &&
+                      addressing_.in_bounds(
+                          {origin.i + rows - 1, origin.j + cols - 1}),
+                  "rectangle exceeds the address space");
   std::size_t k = 0;
-  for (std::int64_t u = 0; u < rows; ++u)
-    for (std::int64_t v = 0; v < cols; ++v)
-      values[k++] = load({origin.i + u, origin.j + v});
+  for (std::int64_t u = 0; u < rows; ++u) {
+    const std::int64_t i = origin.i + u;
+    for (std::int64_t v = 0; v < cols; ++v) {
+      const std::int64_t j = origin.j + v;
+      values[k++] = banks_.peek(maf_.bank(i, j), addressing_.address(i, j));
+    }
+  }
 }
 
 }  // namespace polymem::core

@@ -10,6 +10,19 @@
 // per-cycle port accounting, read shuffle — but without timing. For timed
 // simulation (latency, concurrent read+write, multi-port scheduling) use
 // core/cycle_polymem.hpp, which layers clocking on top of the same blocks.
+//
+// Two execution engines serve each access (docs/ARCHITECTURE.md,
+// "Performance model"):
+//  - the *naive* path runs the AGU per access (support probe, bounds
+//    check, per-lane MAF + addressing, three shuffles);
+//  - the *cached* path (default) replays a memoized plan template
+//    (core/plan_cache.hpp) — the MAF is periodic per axis, so the bank
+//    permutation and base addresses of an anchor-residue class are
+//    computed once and every later access in the class is one table
+//    lookup plus one add per bank.
+// Both paths are observably identical (differentially tested); the naive
+// path remains for unsupported/out-of-bounds error reporting, cache
+// overflow, and as the benchmark baseline.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +33,7 @@
 #include "core/agu.hpp"
 #include "core/banks.hpp"
 #include "core/config.hpp"
+#include "core/plan_cache.hpp"
 #include "hw/bram.hpp"
 #include "maf/addressing.hpp"
 #include "maf/conflict.hpp"
@@ -28,6 +42,42 @@
 namespace polymem::core {
 
 using hw::Word;
+
+/// A strided sequence of parallel accesses, validated once and executed
+/// through the cached engine with no per-access allocation. Anchors form
+/// an outer x inner grid walked row-major:
+///
+///   anchor(o, t) = start + o*outer_stride + t*inner_stride,
+///   o in [0, outer_count), t in [0, inner_count).
+///
+/// This covers the library's bulk walks: a STREAM band is (rows x groups),
+/// a matrix load is (rows x row segments), a transpose is the tile grid,
+/// a plain 1D sweep is outer_count == 1.
+struct AccessBatch {
+  access::PatternKind kind = access::PatternKind::kRect;
+  access::Coord start;
+  access::Coord inner_stride;
+  std::int64_t inner_count = 1;
+  access::Coord outer_stride;
+  std::int64_t outer_count = 1;
+
+  std::int64_t count() const { return inner_count * outer_count; }
+
+  /// The flat-index-t access, t in [0, count()), inner index fastest.
+  access::ParallelAccess access(std::int64_t t) const {
+    const std::int64_t o = t / inner_count;
+    const std::int64_t k = t % inner_count;
+    return {kind,
+            {start.i + o * outer_stride.i + k * inner_stride.i,
+             start.j + o * outer_stride.j + k * inner_stride.j}};
+  }
+
+  /// A 1D strided sequence (outer_count == 1).
+  static AccessBatch strided(access::PatternKind kind, access::Coord start,
+                             access::Coord stride, std::int64_t count) {
+    return {kind, start, stride, count, {0, 0}, 1};
+  }
+};
 
 class PolyMem {
  public:
@@ -64,6 +114,22 @@ class PolyMem {
                   const access::ParallelAccess& write_to,
                   std::span<const Word> write_data);
 
+  /// Batched access engine: validates the whole batch once (support,
+  /// alignment, bounds), then executes `count()` accesses back-to-back
+  /// through the plan-template cache with no per-access allocation or
+  /// re-validation. Each batch element is its own cycle; results/data are
+  /// the concatenation of the per-access canonical lane groups, so
+  /// `out`/`data` must hold count() * lanes() words.
+  void read_batch(const AccessBatch& batch, unsigned port,
+                  std::span<Word> out);
+  void write_batch(const AccessBatch& batch, std::span<const Word> data);
+
+  /// Fused copy: per element t, reads `from.access(t)` and writes the data
+  /// to `to.access(t)` in the same cycle (read-before-write, like
+  /// read_write) — the STREAM-Copy inner loop without the host round trip.
+  void stream_copy_batch(const AccessBatch& from, const AccessBatch& to,
+                         unsigned port = 0);
+
   /// Scalar host backdoor (no port accounting; used for Load/Offload and
   /// debugging, like the host filling the memory in the paper's DSE
   /// validation cycle).
@@ -71,7 +137,8 @@ class PolyMem {
   void store(access::Coord c, Word value);
 
   /// Bulk host helpers: row-major copy of a height x width rectangle at
-  /// `origin` from/to a linear buffer.
+  /// `origin` from/to a linear buffer. One region bounds check, then
+  /// direct bank pokes/peeks (no per-element validation).
   void fill_rect(access::Coord origin, std::int64_t rows, std::int64_t cols,
                  std::span<const Word> values);
   void dump_rect(access::Coord origin, std::int64_t rows, std::int64_t cols,
@@ -81,24 +148,42 @@ class PolyMem {
   std::uint64_t parallel_reads() const { return parallel_reads_; }
   std::uint64_t parallel_writes() const { return parallel_writes_; }
 
+  /// Toggles the plan-template fast path (default on). The naive AGU path
+  /// exists as the differential-test reference and benchmark baseline.
+  void set_plan_cache_enabled(bool enabled) { use_plan_cache_ = enabled; }
+  bool plan_cache_enabled() const {
+    return use_plan_cache_ && plan_cache_.enabled();
+  }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  PlanCache& plan_cache() { return plan_cache_; }
+
  private:
-  // Scratch buffers sized to lanes(), reused across accesses.
+  // Scratch buffers sized to lanes(), reused across accesses. `tmpl` is
+  // set when the access was planned from a cache template (the template
+  // then carries the shuffle permutation), null on the naive path.
   struct Scratch {
     AccessPlan plan;
+    const PlanTemplate* tmpl = nullptr;
     std::vector<std::int64_t> bank_addr;
     std::vector<Word> bank_data;
   };
 
+  void init_scratch(Scratch& s);
   void plan_and_route_write(const access::ParallelAccess& where,
                             std::span<const Word> data, Scratch& s);
   void plan_read(const access::ParallelAccess& where, Scratch& s);
+  void validate_batch(const AccessBatch& batch) const;
 
   PolyMemConfig config_;
   maf::Maf maf_;
   maf::AddressingFunction addressing_;
   Agu agu_;
   BankArray banks_;
+  PlanCache plan_cache_;
+  bool use_plan_cache_ = true;
   mutable Scratch scratch_;
+  Scratch write_scratch_;          // read_write's concurrent write plan
+  std::vector<Word> copy_buf_;     // stream_copy_batch lane staging
   std::uint64_t parallel_reads_ = 0;
   std::uint64_t parallel_writes_ = 0;
 };

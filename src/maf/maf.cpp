@@ -131,6 +131,48 @@ BankIndex Maf::bank(std::int64_t i, std::int64_t j) const {
   throw InvalidArgument("unknown scheme");
 }
 
+std::int64_t Maf::period_i() const {
+  const std::int64_t p = p_;
+  const std::int64_t q = q_;
+  const std::int64_t n = p * q;
+  switch (scheme_) {
+    case Scheme::kReO:
+      return p;  // m_v = i mod p, m_h independent of i
+    case Scheme::kReRo:
+      return p;  // i only enters m_v through (i + ...) mod p
+    case Scheme::kReCo:
+      return n;  // |i/p| mod q repeats every p*q rows
+    case Scheme::kRoCo:
+      return n;  // lcm of the ReRo/ReCo i-periods
+    case Scheme::kReTr:
+      // Non-transposed: b*i mod n repeats every n rows. Transposed: i plays
+      // the skewed-j role, period s*n with s = min(p, q) = q.
+      return transposed_ ? static_cast<std::int64_t>(q_) * n : n;
+  }
+  throw InvalidArgument("unknown scheme");
+}
+
+std::int64_t Maf::period_j() const {
+  const std::int64_t p = p_;
+  const std::int64_t q = q_;
+  const std::int64_t n = p * q;
+  switch (scheme_) {
+    case Scheme::kReO:
+      return q;
+    case Scheme::kReRo:
+      return n;  // |j/q| mod p repeats every q*p columns
+    case Scheme::kReCo:
+      return q;
+    case Scheme::kRoCo:
+      return n;
+    case Scheme::kReTr:
+      // Non-transposed: j + a*|j/s| advances by n*(s + a)/s ≡ 0 (mod n)
+      // every s*n columns, s = min(p, q) = p. Transposed: j enters as b*j.
+      return transposed_ ? n : static_cast<std::int64_t>(p_) * n;
+  }
+  throw InvalidArgument("unknown scheme");
+}
+
 unsigned Maf::m_v(std::int64_t i, std::int64_t j) const {
   return bank(i, j) / q_;
 }

@@ -69,6 +69,15 @@ class Maf {
   unsigned m_v(std::int64_t i, std::int64_t j) const;
   unsigned m_h(std::int64_t i, std::int64_t j) const;
 
+  /// Axis periods of the bank function: bank(i + period_i(), j) == bank(i, j)
+  /// and bank(i, j + period_j()) == bank(i, j) for every coordinate. These
+  /// are per-scheme tight-ish bounds (always multiples of p and q
+  /// respectively), the foundation of plan-template caching
+  /// (core/plan_cache.hpp): one template per anchor residue class serves
+  /// the whole address space.
+  std::int64_t period_i() const;
+  std::int64_t period_j() const;
+
   /// The ReTr coefficients in use (empty for other schemes).
   std::optional<ReTrCoefficients> retr_coefficients() const;
 

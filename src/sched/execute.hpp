@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/cycle_polymem.hpp"
 #include "sched/scheduler.hpp"
@@ -39,6 +40,7 @@ ExecutionResult execute_schedule(const AccessTrace& trace,
   std::size_t next = 0;
   std::size_t retired = 0;
   const std::size_t total = schedule.accesses.size();
+  std::vector<access::Coord> coords;  // reused across retirements
   while (retired < total) {
     if (next < total) {
       const bool ok = mem.issue_read(0, schedule.accesses[next],
@@ -50,8 +52,7 @@ ExecutionResult execute_schedule(const AccessTrace& trace,
     mem.tick();
     if (auto resp = mem.retire_read(0)) {
       const auto& acc = schedule.accesses[resp->tag];
-      const auto coords =
-          access::expand(acc, mem.config().p, mem.config().q);
+      access::expand_into(acc, mem.config().p, mem.config().q, coords);
       for (std::size_t k = 0; k < coords.size(); ++k) {
         if (resp->data[k] != expected(coords[k]))
           throw Error("schedule execution fetched wrong data at (" +

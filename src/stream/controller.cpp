@@ -45,6 +45,73 @@ StreamController::StreamController(core::PolyMemConfig config,
   POLYMEM_REQUIRE(3 * band_rows_ <= mem_.config().height,
                   "PolyMem too small for three vector bands of this size");
   lane_buf_.resize(mem_.config().lanes());
+  result_buf_.resize(mem_.config().lanes());
+}
+
+void StreamController::preload(Vector v, std::span<const double> data) {
+  const auto n = static_cast<std::int64_t>(data.size());
+  const auto lanes = static_cast<std::int64_t>(mem_.config().lanes());
+  const std::int64_t width = mem_.config().width;
+  POLYMEM_REQUIRE(n >= 1 && n <= vector_capacity_,
+                  "vector exceeds the band capacity");
+  POLYMEM_REQUIRE(n % lanes == 0,
+                  "vector length must be a multiple of the lane count");
+  words_buf_.resize(data.size());
+  for (std::size_t k = 0; k < data.size(); ++k)
+    words_buf_[k] = core::pack_double(data[k]);
+  auto& f = mem_.functional();
+  const core::VectorBand b = band(v);
+  const std::int64_t full_rows = n / width;
+  const std::int64_t tail = n % width;
+  if (full_rows > 0)
+    f.write_batch({access::PatternKind::kRow,
+                   {b.first_row(), 0},
+                   {0, lanes},
+                   width / lanes,
+                   {1, 0},
+                   full_rows},
+                  std::span<const hw::Word>(words_buf_)
+                      .first(static_cast<std::size_t>(full_rows * width)));
+  if (tail > 0)
+    f.write_batch(core::AccessBatch::strided(access::PatternKind::kRow,
+                                             {b.first_row() + full_rows, 0},
+                                             {0, lanes}, tail / lanes),
+                  std::span<const hw::Word>(words_buf_)
+                      .last(static_cast<std::size_t>(tail)));
+}
+
+void StreamController::offload_bulk(Vector v, std::span<double> out) {
+  const auto n = static_cast<std::int64_t>(out.size());
+  const auto lanes = static_cast<std::int64_t>(mem_.config().lanes());
+  const std::int64_t width = mem_.config().width;
+  POLYMEM_REQUIRE(n >= 1 && n <= vector_capacity_,
+                  "vector exceeds the band capacity");
+  POLYMEM_REQUIRE(n % lanes == 0,
+                  "vector length must be a multiple of the lane count");
+  words_buf_.resize(out.size());
+  auto& f = mem_.functional();
+  const core::VectorBand b = band(v);
+  const std::int64_t full_rows = n / width;
+  const std::int64_t tail = n % width;
+  if (full_rows > 0)
+    f.read_batch({access::PatternKind::kRow,
+                  {b.first_row(), 0},
+                  {0, lanes},
+                  width / lanes,
+                  {1, 0},
+                  full_rows},
+                 0,
+                 std::span<hw::Word>(words_buf_)
+                     .first(static_cast<std::size_t>(full_rows * width)));
+  if (tail > 0)
+    f.read_batch(core::AccessBatch::strided(access::PatternKind::kRow,
+                                            {b.first_row() + full_rows, 0},
+                                            {0, lanes}, tail / lanes),
+                 0,
+                 std::span<hw::Word>(words_buf_)
+                     .last(static_cast<std::size_t>(tail)));
+  for (std::size_t k = 0; k < out.size(); ++k)
+    out[k] = core::unpack_double(words_buf_[k]);
 }
 
 core::VectorBand StreamController::band(Vector v) const {
@@ -141,9 +208,11 @@ void StreamController::tick_compute() {
   const unsigned lanes = mem_.config().lanes();
 
   // 1. A retired read (pair) triggers its dependent write this cycle —
-  //    the feedback loop from PolyMem's output to its write port.
+  //    the feedback loop from PolyMem's output to its write port. The
+  //    compute result lands in a reused member buffer (Copy forwards the
+  //    read data directly): no allocation in the steady-state loop.
   if (auto r0 = mem_.retire_read(0)) {
-    std::vector<hw::Word> result(lanes);
+    std::span<const hw::Word> result = r0->data;
     if (two_reads) {
       const auto r1 = mem_.retire_read(1);
       POLYMEM_ASSERT(r1 && r1->tag == r0->tag);
@@ -151,13 +220,14 @@ void StreamController::tick_compute() {
         const double b = core::unpack_double(r0->data[k]);
         const double c = core::unpack_double(r1->data[k]);
         const double a = (mode_ == Mode::kSum) ? b + c : b + q_ * c;
-        result[k] = core::pack_double(a);
+        result_buf_[k] = core::pack_double(a);
       }
+      result = result_buf_;
     } else if (mode_ == Mode::kScale) {
       for (unsigned k = 0; k < lanes; ++k)
-        result[k] = core::pack_double(q_ * core::unpack_double(r0->data[k]));
-    } else {  // Copy moves raw words
-      result = r0->data;
+        result_buf_[k] =
+            core::pack_double(q_ * core::unpack_double(r0->data[k]));
+      result = result_buf_;
     }
     const bool ok = mem_.issue_write(
         group_access(band(dst), static_cast<std::int64_t>(r0->tag)), result);

@@ -24,7 +24,9 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/cycle_polymem.hpp"
 #include "core/layout.hpp"
@@ -78,6 +80,14 @@ class StreamController : public maxsim::Kernel {
   /// The band holding a vector (for host-side verification).
   core::VectorBand band(Vector v) const;
 
+  /// Host-side bulk transfers through PolyMem's batched access engine:
+  /// one validated batch per band instead of per-cycle streaming. These
+  /// bypass the Load/Offload stage timing (use the Mode machinery when
+  /// cycle counts matter) and are the fast path for test setup and
+  /// host-side verification.
+  void preload(Vector v, std::span<const double> data);
+  void offload_bulk(Vector v, std::span<double> out);
+
  private:
   void tick_load(maxsim::Stream& in, const core::VectorBand& band);
   void tick_compute();
@@ -101,7 +111,9 @@ class StreamController : public maxsim::Kernel {
   std::int64_t writes_done_ = 0;    // element groups written back
   std::int64_t pushed_ = 0;         // element groups pushed to `out`
   std::int64_t in_flight_ = 0;      // offload reads not yet pushed
-  std::vector<hw::Word> lane_buf_;  // load-stage word gather buffer
+  std::vector<hw::Word> lane_buf_;    // load-stage word gather buffer
+  std::vector<hw::Word> result_buf_;  // compute-stage result (reused)
+  std::vector<hw::Word> words_buf_;   // preload/offload staging
   std::size_t lane_fill_ = 0;
 };
 

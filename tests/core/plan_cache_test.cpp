@@ -1,0 +1,345 @@
+// Differential tests of the plan-template cache and the batched access
+// engine: for every scheme x supported pattern x an anchor sweep covering
+// more than one MAF period, the cached/batched path must produce bitwise
+// identical plans and read/write results to the naive AGU path. This is
+// the correctness gate for the whole fast path.
+#include "core/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "core/polymem.hpp"
+#include "maf/conflict.hpp"
+
+namespace polymem::core {
+namespace {
+
+using access::Coord;
+using access::ParallelAccess;
+using access::PatternKind;
+using maf::Scheme;
+using maf::SupportLevel;
+
+struct Geometry {
+  unsigned p;
+  unsigned q;
+};
+
+constexpr Geometry kGeometries[] = {{2, 4}, {4, 2}, {4, 4}, {1, 4}};
+
+// An address space wide enough to sweep anchors across two full MAF
+// periods plus the widest pattern extent.
+PolyMemConfig make_config(Scheme scheme, Geometry g) {
+  const maf::Maf maf(scheme, g.p, g.q);
+  const std::int64_t n = static_cast<std::int64_t>(g.p) * g.q;
+  PolyMemConfig cfg;
+  cfg.scheme = scheme;
+  cfg.p = g.p;
+  cfg.q = g.q;
+  cfg.height = round_up<std::int64_t>(2 * maf.period_i() + 2 * n, g.p);
+  cfg.width = round_up<std::int64_t>(2 * maf.period_j() + 2 * n, g.q);
+  cfg.validate();
+  return cfg;
+}
+
+// All valid anchors of `kind` with both coordinates below ~one period plus
+// a margin — every residue class plus its first repetition.
+std::vector<Coord> sweep_anchors(const PolyMemConfig& cfg,
+                                 const maf::Maf& maf, PatternKind kind,
+                                 SupportLevel level) {
+  const auto ext = access::pattern_extent(kind, cfg.p, cfg.q);
+  const std::int64_t lo_i = 0, hi_i = cfg.height - ext.rows;
+  const std::int64_t lo_j = -ext.col_offset;
+  const std::int64_t hi_j = cfg.width - ext.cols - ext.col_offset;
+  const std::int64_t end_i = std::min(hi_i, maf.period_i() + cfg.p);
+  const std::int64_t end_j = std::min(hi_j, lo_j + maf.period_j() + cfg.q);
+  std::vector<Coord> anchors;
+  for (std::int64_t i = lo_i; i <= end_i; ++i) {
+    if (level == SupportLevel::kAligned && i % cfg.p != 0) continue;
+    for (std::int64_t j = lo_j; j <= end_j; ++j) {
+      if (level == SupportLevel::kAligned && j % cfg.q != 0) continue;
+      anchors.push_back({i, j});
+    }
+  }
+  return anchors;
+}
+
+void fill_deterministic(PolyMem& mem) {
+  std::vector<Word> values(
+      static_cast<std::size_t>(mem.config().height * mem.config().width));
+  for (std::size_t k = 0; k < values.size(); ++k)
+    values[k] = 0x9E3779B97F4A7C15ull * (k + 1);
+  mem.fill_rect({0, 0}, mem.config().height, mem.config().width, values);
+}
+
+TEST(PlanCache, TemplatesMatchNaivePlansEverywhere) {
+  for (Scheme scheme : maf::kAllSchemes) {
+    for (Geometry g : kGeometries) {
+      const PolyMemConfig cfg = make_config(scheme, g);
+      PolyMem mem(cfg);
+      ASSERT_TRUE(mem.plan_cache().enabled());
+      for (PatternKind kind : access::kAllPatterns) {
+        const SupportLevel level = mem.supports(kind);
+        if (level == SupportLevel::kNone) continue;
+        for (const Coord& anchor :
+             sweep_anchors(cfg, mem.maf(), kind, level)) {
+          const ParallelAccess acc{kind, anchor};
+          const AccessPlan naive = mem.agu().expand(acc);
+          std::int64_t delta = 0;
+          const PlanTemplate* t = mem.plan_cache().lookup(acc, delta);
+          ASSERT_NE(t, nullptr)
+              << maf::scheme_name(scheme) << " " << g.p << "x" << g.q << " "
+              << access::pattern_name(kind) << " at " << anchor;
+          for (unsigned k = 0; k < cfg.lanes(); ++k) {
+            ASSERT_EQ(t->bank[k], naive.bank[k])
+                << maf::scheme_name(scheme) << " "
+                << access::pattern_name(kind) << " lane " << k << " at "
+                << anchor;
+            ASSERT_EQ(t->addr0[k] + delta, naive.addr[k])
+                << maf::scheme_name(scheme) << " "
+                << access::pattern_name(kind) << " lane " << k << " at "
+                << anchor;
+            ASSERT_EQ(t->lane_for_bank[t->bank[k]], k);
+            ASSERT_EQ(t->bank_addr0[t->bank[k]], t->addr0[k]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PlanCache, CachedReadsMatchNaiveReads) {
+  for (Scheme scheme : maf::kAllSchemes) {
+    for (Geometry g : kGeometries) {
+      const PolyMemConfig cfg = make_config(scheme, g);
+      PolyMem cached(cfg);
+      PolyMem naive(cfg);
+      naive.set_plan_cache_enabled(false);
+      fill_deterministic(cached);
+      fill_deterministic(naive);
+      std::vector<Word> a(cfg.lanes()), b(cfg.lanes());
+      for (PatternKind kind : access::kAllPatterns) {
+        const SupportLevel level = cached.supports(kind);
+        if (level == SupportLevel::kNone) continue;
+        for (const Coord& anchor :
+             sweep_anchors(cfg, cached.maf(), kind, level)) {
+          cached.read_into({kind, anchor}, 0, a);
+          naive.read_into({kind, anchor}, 0, b);
+          ASSERT_EQ(a, b) << maf::scheme_name(scheme) << " "
+                          << access::pattern_name(kind) << " at " << anchor;
+        }
+      }
+      EXPECT_GT(cached.plan_cache().hits(), 0u);
+    }
+  }
+}
+
+TEST(PlanCache, CachedWritesMatchNaiveWrites) {
+  for (Scheme scheme : maf::kAllSchemes) {
+    for (Geometry g : kGeometries) {
+      const PolyMemConfig cfg = make_config(scheme, g);
+      PolyMem cached(cfg);
+      PolyMem naive(cfg);
+      naive.set_plan_cache_enabled(false);
+      std::vector<Word> data(cfg.lanes());
+      std::uint64_t seed = 1;
+      for (PatternKind kind : access::kAllPatterns) {
+        const SupportLevel level = cached.supports(kind);
+        if (level == SupportLevel::kNone) continue;
+        for (const Coord& anchor :
+             sweep_anchors(cfg, cached.maf(), kind, level)) {
+          for (Word& w : data) w = seed += 0x9E3779B97F4A7C15ull;
+          cached.write({kind, anchor}, data);
+          naive.write({kind, anchor}, data);
+        }
+      }
+      const auto elems =
+          static_cast<std::size_t>(cfg.height) * static_cast<std::size_t>(cfg.width);
+      std::vector<Word> da(elems), db(elems);
+      cached.dump_rect({0, 0}, cfg.height, cfg.width, da);
+      naive.dump_rect({0, 0}, cfg.height, cfg.width, db);
+      ASSERT_EQ(da, db) << maf::scheme_name(scheme) << " " << g.p << "x"
+                        << g.q;
+    }
+  }
+}
+
+TEST(PlanCache, ErrorsMatchNaivePath) {
+  PolyMemConfig cfg = make_config(Scheme::kRoCo, {2, 4});
+  PolyMem cached(cfg);
+  PolyMem naive(cfg);
+  naive.set_plan_cache_enabled(false);
+  std::vector<Word> out(cfg.lanes());
+  // RoCo serves rectangles only at aligned anchors.
+  ASSERT_EQ(cached.supports(PatternKind::kRect), SupportLevel::kAligned);
+  EXPECT_THROW(cached.read_into({PatternKind::kRect, {1, 1}}, 0, out),
+               Unsupported);
+  EXPECT_THROW(naive.read_into({PatternKind::kRect, {1, 1}}, 0, out),
+               Unsupported);
+  // Out-of-bounds accesses stay InvalidArgument on both paths.
+  EXPECT_THROW(
+      cached.read_into({PatternKind::kRow, {0, cfg.width - 1}}, 0, out),
+      InvalidArgument);
+  EXPECT_THROW(
+      naive.read_into({PatternKind::kRow, {0, cfg.width - 1}}, 0, out),
+      InvalidArgument);
+  // TRect is outside RoCo's family on both paths.
+  if (cached.supports(PatternKind::kTRect) == SupportLevel::kNone) {
+    EXPECT_THROW(cached.read_into({PatternKind::kTRect, {0, 0}}, 0, out),
+                 Unsupported);
+    EXPECT_THROW(naive.read_into({PatternKind::kTRect, {0, 0}}, 0, out),
+                 Unsupported);
+  }
+}
+
+TEST(PlanCache, TemplateCountIsBoundedByResidueClasses) {
+  const PolyMemConfig cfg = make_config(Scheme::kReRo, {2, 4});
+  PolyMem mem(cfg);
+  fill_deterministic(mem);
+  std::vector<Word> out(cfg.lanes());
+  for (std::int64_t i = 0; i + 1 <= cfg.height; ++i)
+    for (std::int64_t j = 0; j + 8 <= cfg.width; ++j)
+      mem.read_into({PatternKind::kRow, {i, j}}, 0, out);
+  const auto& pc = mem.plan_cache();
+  EXPECT_LE(pc.builds(),
+            static_cast<std::uint64_t>(pc.period_i() * pc.period_j()));
+  EXPECT_EQ(pc.builds(), pc.size());
+  EXPECT_GT(pc.hits(), pc.builds());
+}
+
+TEST(BatchEngine, ReadBatchMatchesReadLoop) {
+  for (Scheme scheme : {Scheme::kReRo, Scheme::kRoCo, Scheme::kReTr}) {
+    const PolyMemConfig cfg = make_config(scheme, {2, 4});
+    PolyMem mem(cfg);
+    fill_deterministic(mem);
+    const PatternKind kind = scheme == Scheme::kReTr ? PatternKind::kRect
+                                                     : PatternKind::kRow;
+    const auto ext = access::pattern_extent(kind, cfg.p, cfg.q);
+    const std::int64_t inner = (cfg.width - ext.cols) / cfg.q + 1;
+    const std::int64_t outer = (cfg.height - ext.rows) / cfg.p + 1;
+    const AccessBatch batch{kind,       {0, 0}, {0, cfg.q}, inner,
+                            {cfg.p, 0}, outer};
+    std::vector<Word> bulk(
+        static_cast<std::size_t>(batch.count()) * cfg.lanes());
+    mem.read_batch(batch, 0, bulk);
+    std::vector<Word> one(cfg.lanes());
+    for (std::int64_t t = 0; t < batch.count(); ++t) {
+      mem.read_into(batch.access(t), 0, one);
+      for (unsigned k = 0; k < cfg.lanes(); ++k)
+        ASSERT_EQ(bulk[static_cast<std::size_t>(t) * cfg.lanes() + k],
+                  one[k])
+            << maf::scheme_name(scheme) << " access " << t << " lane " << k;
+    }
+  }
+}
+
+TEST(BatchEngine, WriteBatchMatchesWriteLoop) {
+  const PolyMemConfig cfg = make_config(Scheme::kReRo, {2, 4});
+  PolyMem batched(cfg);
+  PolyMem looped(cfg);
+  const std::int64_t groups = cfg.width / cfg.lanes();
+  const AccessBatch batch{PatternKind::kRow, {0, 0},
+                          {0, static_cast<std::int64_t>(cfg.lanes())},
+                          groups,          {1, 0},
+                          cfg.height};
+  std::vector<Word> data(
+      static_cast<std::size_t>(batch.count()) * cfg.lanes());
+  for (std::size_t k = 0; k < data.size(); ++k)
+    data[k] = 0xD1B54A32D192ED03ull * (k + 7);
+  batched.write_batch(batch, data);
+  for (std::int64_t t = 0; t < batch.count(); ++t)
+    looped.write(batch.access(t),
+                 std::span<const Word>(data).subspan(
+                     static_cast<std::size_t>(t) * cfg.lanes(),
+                     cfg.lanes()));
+  const auto elems =
+      static_cast<std::size_t>(cfg.height) * static_cast<std::size_t>(cfg.width);
+  std::vector<Word> da(elems), db(elems);
+  batched.dump_rect({0, 0}, cfg.height, cfg.width, da);
+  looped.dump_rect({0, 0}, cfg.height, cfg.width, db);
+  EXPECT_EQ(da, db);
+  EXPECT_EQ(batched.parallel_writes(),
+            static_cast<std::uint64_t>(batch.count()));
+}
+
+TEST(BatchEngine, StreamCopyBatchMatchesManualCopy) {
+  const PolyMemConfig cfg = make_config(Scheme::kReRo, {2, 4});
+  PolyMem mem(cfg);
+  fill_deterministic(mem);
+  const std::int64_t half = cfg.height / 2;
+  const std::int64_t groups = cfg.width / cfg.lanes();
+  const AccessBatch src{PatternKind::kRow, {0, 0},
+                        {0, static_cast<std::int64_t>(cfg.lanes())},
+                        groups,            {1, 0},
+                        half};
+  AccessBatch dst = src;
+  dst.start = {half, 0};
+  mem.stream_copy_batch(src, dst, 0);
+  const auto elems =
+      static_cast<std::size_t>(half) * static_cast<std::size_t>(cfg.width);
+  std::vector<Word> a(elems), b(elems);
+  mem.dump_rect({0, 0}, half, cfg.width, a);
+  mem.dump_rect({half, 0}, half, cfg.width, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BatchEngine, ValidatesOnceAndRejectsBadBatches) {
+  const PolyMemConfig cfg = make_config(Scheme::kRoCo, {2, 4});
+  PolyMem mem(cfg);
+  std::vector<Word> out(static_cast<std::size_t>(4) * cfg.lanes());
+  // Unaligned stride under an aligned-only pattern.
+  EXPECT_THROW(
+      mem.read_batch(AccessBatch::strided(PatternKind::kRect, {0, 0}, {1, 0},
+                                          4),
+                     0, out),
+      Unsupported);
+  // Last anchor walks off the end of the address space.
+  EXPECT_THROW(
+      mem.read_batch(AccessBatch::strided(PatternKind::kRow, {0, 0},
+                                          {0, cfg.width}, 4),
+                     0, out),
+      InvalidArgument);
+  // Unsupported pattern family.
+  EXPECT_THROW(
+      mem.read_batch(AccessBatch::strided(PatternKind::kTRect, {0, 0},
+                                          {cfg.p, 0}, 4),
+                     0, out),
+      Unsupported);
+  // Wrong buffer size.
+  EXPECT_THROW(
+      mem.read_batch(AccessBatch::strided(PatternKind::kRow, {0, 0}, {1, 0},
+                                          3),
+                     0, out),
+      InvalidArgument);
+  // An empty batch is a no-op.
+  mem.read_batch(AccessBatch::strided(PatternKind::kRow, {0, 0}, {1, 0}, 0),
+                 0, std::span<Word>());
+  EXPECT_EQ(mem.parallel_reads(), 0u);
+}
+
+TEST(BatchEngine, BatchWorksWithPlanCacheDisabled) {
+  const PolyMemConfig cfg = make_config(Scheme::kReRo, {2, 4});
+  PolyMem mem(cfg);
+  mem.set_plan_cache_enabled(false);
+  fill_deterministic(mem);
+  const AccessBatch batch{PatternKind::kRow, {0, 0},
+                          {0, static_cast<std::int64_t>(cfg.lanes())},
+                          cfg.width / cfg.lanes(), {1, 0},
+                          cfg.height};
+  std::vector<Word> bulk(
+      static_cast<std::size_t>(batch.count()) * cfg.lanes());
+  mem.read_batch(batch, 0, bulk);  // naive fallback per access
+  std::vector<Word> expect(
+      static_cast<std::size_t>(cfg.height) * static_cast<std::size_t>(cfg.width));
+  mem.dump_rect({0, 0}, cfg.height, cfg.width, expect);
+  EXPECT_EQ(bulk, expect);
+  EXPECT_EQ(mem.plan_cache().hits(), 0u);
+}
+
+}  // namespace
+}  // namespace polymem::core

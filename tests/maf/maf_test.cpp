@@ -136,5 +136,36 @@ TEST(Maf, EveryBankUsedEquallyOftenOverOnePeriod) {
   }
 }
 
+TEST(Maf, AxisPeriodsAreTruePeriods) {
+  // period_i/period_j underpin the plan-template cache: the bank function
+  // must repeat exactly under a shift of one period along either axis,
+  // including across zero (negative coordinates use floored arithmetic).
+  const std::pair<unsigned, unsigned> geometries[] = {
+      {1, 1}, {1, 4}, {2, 2}, {2, 4}, {4, 2}, {4, 4}, {2, 8}, {4, 8}};
+  for (Scheme s : kAllSchemes) {
+    for (const auto& [p, q] : geometries) {
+      const Maf m(s, p, q);
+      const std::int64_t pi = m.period_i();
+      const std::int64_t pj = m.period_j();
+      ASSERT_GE(pi, 1) << scheme_name(s);
+      ASSERT_GE(pj, 1) << scheme_name(s);
+      // Periods must be multiples of p / q so that anchor alignment and
+      // the addressing decomposition are residue-class properties.
+      EXPECT_EQ(pi % p, 0) << scheme_name(s) << " " << p << "x" << q;
+      EXPECT_EQ(pj % q, 0) << scheme_name(s) << " " << p << "x" << q;
+      for (std::int64_t i = -pi; i < pi; ++i) {
+        for (std::int64_t j = -pj; j < pj; ++j) {
+          ASSERT_EQ(m.bank(i + pi, j), m.bank(i, j))
+              << scheme_name(s) << " " << p << "x" << q << " at (" << i
+              << "," << j << ")";
+          ASSERT_EQ(m.bank(i, j + pj), m.bank(i, j))
+              << scheme_name(s) << " " << p << "x" << q << " at (" << i
+              << "," << j << ")";
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace polymem::maf

@@ -1,0 +1,178 @@
+// Hot-path benchmark runner: measures the functional model's parallel-read
+// throughput on the naive AGU path, the plan-template cached path, and the
+// batched access engine, and emits machine-readable JSON (BENCH_core.json)
+// so the speedup of the cached engine is tracked in the repository.
+//
+// Unlike bench/bench_micro.cpp (google-benchmark, interactive tuning) this
+// runner is deliberately dependency-free: plain chrono timing, median of
+// repeated trials, fixed workloads — stable enough to commit its output.
+//
+// Usage: bench_core [output.json]   (default BENCH_core.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/polymem.hpp"
+
+namespace {
+
+using namespace polymem;
+using Clock = std::chrono::steady_clock;
+
+struct Case {
+  maf::Scheme scheme;
+  unsigned p;
+  unsigned q;
+};
+
+// The ISSUE's acceptance geometries: ReRo and RoCo at 2x4 and 4x4.
+constexpr Case kCases[] = {
+    {maf::Scheme::kReRo, 2, 4},
+    {maf::Scheme::kReRo, 4, 4},
+    {maf::Scheme::kRoCo, 2, 4},
+    {maf::Scheme::kRoCo, 4, 4},
+};
+
+constexpr int kTrials = 7;
+constexpr std::int64_t kAccessesPerTrial = 200'000;
+
+struct Workload {
+  access::PatternKind kind;
+  std::int64_t step_i;  // anchor stride down the rows
+};
+
+// Row walks where rows are served anywhere; aligned rect walks otherwise
+// (RoCo serves rectangles only at p/q-aligned anchors).
+Workload pick_workload(const core::PolyMem& mem) {
+  if (mem.supports(access::PatternKind::kRow) == maf::SupportLevel::kAny)
+    return {access::PatternKind::kRow, 1};
+  return {access::PatternKind::kRect,
+          static_cast<std::int64_t>(mem.config().p)};
+}
+
+// Median-of-trials ns per parallel access for one run function.
+template <typename Fn>
+double measure_ns(Fn&& run) {
+  std::vector<double> trials;
+  run();  // warm-up: populates the plan cache, faults in the banks
+  for (int t = 0; t < kTrials; ++t) {
+    const auto start = Clock::now();
+    run();
+    const auto stop = Clock::now();
+    trials.push_back(
+        std::chrono::duration<double, std::nano>(stop - start).count() /
+        static_cast<double>(kAccessesPerTrial));
+  }
+  std::sort(trials.begin(), trials.end());
+  return trials[trials.size() / 2];
+}
+
+struct Result {
+  std::string scheme;
+  unsigned p, q;
+  std::string pattern;
+  double naive_ns, cached_ns, batched_ns;
+  double cached_speedup, batched_speedup;
+};
+
+Result run_case(const Case& c) {
+  const auto cfg =
+      core::PolyMemConfig::with_capacity(256 * KiB, c.scheme, c.p, c.q);
+  core::PolyMem mem(cfg);
+  const Workload w = pick_workload(mem);
+  const std::int64_t anchors = cfg.height / w.step_i;
+  std::vector<core::Word> out(cfg.lanes());
+
+  auto walk = [&] {
+    std::int64_t i = 0;
+    for (std::int64_t n = 0; n < kAccessesPerTrial; ++n) {
+      mem.read_into({w.kind, {(i % anchors) * w.step_i, 0}}, 0, out);
+      ++i;
+    }
+  };
+
+  mem.set_plan_cache_enabled(false);
+  const double naive_ns = measure_ns(walk);
+  mem.set_plan_cache_enabled(true);
+  const double cached_ns = measure_ns(walk);
+
+  // Batched engine: the same column of anchors as one AccessBatch,
+  // repeated until ~kAccessesPerTrial accesses ran.
+  const core::AccessBatch batch{
+      w.kind, {0, 0}, {w.step_i, 0}, anchors, {0, 0}, 1};
+  const std::int64_t reps = std::max<std::int64_t>(
+      1, kAccessesPerTrial / batch.count());
+  std::vector<core::Word> bulk(
+      static_cast<std::size_t>(batch.count()) * cfg.lanes());
+  auto batched = [&] {
+    for (std::int64_t r = 0; r < reps; ++r) mem.read_batch(batch, 0, bulk);
+  };
+  // Normalise to the actual access count of one batched trial.
+  const double scale = static_cast<double>(reps * batch.count()) /
+                       static_cast<double>(kAccessesPerTrial);
+  const double batched_ns = measure_ns(batched) / scale;
+
+  return {maf::scheme_name(c.scheme),
+          c.p,
+          c.q,
+          access::pattern_name(w.kind),
+          naive_ns,
+          cached_ns,
+          batched_ns,
+          naive_ns / cached_ns,
+          naive_ns / batched_ns};
+}
+
+void write_json(const std::vector<Result>& results, const std::string& path) {
+  std::ofstream os(path);
+  os.precision(2);
+  os << std::fixed;
+  os << "{\n  \"benchmark\": \"polymem_hot_path\",\n"
+     << "  \"unit\": \"ns_per_parallel_access\",\n"
+     << "  \"accesses_per_trial\": " << kAccessesPerTrial << ",\n"
+     << "  \"trials\": " << kTrials << ",\n"
+     << "  \"cases\": [\n";
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const Result& r = results[k];
+    os << "    {\"scheme\": \"" << r.scheme << "\", \"p\": " << r.p
+       << ", \"q\": " << r.q << ", \"pattern\": \"" << r.pattern << "\",\n"
+       << "     \"naive_ns\": " << r.naive_ns
+       << ", \"cached_ns\": " << r.cached_ns
+       << ", \"batched_ns\": " << r.batched_ns << ",\n"
+       << "     \"cached_speedup\": " << r.cached_speedup
+       << ", \"batched_speedup\": " << r.batched_speedup << "}"
+       << (k + 1 < results.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "BENCH_core.json";
+  std::vector<Result> results;
+  for (const Case& c : kCases) {
+    results.push_back(run_case(c));
+    const Result& r = results.back();
+    std::cout << r.scheme << " " << r.p << "x" << r.q << " (" << r.pattern
+              << "): naive " << r.naive_ns << " ns, cached " << r.cached_ns
+              << " ns (" << r.cached_speedup << "x), batched "
+              << r.batched_ns << " ns (" << r.batched_speedup << "x)\n";
+  }
+  write_json(results, path);
+  std::cout << "wrote " << path << "\n";
+
+  bool ok = true;
+  for (const Result& r : results)
+    ok = ok && r.cached_speedup >= 3.0 && r.batched_speedup >= 3.0;
+  if (!ok) {
+    std::cerr << "WARNING: cached/batched speedup below the 3x target\n";
+    return 1;
+  }
+  return 0;
+}
