@@ -90,6 +90,18 @@ const PlanTemplate* PlanCache::lookup(const ParallelAccess& access,
   return tmpl;
 }
 
+std::optional<PlanCache::TemplateView> PlanCache::inspect(
+    const ParallelAccess& access) {
+  TemplateView view;
+  view.tmpl = lookup(access, view.delta);
+  if (view.tmpl == nullptr) return std::nullopt;
+  // lookup() only serves in-bounds (non-negative) anchors, so plain
+  // remainder is the floored residue.
+  view.residue_i = access.anchor.i % period_i_;
+  view.residue_j = access.anchor.j % period_j_;
+  return view;
+}
+
 const PlanTemplate& PlanCache::build(PatternKind kind, std::int64_t ri,
                                      std::int64_t rj, std::uint64_t key) {
   // The residue anchor (ri, rj) may place elements outside the address

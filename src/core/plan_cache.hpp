@@ -81,6 +81,33 @@ class PlanCache {
   std::uint64_t builds() const { return builds_; }
   std::size_t size() const { return templates_.size(); }
 
+  /// Template introspection for the static prover (verify/maf_prover.hpp)
+  /// and tools: the template serving `access` plus the residue class it is
+  /// keyed under and the per-anchor address offset. Goes through the same
+  /// cache (and counters) as lookup(); nullopt exactly when lookup() would
+  /// return nullptr.
+  struct TemplateView {
+    const PlanTemplate* tmpl = nullptr;
+    std::int64_t residue_i = 0;  ///< anchor.i mod period_i
+    std::int64_t residue_j = 0;  ///< anchor.j mod period_j
+    std::int64_t delta = 0;      ///< addresses are tmpl->addr0[k] + delta
+  };
+  std::optional<TemplateView> inspect(const access::ParallelAccess& access);
+
+  /// Aggregate cache state, one call — for polymem_info and reports.
+  struct Stats {
+    bool enabled = false;
+    std::int64_t period_i = 1;
+    std::int64_t period_j = 1;
+    std::uint64_t hits = 0;
+    std::uint64_t builds = 0;
+    std::size_t templates = 0;
+  };
+  Stats stats() const {
+    return {enabled_, period_i_, period_j_, hits_, builds_,
+            templates_.size()};
+  }
+
  private:
   struct KindInfo {
     std::optional<maf::SupportLevel> support;  // probed lazily

@@ -2,9 +2,11 @@
 //
 // The PRF literature *states* which patterns each scheme serves
 // conflict-free; this library *proves* it per configuration. All MAFs in
-// maf.cpp are periodic in i and j with period p*q*lcm(p,q), so checking
-// every anchor inside one period is exhaustive, and the oracle's answers
-// are sound for the whole (unbounded) address space.
+// maf.cpp are periodic per axis (Maf::period_i/period_j), so checking
+// every anchor inside one period_i x period_j lattice is exhaustive, and
+// the oracle's answers are sound for the whole (unbounded) address space.
+// verify/maf_prover.hpp re-proves the same facts — including the periods
+// themselves — against a black-box model, as the offline/CI gate.
 //
 // Support comes in three levels:
 //   kAny     — conflict-free at every anchor

@@ -36,6 +36,17 @@ Coord AccessTrace::max() const {
   return m;
 }
 
+std::vector<Coord> AccessTrace::out_of_bounds(std::int64_t height,
+                                              std::int64_t width) const {
+  POLYMEM_REQUIRE(height >= 1 && width >= 1,
+                  "address space must be non-empty");
+  std::vector<Coord> outside;
+  for (const Coord& c : elements_)
+    if (c.i < 0 || c.i >= height || c.j < 0 || c.j >= width)
+      outside.push_back(c);
+  return outside;
+}
+
 AccessTrace AccessTrace::dense_block(Coord origin, std::int64_t rows,
                                      std::int64_t cols) {
   POLYMEM_REQUIRE(rows >= 1 && cols >= 1, "block must be non-empty");

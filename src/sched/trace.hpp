@@ -31,6 +31,12 @@ class AccessTrace {
   access::Coord min() const;
   access::Coord max() const;
 
+  /// Elements outside the [0, height) x [0, width) address space — the
+  /// static bounds check of a trace before scheduling it onto real
+  /// storage (verify/plan_lint.hpp).
+  std::vector<access::Coord> out_of_bounds(std::int64_t height,
+                                           std::int64_t width) const;
+
   /// Generators.
   static AccessTrace dense_block(access::Coord origin, std::int64_t rows,
                                  std::int64_t cols);

@@ -1,0 +1,373 @@
+#include "verify/plan_lint.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "maf/conflict.hpp"
+
+namespace polymem::verify {
+
+using access::Coord;
+using access::PatternKind;
+using core::AccessBatch;
+
+const char* lint_code(LintKind kind) {
+  switch (kind) {
+    case LintKind::kBadConfig: return "PML001";
+    case LintKind::kEmptyBatch: return "PML002";
+    case LintKind::kUnsupportedPattern: return "PML003";
+    case LintKind::kUnalignedAnchor: return "PML004";
+    case LintKind::kMisalignedStride: return "PML005";
+    case LintKind::kOutOfBounds: return "PML006";
+    case LintKind::kBankConflict: return "PML007";
+    case LintKind::kReadAfterWrite: return "PML008";
+    case LintKind::kTraceOutOfBounds: return "PML009";
+    case LintKind::kBankImbalance: return "PML010";
+  }
+  throw InvalidArgument("unknown lint kind");
+}
+
+const char* lint_name(LintKind kind) {
+  switch (kind) {
+    case LintKind::kBadConfig: return "bad-config";
+    case LintKind::kEmptyBatch: return "empty-batch";
+    case LintKind::kUnsupportedPattern: return "unsupported-pattern";
+    case LintKind::kUnalignedAnchor: return "unaligned-anchor";
+    case LintKind::kMisalignedStride: return "misaligned-stride";
+    case LintKind::kOutOfBounds: return "out-of-bounds";
+    case LintKind::kBankConflict: return "bank-conflict";
+    case LintKind::kReadAfterWrite: return "read-after-write";
+    case LintKind::kTraceOutOfBounds: return "trace-out-of-bounds";
+    case LintKind::kBankImbalance: return "bank-imbalance";
+  }
+  throw InvalidArgument("unknown lint kind");
+}
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  throw InvalidArgument("unknown severity");
+}
+
+const char* dir_name(BatchOp::Dir dir) {
+  switch (dir) {
+    case BatchOp::Dir::kRead: return "read";
+    case BatchOp::Dir::kWrite: return "write";
+  }
+  throw InvalidArgument("unknown batch direction");
+}
+
+std::size_t LintReport::errors() const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::kError;
+                    }));
+}
+
+std::size_t LintReport::warnings() const {
+  return diagnostics.size() - errors();
+}
+
+std::string LintReport::summary() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics)
+    os << severity_name(d.severity) << ' ' << d.message << '\n';
+  if (diagnostics.empty()) {
+    os << "clean";
+  } else {
+    os << errors() << " error(s), " << warnings() << " warning(s)";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Inclusive element rectangle [lo, hi] touched by a batch; empty batches
+/// have no rectangle.
+struct Rect {
+  Coord lo;
+  Coord hi;
+
+  bool intersects(const Rect& other) const {
+    return lo.i <= other.hi.i && other.lo.i <= hi.i && lo.j <= other.hi.j &&
+           other.lo.j <= hi.j;
+  }
+};
+
+std::string rect_str(const Rect& r) {
+  std::ostringstream os;
+  os << '[' << r.lo.i << ".." << r.hi.i << "]x[" << r.lo.j << ".." << r.hi.j
+     << ']';
+  return os.str();
+}
+
+Coord batch_anchor(const AccessBatch& batch, std::int64_t k, std::int64_t o) {
+  return {batch.start.i + o * batch.outer_stride.i + k * batch.inner_stride.i,
+          batch.start.j + o * batch.outer_stride.j + k * batch.inner_stride.j};
+}
+
+/// The batch's element bounding rectangle. Anchors are affine in the
+/// (inner, outer) index box, so the extremes occur at the four corners.
+std::optional<Rect> batch_rect(const AccessBatch& batch, unsigned p,
+                               unsigned q) {
+  if (batch.inner_count <= 0 || batch.outer_count <= 0) return std::nullopt;
+  const auto ext = access::pattern_extent(batch.kind, p, q);
+  Rect r{batch.start, batch.start};
+  for (int corner = 1; corner < 4; ++corner) {
+    const Coord a = batch_anchor(batch,
+                                 (corner & 1) ? batch.inner_count - 1 : 0,
+                                 (corner & 2) ? batch.outer_count - 1 : 0);
+    r.lo.i = std::min(r.lo.i, a.i);
+    r.lo.j = std::min(r.lo.j, a.j);
+    r.hi.i = std::max(r.hi.i, a.i);
+    r.hi.j = std::max(r.hi.j, a.j);
+  }
+  r.lo.j += ext.col_offset;
+  r.hi.i += ext.rows - 1;
+  r.hi.j += ext.col_offset + ext.cols - 1;
+  return r;
+}
+
+std::string op_prefix(std::int64_t op, const BatchOp& step) {
+  std::ostringstream os;
+  os << "op " << op << " (" << dir_name(step.dir) << ' '
+     << access::pattern_name(step.batch.kind) << " at " << step.batch.start
+     << "): ";
+  return os.str();
+}
+
+class Linter {
+ public:
+  explicit Linter(const core::PolyMemConfig& config) : config_(config) {}
+
+  LintReport take() { return std::move(report_); }
+
+  void add(LintKind kind, Severity severity, std::int64_t op,
+           const std::string& detail) {
+    Diagnostic d;
+    d.kind = kind;
+    d.severity = severity;
+    d.op = op;
+    d.message = std::string("[") + lint_code(kind) + "] " + detail;
+    report_.diagnostics.push_back(std::move(d));
+  }
+
+  /// Validates the configuration and builds the MAF; emits kBadConfig and
+  /// returns false when the configuration cannot be analysed at all.
+  bool init() {
+    try {
+      config_.validate();
+      maf_.emplace(config_.scheme, config_.p, config_.q);
+      return true;
+    } catch (const Error& e) {
+      add(LintKind::kBadConfig, Severity::kError, -1, e.what());
+      return false;
+    }
+  }
+
+  void lint_op(std::int64_t op, const BatchOp& step) {
+    const AccessBatch& batch = step.batch;
+    const std::string prefix = op_prefix(op, step);
+    if (batch.inner_count < 0 || batch.outer_count < 0) {
+      std::ostringstream os;
+      os << prefix << "negative batch counts (inner " << batch.inner_count
+         << ", outer " << batch.outer_count << ')';
+      add(LintKind::kEmptyBatch, Severity::kError, op, os.str());
+      return;
+    }
+    if (batch.count() == 0) {
+      add(LintKind::kEmptyBatch, Severity::kWarning, op,
+          prefix + "batch moves no data");
+      return;
+    }
+    const maf::SupportLevel level = maf::probe_support(*maf_, batch.kind);
+    if (level == maf::SupportLevel::kNone) {
+      std::ostringstream os;
+      os << prefix << "scheme " << maf::scheme_name(config_.scheme) << " ("
+         << config_.p << 'x' << config_.q << ") never serves pattern "
+         << access::pattern_name(batch.kind);
+      add(LintKind::kUnsupportedPattern, Severity::kError, op, os.str());
+      report_conflict(op, prefix, batch);
+    } else if (level == maf::SupportLevel::kAligned) {
+      lint_alignment(op, prefix, batch);
+    }
+    lint_bounds(op, prefix, batch);
+  }
+
+  void lint_hazards(const std::vector<BatchOp>& ops) {
+    for (std::size_t w = 0; w < ops.size(); ++w) {
+      if (ops[w].dir != BatchOp::Dir::kWrite) continue;
+      const auto wr = batch_rect(ops[w].batch, config_.p, config_.q);
+      if (!wr.has_value()) continue;
+      for (std::size_t r = w + 1; r < ops.size(); ++r) {
+        if (ops[r].dir != BatchOp::Dir::kRead) continue;
+        const auto rr = batch_rect(ops[r].batch, config_.p, config_.q);
+        if (!rr.has_value() || !wr->intersects(*rr)) continue;
+        std::ostringstream os;
+        os << "op " << r << " reads " << rect_str(*rr)
+           << ", overlapping elements op " << w << " writes ("
+           << rect_str(*wr)
+           << "); on pipelined hardware the read can issue before the "
+              "write retires — order the batches or fuse them with "
+              "stream_copy_batch";
+        add(LintKind::kReadAfterWrite, Severity::kWarning,
+            static_cast<std::int64_t>(r), os.str());
+      }
+    }
+  }
+
+  void lint_trace(const sched::AccessTrace& trace) {
+    const auto outside =
+        trace.out_of_bounds(config_.height, config_.width);
+    if (!outside.empty()) {
+      std::ostringstream os;
+      os << outside.size() << " trace element(s) outside the "
+         << config_.height << 'x' << config_.width << " space, e.g. "
+         << outside.front();
+      add(LintKind::kTraceOutOfBounds, Severity::kError, -1, os.str());
+    }
+    if (trace.empty()) return;
+    const unsigned n = config_.lanes();
+    std::vector<std::int64_t> load(n, 0);
+    for (const Coord& c : trace.elements()) ++load[maf_->bank(c)];
+    const auto worst = std::max_element(load.begin(), load.end());
+    const std::int64_t ideal = ceil_div<std::int64_t>(trace.size(), n);
+    if (*worst >= 2 * ideal && *worst >= 2) {
+      std::ostringstream os;
+      os << "bank " << worst - load.begin() << " holds " << *worst << " of "
+         << trace.size() << " trace elements (balanced would be " << ideal
+         << "); every schedule needs at least " << *worst << " cycles";
+      add(LintKind::kBankImbalance, Severity::kWarning, -1, os.str());
+    }
+  }
+
+ private:
+  void lint_alignment(std::int64_t op, const std::string& prefix,
+                      const AccessBatch& batch) {
+    const auto p = static_cast<std::int64_t>(config_.p);
+    const auto q = static_cast<std::int64_t>(config_.q);
+    bool broken = false;
+    if (batch.start.i % p != 0 || batch.start.j % q != 0) {
+      std::ostringstream os;
+      os << prefix << "pattern " << access::pattern_name(batch.kind)
+         << " is conflict-free only at " << p << '/' << q
+         << "-aligned anchors; start " << batch.start << " is unaligned";
+      add(LintKind::kUnalignedAnchor, Severity::kError, op, os.str());
+      broken = true;
+    }
+    const Coord strides[] = {batch.inner_stride, batch.outer_stride};
+    const std::int64_t counts[] = {batch.inner_count, batch.outer_count};
+    const char* names[] = {"inner", "outer"};
+    for (int s = 0; s < 2; ++s) {
+      if (counts[s] <= 1) continue;  // stride never applied
+      if (strides[s].i % p == 0 && strides[s].j % q == 0) continue;
+      std::ostringstream os;
+      os << prefix << names[s] << " stride " << strides[s]
+         << " leaves the " << p << '/' << q
+         << "-aligned anchor lattice required by pattern "
+         << access::pattern_name(batch.kind);
+      add(LintKind::kMisalignedStride, Severity::kError, op, os.str());
+      broken = true;
+    }
+    if (broken) report_conflict(op, prefix, batch);
+  }
+
+  void lint_bounds(std::int64_t op, const std::string& prefix,
+                   const AccessBatch& batch) {
+    Coord reported[4];
+    int reported_count = 0;
+    for (int corner = 0; corner < 4; ++corner) {
+      const Coord a = batch_anchor(batch,
+                                   (corner & 1) ? batch.inner_count - 1 : 0,
+                                   (corner & 2) ? batch.outer_count - 1 : 0);
+      if (access::fits({batch.kind, a}, config_.p, config_.q, config_.height,
+                       config_.width))
+        continue;
+      bool seen = false;
+      for (int r = 0; r < reported_count; ++r) seen = seen || reported[r] == a;
+      if (seen) continue;
+      reported[reported_count++] = a;
+      std::ostringstream os;
+      os << prefix << "corner access at " << a << " leaves the "
+         << config_.height << 'x' << config_.width << " address space";
+      add(LintKind::kOutOfBounds, Severity::kError, op, os.str());
+    }
+  }
+
+  /// Finds the first batch anchor whose expansion collides and reports the
+  /// offending lane pair and the worst per-bank load (the serialization
+  /// cost a conflict-tolerant memory would pay).
+  void report_conflict(std::int64_t op, const std::string& prefix,
+                       const AccessBatch& batch) {
+    constexpr std::int64_t kMaxAnchorsScanned = 4096;
+    const unsigned n = config_.lanes();
+    std::vector<Coord> el;
+    std::vector<unsigned> lane_of(n);
+    std::vector<unsigned> load(n);
+    const std::int64_t total = batch.count();
+    for (std::int64_t t = 0; t < std::min(total, kMaxAnchorsScanned); ++t) {
+      const access::ParallelAccess acc = batch.access(t);
+      access::expand_into(acc, config_.p, config_.q, el);
+      std::fill(lane_of.begin(), lane_of.end(), n);
+      std::fill(load.begin(), load.end(), 0u);
+      unsigned first = n, second = n, bank = n;
+      for (unsigned k = 0; k < el.size(); ++k) {
+        const unsigned b = maf_->bank(el[k]);
+        ++load[b];
+        if (lane_of[b] != n && first == n) {
+          first = lane_of[b];
+          second = k;
+          bank = b;
+        }
+        lane_of[b] = k;
+      }
+      if (first == n) continue;
+      const unsigned worst = *std::max_element(load.begin(), load.end());
+      std::ostringstream os;
+      os << prefix << "pattern " << access::pattern_name(acc.kind) << " at "
+         << acc.anchor << ": lanes " << first << " and " << second
+         << " (elements " << el[first] << " and " << el[second]
+         << ") both map to bank " << bank << "; worst bank serves " << worst
+         << " of " << n << " lanes (" << worst << "-cycle serialization)";
+      add(LintKind::kBankConflict, Severity::kWarning, op, os.str());
+      return;
+    }
+  }
+
+  core::PolyMemConfig config_;
+  std::optional<maf::Maf> maf_;
+  LintReport report_;
+};
+
+}  // namespace
+
+LintReport lint_batch(const core::PolyMemConfig& config,
+                      const core::AccessBatch& batch) {
+  return lint_program(config, {{BatchOp::Dir::kRead, batch}});
+}
+
+LintReport lint_program(const core::PolyMemConfig& config,
+                        const std::vector<BatchOp>& ops) {
+  Linter linter(config);
+  if (linter.init()) {
+    for (std::size_t t = 0; t < ops.size(); ++t)
+      linter.lint_op(static_cast<std::int64_t>(t), ops[t]);
+    linter.lint_hazards(ops);
+  }
+  return linter.take();
+}
+
+LintReport lint_trace(const core::PolyMemConfig& config,
+                      const sched::AccessTrace& trace) {
+  Linter linter(config);
+  if (linter.init()) linter.lint_trace(trace);
+  return linter.take();
+}
+
+}  // namespace polymem::verify

@@ -1,0 +1,216 @@
+#include "verify/maf_prover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "maf/addressing.hpp"
+
+namespace polymem::verify {
+namespace {
+
+using access::PatternKind;
+using maf::Scheme;
+using maf::SupportLevel;
+
+TEST(MafProver, ProvesAllSchemesAt2x4And4x4) {
+  for (Scheme scheme : maf::kAllSchemes) {
+    for (const auto& [p, q] : {std::pair{2u, 4u}, std::pair{4u, 4u}}) {
+      const ProverReport report = prove(scheme, p, q);
+      EXPECT_TRUE(report.ok) << report.summary();
+      EXPECT_EQ(report.patterns.size(), 6u);
+    }
+  }
+}
+
+TEST(MafProver, ProvenLevelsMatchOracleClaims) {
+  const ProverReport report = prove(Scheme::kRoCo, 2, 4);
+  ASSERT_TRUE(report.ok) << report.summary();
+  for (const PatternProof& proof : report.patterns) {
+    EXPECT_EQ(proof.proven, proof.claimed)
+        << access::pattern_name(proof.pattern);
+    if (proof.advertised) {
+      EXPECT_NE(proof.proven, SupportLevel::kNone);
+    }
+  }
+}
+
+TEST(MafProver, ProveAcceptsRealConfig) {
+  const auto config = core::PolyMemConfig::with_capacity(
+      64 * 1024, Scheme::kReRo, 2, 4);
+  const ProverReport report = prove(config);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.period_i, 2);
+  EXPECT_EQ(report.period_j, 8);
+}
+
+TEST(MafProver, SummaryNamesSchemeAndResult) {
+  const ProverReport report = prove(Scheme::kReTr, 2, 4);
+  ASSERT_TRUE(report.ok);
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("ReTr 2x4"), std::string::npos);
+  EXPECT_NE(summary.find("PROVEN"), std::string::npos);
+  EXPECT_NE(summary.find("pattern trect"), std::string::npos);
+}
+
+TEST(MafProver, CheckCodesAreStableAndDistinct) {
+  const CheckKind kinds[] = {
+      CheckKind::kConstruction,        CheckKind::kBankRange,
+      CheckKind::kPeriodicity,         CheckKind::kConflictFreedom,
+      CheckKind::kAddressInjectivity,  CheckKind::kTemplateAgreement,
+  };
+  std::set<std::string> codes;
+  for (CheckKind kind : kinds) {
+    codes.insert(check_code(kind));
+    EXPECT_NE(std::string(check_name(kind)), "");
+  }
+  EXPECT_EQ(codes.size(), 6u);
+  EXPECT_STREQ(check_code(CheckKind::kConstruction), "PMV001");
+  EXPECT_STREQ(check_code(CheckKind::kBankRange), "PMV002");
+  EXPECT_STREQ(check_code(CheckKind::kPeriodicity), "PMV003");
+  EXPECT_STREQ(check_code(CheckKind::kConflictFreedom), "PMV004");
+  EXPECT_STREQ(check_code(CheckKind::kAddressInjectivity), "PMV005");
+  EXPECT_STREQ(check_code(CheckKind::kTemplateAgreement), "PMV006");
+  EXPECT_STREQ(check_name(CheckKind::kConflictFreedom), "conflict-freedom");
+}
+
+// ---- deliberately corrupted mutants the prover must reject ----
+
+// Mutant 1: a "ReRo" whose rotation term was dropped (it degenerates to
+// ReO) — rows are no longer conflict-free, and the prover must produce
+// the offending anchor and lane pair.
+TEST(MafProverMutant, DroppedRotationBreaksRowConflictFreedom) {
+  const maf::Maf rero(Scheme::kReRo, 2, 4);
+  MafModel mutant = model_of(rero);
+  mutant.bank = [](std::int64_t i, std::int64_t j) {
+    return static_cast<unsigned>(floormod<std::int64_t>(i, 2) * 4 +
+                                 floormod<std::int64_t>(j, 4));
+  };
+  const auto violation = check_conflict_freedom(mutant, PatternKind::kRow,
+                                                /*aligned_only=*/false);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->check, CheckKind::kConflictFreedom);
+  EXPECT_NE(violation->message.find("[PMV004]"), std::string::npos);
+  EXPECT_NE(violation->message.find("pattern row"), std::string::npos);
+  EXPECT_NE(violation->message.find("lanes"), std::string::npos);
+  EXPECT_NE(violation->message.find("bank"), std::string::npos);
+}
+
+// Mutant 2: the real ReRo bank function with an understated j-period
+// (4 instead of p*q = 8) — the periodicity proof must refute the claim,
+// since a wrong period would poison every plan-cache residue class.
+TEST(MafProverMutant, UnderstatedPeriodIsRefuted) {
+  const maf::Maf rero(Scheme::kReRo, 2, 4);
+  MafModel mutant = model_of(rero);
+  ASSERT_EQ(mutant.period_j, 8);
+  mutant.period_j = 4;
+  const auto violation = check_periodicity(mutant);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->check, CheckKind::kPeriodicity);
+  EXPECT_NE(violation->message.find("[PMV003]"), std::string::npos);
+  EXPECT_NE(violation->message.find("period_j = 4"), std::string::npos);
+}
+
+// Mutant 3: an addressing function using the element column instead of
+// the block column (A = |i/p|*(W/q) + j) — not a bijection onto the
+// banks' words; the injectivity check must find the duplicate or
+// out-of-range word.
+TEST(MafProverMutant, BrokenAddressingIsNotInjective) {
+  const maf::Maf rero(Scheme::kReRo, 2, 4);
+  const MafModel model = model_of(rero);
+  const std::int64_t height = 8, width = 16;
+  const auto broken = [width](std::int64_t i, std::int64_t j) {
+    return (i / 2) * (width / 4) + j;  // j, not |j/q|
+  };
+  const auto violation = check_address_injectivity(
+      model, broken, height, width, (height / 2) * (width / 4));
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->check, CheckKind::kAddressInjectivity);
+  EXPECT_NE(violation->message.find("[PMV005]"), std::string::npos);
+}
+
+// Mutant 4: two banks fused (every element of bank 0 rerouted to bank 1)
+// — rectangles must collide, and the correct addressing must double-book
+// words of bank 1.
+TEST(MafProverMutant, FusedBanksCollide) {
+  const maf::Maf reo(Scheme::kReO, 2, 4);
+  MafModel mutant = model_of(reo);
+  const maf::Maf& real = reo;
+  mutant.bank = [&real](std::int64_t i, std::int64_t j) {
+    const unsigned b = real.bank(i, j);
+    return b == 0 ? 1u : b;
+  };
+  const auto conflict = check_conflict_freedom(mutant, PatternKind::kRect,
+                                               /*aligned_only=*/false);
+  ASSERT_TRUE(conflict.has_value());
+  EXPECT_NE(conflict->message.find("pattern rect"), std::string::npos);
+
+  const maf::AddressingFunction addressing(2, 4, 8, 16);
+  const auto address = [&addressing](std::int64_t i, std::int64_t j) {
+    return addressing.address(i, j);
+  };
+  const auto dup = check_address_injectivity(mutant, address, 8, 16,
+                                             addressing.words_per_bank());
+  ASSERT_TRUE(dup.has_value());
+  EXPECT_NE(dup->message.find("both occupy bank 1"), std::string::npos);
+}
+
+// Mutant 5: a bank function escaping [0, p*q).
+TEST(MafProverMutant, BankOutOfRangeIsCaught) {
+  const maf::Maf reo(Scheme::kReO, 2, 4);
+  MafModel mutant = model_of(reo);
+  const maf::Maf& real = reo;
+  mutant.bank = [&real](std::int64_t i, std::int64_t j) {
+    return i == 1 && j == 1 ? 8u : real.bank(i, j);
+  };
+  const auto violation = check_bank_range(mutant);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->check, CheckKind::kBankRange);
+  EXPECT_NE(violation->message.find("[PMV002]"), std::string::npos);
+  EXPECT_NE(violation->message.find("bank(1,1) = 8"), std::string::npos);
+}
+
+TEST(MafProver, TemplateAgreementHoldsForAllSchemes) {
+  for (Scheme scheme : maf::kAllSchemes) {
+    core::PolyMemConfig config;
+    config.scheme = scheme;
+    config.p = 2;
+    config.q = 4;
+    config.height = 32;
+    config.width = 64;
+    const auto violation = check_template_agreement(config);
+    EXPECT_FALSE(violation.has_value())
+        << maf::scheme_name(scheme) << ": " << violation->message;
+  }
+}
+
+TEST(MafProver, UnbuildableConfigReportsConstruction) {
+  core::PolyMemConfig config;
+  config.scheme = Scheme::kReRo;
+  config.p = 2;
+  config.q = 4;
+  config.height = 33;  // not a multiple of p
+  config.width = 64;
+  const ProverReport report = prove(config);
+  EXPECT_FALSE(report.ok);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.violations.front().check, CheckKind::kConstruction);
+  EXPECT_NE(report.violations.front().message.find("[PMV001]"),
+            std::string::npos);
+}
+
+TEST(MafProver, ProveSupportReportsCounterexample) {
+  const maf::Maf reo(Scheme::kReO, 2, 4);
+  const MafModel model = model_of(reo);
+  std::string counterexample;
+  EXPECT_EQ(prove_support(model, PatternKind::kRow, &counterexample),
+            SupportLevel::kNone);
+  EXPECT_NE(counterexample.find("lanes"), std::string::npos);
+  EXPECT_EQ(prove_support(model, PatternKind::kRect), SupportLevel::kAny);
+}
+
+}  // namespace
+}  // namespace polymem::verify

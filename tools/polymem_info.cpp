@@ -19,6 +19,7 @@
 #include "maf/conflict.hpp"
 #include "synth/fmax_model.hpp"
 #include "synth/resource_model.hpp"
+#include "verify/maf_prover.hpp"
 
 namespace {
 
@@ -79,6 +80,25 @@ int main(int argc, char** argv) {
     for (access::PatternKind kind : access::kAllPatterns)
       std::printf("  %-6s: %s\n", access::pattern_name(kind),
                   maf::support_level_name(maf::probe_support(maf, kind)));
+    std::printf("  MAF periods: i=%lld, j=%lld (%lld anchor residue "
+                "classes)\n",
+                static_cast<long long>(maf.period_i()),
+                static_cast<long long>(maf.period_j()),
+                static_cast<long long>(maf.period_i() * maf.period_j()));
+
+    // DSE users compare schemes at a fixed geometry; show which of the
+    // five are statically proven (verify/maf_prover) at this p x q.
+    std::printf("\nstatic prover (%ux%u, all schemes):\n", p, q);
+    for (maf::Scheme s : maf::kAllSchemes) {
+      const auto proof = verify::prove(s, p, q);
+      std::printf("  %-4s: periods i=%-4lld j=%-4lld %s\n", maf::scheme_name(s),
+                  static_cast<long long>(proof.period_i),
+                  static_cast<long long>(proof.period_j),
+                  proof.ok ? "PROVEN" : "REFUTED");
+      if (!proof.ok)
+        for (const auto& v : proof.violations)
+          std::printf("        %s\n", v.message.c_str());
+    }
 
     std::printf("\nsynthesis estimate (Virtex-6 SX475T):\n");
     std::printf("  clock      : %.0f MHz%s\n", mhz,
