@@ -36,6 +36,14 @@ class BankArray {
   void read(unsigned port, std::span<const std::int64_t> per_bank_addr,
             std::span<hw::Word> per_bank_data);
 
+  /// Port-concurrent read path: same data as read(), but without the
+  /// per-cycle port accounting (no begin_cycle handshake, no lifetime
+  /// counters). Each read port owns a disjoint bank replica, so any
+  /// number of threads may call this on *distinct* ports while no write
+  /// is in flight — the contract PolyMem::read_batch_mt runs under.
+  void read_shared(unsigned port, std::span<const std::int64_t> per_bank_addr,
+                   std::span<hw::Word> per_bank_data) const;
+
   /// Host backdoor (no port accounting) — used by load/offload paths.
   hw::Word peek(unsigned bank, std::int64_t addr) const;
   void poke(unsigned bank, std::int64_t addr, hw::Word value);

@@ -1,5 +1,7 @@
 #include "core/plan_cache.hpp"
 
+#include <mutex>
+
 #include "common/error.hpp"
 #include "common/math.hpp"
 
@@ -33,6 +35,7 @@ PlanCache::PlanCache(const PolyMemConfig& config, const maf::Maf& maf,
   row_words_ = config.width / config.q;
   delta_i_ = (period_i_ / config.p) * row_words_;
   delta_j_ = period_j_ / config.q;
+  coords_scratch_.reserve(config.lanes());
   for (PatternKind kind : access::kAllPatterns) {
     const auto ext = access::pattern_extent(kind, config.p, config.q);
     KindInfo& ki = kinds_[static_cast<std::size_t>(kind)];
@@ -43,13 +46,23 @@ PlanCache::PlanCache(const PolyMemConfig& config, const maf::Maf& maf,
   }
 }
 
+maf::SupportLevel PlanCache::support_for(PatternKind kind) {
+  KindInfo& ki = kinds_[static_cast<std::size_t>(kind)];
+  int state = ki.support.load(std::memory_order_relaxed);
+  if (state == 0) {
+    // probe_support is deterministic and internally synchronised, so a
+    // racing probe stores the same value; relaxed is enough.
+    state = static_cast<int>(maf::probe_support(*maf_, kind)) + 1;
+    ki.support.store(state, std::memory_order_relaxed);
+  }
+  return static_cast<maf::SupportLevel>(state - 1);
+}
+
 const PlanTemplate* PlanCache::lookup(const ParallelAccess& access,
-                                      std::int64_t& delta) {
+                                      std::int64_t& delta, Memo& memo) {
   if (!enabled_) return nullptr;
-  KindInfo& ki = kinds_[static_cast<std::size_t>(access.kind)];
-  if (!ki.support.has_value())
-    ki.support = maf::probe_support(*maf_, access.kind);
-  switch (*ki.support) {
+  const KindInfo& ki = kinds_[static_cast<std::size_t>(access.kind)];
+  switch (support_for(access.kind)) {
     case maf::SupportLevel::kNone:
       return nullptr;
     case maf::SupportLevel::kAligned:
@@ -73,21 +86,35 @@ const PlanTemplate* PlanCache::lookup(const ParallelAccess& access,
   const std::uint64_t key =
       (static_cast<std::uint64_t>(access.kind) * period_i_ + ri) * period_j_ +
       rj;
-  if (key == memo_key_) {
-    ++hits_;
-    return memo_;
+  if (key == memo.key) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return memo.tmpl;
   }
-  const PlanTemplate* tmpl;
-  if (auto it = templates_.find(key); it != templates_.end()) {
-    ++hits_;
-    tmpl = &it->second;
-  } else {
-    if (templates_.size() >= kMaxTemplates) return nullptr;
-    tmpl = &build(access.kind, ri, rj, key);
-  }
-  memo_key_ = key;
-  memo_ = tmpl;
+  const PlanTemplate* tmpl = find_or_build(access.kind, ri, rj, key);
+  if (tmpl == nullptr) return nullptr;  // cache full
+  memo.key = key;
+  memo.tmpl = tmpl;
   return tmpl;
+}
+
+const PlanTemplate* PlanCache::find_or_build(PatternKind kind, std::int64_t ri,
+                                             std::int64_t rj,
+                                             std::uint64_t key) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (auto it = templates_.find(key); it != templates_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return &it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  // Double-check: another thread may have built it between the locks.
+  if (auto it = templates_.find(key); it != templates_.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return &it->second;
+  }
+  if (templates_.size() >= kMaxTemplates) return nullptr;
+  return &build(kind, ri, rj, key);
 }
 
 std::optional<PlanCache::TemplateView> PlanCache::inspect(
@@ -104,6 +131,9 @@ std::optional<PlanCache::TemplateView> PlanCache::inspect(
 
 const PlanTemplate& PlanCache::build(PatternKind kind, std::int64_t ri,
                                      std::int64_t rj, std::uint64_t key) {
+  // Runs with mutex_ held exclusively (find_or_build); coords_scratch_ is
+  // only touched here, so the exclusive lock also covers it.
+  //
   // The residue anchor (ri, rj) may place elements outside the address
   // space or below zero (SecDiag walks left); bank() and the floordiv
   // decomposition are defined there, and the per-anchor delta shifts the
@@ -130,7 +160,7 @@ const PlanTemplate& PlanCache::build(PatternKind kind, std::int64_t ri,
     t.lane_for_bank[t.bank[k]] = k;
     t.bank_addr0[t.bank[k]] = t.addr0[k];
   }
-  ++builds_;
+  builds_.fetch_add(1, std::memory_order_relaxed);
   return templates_.emplace(key, std::move(t)).first->second;
 }
 

@@ -17,6 +17,12 @@
 // lazily on first use and reused for every later access in the same
 // residue class (strided walks cycle through a handful of classes).
 //
+// Concurrency: lookups are thread-safe. The hot-path memo lives with the
+// caller (one PlanCache::Memo per reader thread), the template map sits
+// behind a shared_mutex (shared find / exclusive build), counters are
+// relaxed atomics, and template pointers are stable for the cache's
+// lifetime — the contract read_batch_mt and the TSan suite exercise.
+//
 // Correctness rests on two machine-checked facts: the axis periods
 // (tested against Maf::bank over multiple periods) and conflict-freeness
 // (the capability oracle's exhaustive per-period proof, which also makes
@@ -26,8 +32,10 @@
 // scheme x pattern x an anchor sweep.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -63,23 +71,50 @@ class PlanCache {
   /// then always uses the naive AGU path).
   bool enabled() const { return enabled_; }
 
+  /// Caller-owned single-entry memo for the one-template steady state
+  /// (strided walks hit the same residue class for long runs). Each
+  /// reader thread keeps its own Memo — the cache itself holds no
+  /// per-lookup mutable state besides the shared template map, so
+  /// concurrent lookups from any number of threads are safe.
+  /// Template pointers are stable (never invalidated while the cache
+  /// lives), which is what makes the memoized pointer sound.
+  struct Memo {
+    std::uint64_t key = ~0ull;
+    const PlanTemplate* tmpl = nullptr;
+  };
+
   /// O(1) template lookup. Returns the template plus the per-anchor
   /// address offset `delta` (element addresses are `addr0[k] + delta`).
   /// Returns nullptr — caller falls back to the naive path, which either
   /// serves the access or reports the exact error — when the pattern is
   /// unsupported (including unaligned anchors of aligned-only patterns),
   /// the access leaves the address space, or the cache is disabled/full.
+  /// Thread-safe: lookups may run concurrently; `memo` carries the
+  /// caller's last-template fast path (one Memo per thread).
   const PlanTemplate* lookup(const access::ParallelAccess& access,
-                             std::int64_t& delta);
+                             std::int64_t& delta, Memo& memo);
+
+  /// Memo-less convenience overload (tools, tests, single-shot callers).
+  const PlanTemplate* lookup(const access::ParallelAccess& access,
+                             std::int64_t& delta) {
+    Memo memo;
+    return lookup(access, delta, memo);
+  }
 
   std::int64_t period_i() const { return period_i_; }
   std::int64_t period_j() const { return period_j_; }
 
   /// Served-from-cache and template-build counters (lookup misses that
-  /// return nullptr count as neither).
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t builds() const { return builds_; }
-  std::size_t size() const { return templates_.size(); }
+  /// return nullptr count as neither). Relaxed atomics: exact under any
+  /// serial workload, momentarily stale reads are fine mid-parallel-run.
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t builds() const {
+    return builds_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return templates_.size();
+  }
 
   /// Template introspection for the static prover (verify/maf_prover.hpp)
   /// and tools: the template serving `access` plus the residue class it is
@@ -104,18 +139,22 @@ class PlanCache {
     std::size_t templates = 0;
   };
   Stats stats() const {
-    return {enabled_, period_i_, period_j_, hits_, builds_,
-            templates_.size()};
+    return {enabled_, period_i_, period_j_, hits(), builds(), size()};
   }
 
  private:
   struct KindInfo {
-    std::optional<maf::SupportLevel> support;  // probed lazily
+    // Probed lazily: 0 = unknown, else SupportLevel + 1. probe_support is
+    // deterministic, so racing probes store the same value (relaxed).
+    std::atomic<int> support{0};
     // Valid anchor rectangle (inclusive) for in-bounds accesses.
     std::int64_t min_i = 0, max_i = -1;
     std::int64_t min_j = 0, max_j = -1;
   };
 
+  maf::SupportLevel support_for(access::PatternKind kind);
+  const PlanTemplate* find_or_build(access::PatternKind kind, std::int64_t ri,
+                                    std::int64_t rj, std::uint64_t key);
   const PlanTemplate& build(access::PatternKind kind, std::int64_t ri,
                             std::int64_t rj, std::uint64_t key);
 
@@ -130,13 +169,16 @@ class PlanCache {
   std::int64_t delta_j_ = 0;     // Pj/q: delta per j-period
   KindInfo kinds_[6];
 
+  // Template map. Node-based, so PlanTemplate addresses are stable across
+  // inserts — lookups hand out raw pointers and memos cache them. Guarded
+  // by mutex_: shared for find, exclusive for build+insert. The scratch
+  // vector is only touched under the exclusive lock (build path).
+  mutable std::shared_mutex mutex_;
   std::unordered_map<std::uint64_t, PlanTemplate> templates_;
-  std::uint64_t memo_key_ = ~0ull;
-  const PlanTemplate* memo_ = nullptr;
   std::vector<access::Coord> coords_scratch_;
 
-  std::uint64_t hits_ = 0;
-  std::uint64_t builds_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> builds_{0};
 };
 
 }  // namespace polymem::core

@@ -2,8 +2,11 @@
 
 #include <sstream>
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "core/shuffle.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace polymem::core {
 
@@ -40,7 +43,7 @@ void PolyMem::plan_and_route_write(const access::ParallelAccess& where,
                   "write data must provide one word per lane");
   if (use_plan_cache_) {
     std::int64_t delta;
-    if (const PlanTemplate* t = plan_cache_.lookup(where, delta)) {
+    if (const PlanTemplate* t = plan_cache_.lookup(where, delta, s.memo)) {
       const unsigned lanes = config_.lanes();
       for (unsigned b = 0; b < lanes; ++b) {
         s.bank_addr[b] = t->bank_addr0[b] + delta;
@@ -59,7 +62,7 @@ void PolyMem::plan_and_route_write(const access::ParallelAccess& where,
 void PolyMem::plan_read(const access::ParallelAccess& where, Scratch& s) {
   if (use_plan_cache_) {
     std::int64_t delta;
-    if (const PlanTemplate* t = plan_cache_.lookup(where, delta)) {
+    if (const PlanTemplate* t = plan_cache_.lookup(where, delta, s.memo)) {
       const unsigned lanes = config_.lanes();
       for (unsigned b = 0; b < lanes; ++b)
         s.bank_addr[b] = t->bank_addr0[b] + delta;
@@ -212,6 +215,44 @@ void PolyMem::read_batch(const AccessBatch& batch, unsigned port,
       acc.anchor.j += batch.inner_stride.j;
     }
   }
+}
+
+void PolyMem::read_batch_mt(const AccessBatch& batch,
+                            runtime::ThreadPool& pool, std::span<Word> out) {
+  validate_batch(batch);
+  const unsigned lanes = config_.lanes();
+  POLYMEM_REQUIRE(out.size() == static_cast<std::size_t>(batch.count()) * lanes,
+                  "batch read buffer must provide count * lanes words");
+  // One Scratch per participant (pool workers + the calling thread),
+  // allocated before the parallel region so the hot loop allocates
+  // nothing. Existing scratches survive resizes untouched in content;
+  // their memoized template pointers stay valid (templates are pinned).
+  const unsigned participants = pool.size() + 1;
+  while (mt_scratch_.size() < participants) {
+    mt_scratch_.emplace_back();
+    init_scratch(mt_scratch_.back());
+  }
+  const unsigned ports = config_.read_ports;
+  Word* const base = out.data();
+  // Claim whole inner rows when the batch is 2D, else modest chunks: long
+  // enough to amortise the claim lock, short enough to steal.
+  const std::int64_t grain =
+      batch.outer_count > 1 ? batch.inner_count
+                            : std::clamp<std::int64_t>(batch.count() / 64, 16, 1024);
+  runtime::parallel_for(
+      pool, 0, batch.count(),
+      [&](std::int64_t t, unsigned worker) {
+        Scratch& s = mt_scratch_[worker];
+        const unsigned port = worker % ports;
+        plan_read(batch.access(t), s);
+        banks_.read_shared(port, s.bank_addr, s.bank_data);
+        const unsigned* bank =
+            s.tmpl ? s.tmpl->bank.data() : s.plan.bank.data();
+        Word* chunk = base + t * lanes;
+        for (unsigned k = 0; k < lanes; ++k) chunk[k] = s.bank_data[bank[k]];
+      },
+      grain);
+  parallel_reads_ += static_cast<std::uint64_t>(batch.count());
 }
 
 void PolyMem::write_batch(const AccessBatch& batch,

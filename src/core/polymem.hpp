@@ -39,6 +39,10 @@
 #include "maf/conflict.hpp"
 #include "maf/maf.hpp"
 
+namespace polymem::runtime {
+class ThreadPool;
+}
+
 namespace polymem::core {
 
 using hw::Word;
@@ -124,6 +128,20 @@ class PolyMem {
                   std::span<Word> out);
   void write_batch(const AccessBatch& batch, std::span<const Word> data);
 
+  /// Concurrent multi-port batched read: shards the batch across the
+  /// pool's threads, each serving its slice on read port
+  /// `worker % read_ports` — the host-side mirror of the paper's
+  /// replicated read ports answering independent requests in the same
+  /// cycle. Results are bit-identical to read_batch (every element lands
+  /// in its own `out` slot; all port replicas hold the same data) for any
+  /// thread count, including a pool of size 0 (serial).
+  ///
+  /// Contract: a read-only phase — no concurrent write/store/fill may run
+  /// during the call (reads bypass the per-cycle port accounting, which
+  /// stays a serial-engine feature; access counters are bulk-added).
+  void read_batch_mt(const AccessBatch& batch, runtime::ThreadPool& pool,
+                     std::span<Word> out);
+
   /// Fused copy: per element t, reads `from.access(t)` and writes the data
   /// to `to.access(t)` in the same cycle (read-before-write, like
   /// read_write) — the STREAM-Copy inner loop without the host round trip.
@@ -160,10 +178,13 @@ class PolyMem {
  private:
   // Scratch buffers sized to lanes(), reused across accesses. `tmpl` is
   // set when the access was planned from a cache template (the template
-  // then carries the shuffle permutation), null on the naive path.
+  // then carries the shuffle permutation), null on the naive path. The
+  // plan-cache memo lives here (not in the cache) so each reader thread
+  // of the MT engine owns its own single-entry fast path.
   struct Scratch {
     AccessPlan plan;
     const PlanTemplate* tmpl = nullptr;
+    PlanCache::Memo memo;
     std::vector<std::int64_t> bank_addr;
     std::vector<Word> bank_data;
   };
@@ -183,6 +204,7 @@ class PolyMem {
   bool use_plan_cache_ = true;
   mutable Scratch scratch_;
   Scratch write_scratch_;          // read_write's concurrent write plan
+  std::vector<Scratch> mt_scratch_;  // read_batch_mt: one per participant
   std::vector<Word> copy_buf_;     // stream_copy_batch lane staging
   std::uint64_t parallel_reads_ = 0;
   std::uint64_t parallel_writes_ = 0;

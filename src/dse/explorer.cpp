@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "common/units.hpp"
+#include "core/polymem.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace polymem::dse {
 
@@ -44,6 +46,106 @@ std::vector<DseResult> DseExplorer::explore() const {
       out.push_back(
           evaluate(DsePoint{scheme, col.size_kb, col.lanes, col.ports}));
   return out;
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t word) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (word >> (8 * b)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t DseExplorer::validate_point(const DsePoint& point,
+                                          std::uint64_t seed, bool& ok) {
+  const core::PolyMemConfig cfg = FmaxModel::make_config(point);
+  core::PolyMem mem(cfg);
+  ok = true;
+
+  // Row-capable schemes read back full rows; the rest read aligned p x q
+  // rectangles (mirrors tests/integration/dse_validation_test.cpp).
+  const bool rows =
+      mem.supports(access::PatternKind::kRow) == maf::SupportLevel::kAny;
+  const access::PatternKind kind =
+      rows ? access::PatternKind::kRow : access::PatternKind::kRect;
+  const std::int64_t band_rows = rows ? 1 : cfg.p;
+  const std::int64_t col_step = rows ? cfg.lanes() : cfg.q;
+
+  // Sampled anchor rows (p-aligned so the rect variant stays aligned),
+  // each owning a band of `band_rows` fully filled rows.
+  std::int64_t istep = std::max<std::int64_t>(cfg.p, cfg.height / 48);
+  istep -= istep % cfg.p;
+
+  std::vector<core::Word> row(cfg.width);
+  std::vector<core::Word> readback(
+      static_cast<std::size_t>(cfg.width / col_step) * cfg.lanes());
+  auto value = [seed](std::int64_t i, std::int64_t j) {
+    return runtime::derive_seed(seed, static_cast<std::uint64_t>(i) << 24 |
+                                          static_cast<std::uint64_t>(j));
+  };
+
+  std::uint64_t checksum = kFnvOffset;
+  for (std::int64_t a = 0; a + band_rows <= cfg.height; a += istep) {
+    for (std::int64_t r = 0; r < band_rows; ++r) {
+      for (std::int64_t j = 0; j < cfg.width; ++j) row[j] = value(a + r, j);
+      mem.fill_rect({a + r, 0}, 1, cfg.width, row);
+    }
+    const core::AccessBatch batch = core::AccessBatch::strided(
+        kind, {a, 0}, {0, col_step}, cfg.width / col_step);
+    for (unsigned port = 0; port < cfg.read_ports; ++port) {
+      mem.read_batch(batch, port, readback);
+      // Canonical lane order: each batch element covers band_rows rows by
+      // (lanes / band_rows) columns, row-major within the element.
+      std::size_t k = 0;
+      const std::int64_t elem_cols = cfg.lanes() / band_rows;
+      for (std::int64_t e = 0; e < batch.inner_count; ++e)
+        for (std::int64_t r = 0; r < band_rows; ++r)
+          for (std::int64_t c = 0; c < elem_cols; ++c) {
+            const core::Word got = readback[k++];
+            ok = ok && got == value(a + r, e * col_step + c);
+            checksum = fnv1a(checksum, got);
+          }
+    }
+  }
+  return checksum;
+}
+
+std::vector<DseResult> DseExplorer::sweep(const SweepOptions& opts) const {
+  std::vector<DsePoint> points;
+  points.reserve(synth::paper_table4().size());
+  for (const synth::DseColumn& col : synth::table4_columns())
+    for (maf::Scheme scheme : maf::kAllSchemes)
+      points.push_back(DsePoint{scheme, col.size_kb, col.lanes, col.ports});
+
+  const unsigned participants =
+      opts.threads == 0 ? runtime::ThreadPool::hardware_threads()
+                        : opts.threads;
+  // Pre-resolve every lazily-initialised shared singleton the evaluation
+  // path touches (fitted model, support-probe oracle cache) so worker
+  // threads only read them.
+  (void)fmax_->params();
+
+  std::vector<DseResult> results(points.size());
+  runtime::ThreadPool pool(participants - 1);
+  runtime::parallel_for(
+      pool, 0, static_cast<std::int64_t>(points.size()),
+      [&](std::int64_t i, unsigned) {
+        DseResult r = evaluate(points[i]);
+        if (opts.validate) {
+          r.validated = true;
+          r.validation_checksum = validate_point(
+              points[i], runtime::derive_seed(opts.seed, i), r.validation_ok);
+        }
+        results[i] = std::move(r);
+      });
+  return results;
 }
 
 DseResult DseExplorer::best_read_bandwidth() const {

@@ -5,14 +5,25 @@
 // schemes, and computes for each point the model frequency, resource
 // estimate and bandwidths, side by side with the paper's published
 // values where available.
+//
+// Grid points are fully independent, so sweep() distributes them over the
+// parallel runtime (runtime/thread_pool.hpp) when asked: results land in
+// a pre-sized slot per point and the per-point validation RNG is derived
+// from the point index, so every thread count produces the identical
+// result vector (the determinism contract the dse tests pin down).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "synth/calibration.hpp"
 #include "synth/fmax_model.hpp"
 #include "synth/resource_model.hpp"
+
+namespace polymem::runtime {
+class ThreadPool;
+}
 
 namespace polymem::dse {
 
@@ -25,6 +36,27 @@ struct DseResult {
   double read_bw_bytes_per_s = 0;           ///< aggregated over ports (Fig. 5)
   std::optional<double> write_bw_paper;     ///< derived from Table IV
   std::optional<double> read_bw_paper;
+  // Filled by sweep() with SweepOptions::validate: the paper's functional
+  // validation cycle (Sec. IV-A host fill + parallel readback) ran on the
+  // simulated memory, passed, and hashed its readback data to `checksum`
+  // (FNV-1a, deterministic per (seed, point index)).
+  bool validated = false;
+  bool validation_ok = false;
+  std::uint64_t validation_checksum = 0;
+};
+
+/// sweep() configuration.
+struct SweepOptions {
+  /// Total participating threads: 1 = serial (the reference path),
+  /// 0 = host hardware concurrency, N = caller + N-1 pool workers.
+  unsigned threads = 1;
+  /// Also run the functional validation cycle per point (builds the
+  /// point's PolyMem, host-fills it, reads back on every port) — the
+  /// expensive, embarrassingly parallel part of the sweep.
+  bool validate = false;
+  /// Base seed of the per-point fill data (runtime::derive_seed keys each
+  /// point off it, so the checksum is thread-count independent).
+  std::uint64_t seed = 2018;
 };
 
 /// Per-port bandwidth at a clock: lanes x 8 bytes x f (64-bit data).
@@ -39,8 +71,21 @@ class DseExplorer {
   /// order (columns major, then schemes).
   std::vector<DseResult> explore() const;
 
+  /// explore() with explicit execution options: the same 90 points in the
+  /// same order, evaluated across `opts.threads` threads and optionally
+  /// functionally validated. Bit-identical output for any thread count.
+  std::vector<DseResult> sweep(const SweepOptions& opts) const;
+
   /// One design point.
   DseResult evaluate(const synth::DsePoint& point) const;
+
+  /// The paper's Sec. IV-A validation cycle for one design point: build
+  /// the PolyMem, host-fill sampled row bands with seed-derived values,
+  /// read them back through the parallel access engine on every read
+  /// port, and check every word. Returns the FNV-1a hash of the readback
+  /// stream; `ok` reports the comparison.
+  static std::uint64_t validate_point(const synth::DsePoint& point,
+                                      std::uint64_t seed, bool& ok);
 
   /// The point with the highest aggregated read bandwidth — the paper's
   /// headline "512KB ... 4 read ports ... around 32GB/s" claim.

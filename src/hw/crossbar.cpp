@@ -1,14 +1,27 @@
 #include "hw/crossbar.hpp"
 
+#include <cstdint>
+
 namespace polymem::hw {
 
 void require_permutation(std::span<const unsigned> sel) {
-  // A fixed-size bitset would be faster, but selects are small (<= lanes).
-  std::vector<char> seen(sel.size(), 0);
+  // This runs once per shuffled access on the naive engine, so it must not
+  // touch the heap. Lane counts beyond 64 exceed every buildable PolyMem
+  // geometry; chunk the occupancy bits into words to stay general anyway.
+  const std::size_t n = sel.size();
+  std::uint64_t seen_words[8] = {};
+  std::vector<std::uint64_t> seen_overflow;
+  std::uint64_t* seen = seen_words;
+  if (n > 64 * std::size(seen_words)) {
+    seen_overflow.assign((n + 63) / 64, 0);
+    seen = seen_overflow.data();
+  }
   for (unsigned s : sel) {
-    POLYMEM_REQUIRE(s < sel.size(), "shuffle select out of range");
-    POLYMEM_REQUIRE(!seen[s], "shuffle select is not a permutation");
-    seen[s] = 1;
+    POLYMEM_REQUIRE(s < n, "shuffle select out of range");
+    const std::uint64_t bit = std::uint64_t{1} << (s % 64);
+    POLYMEM_REQUIRE(!(seen[s / 64] & bit),
+                    "shuffle select is not a permutation");
+    seen[s / 64] |= bit;
   }
 }
 

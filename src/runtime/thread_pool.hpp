@@ -1,0 +1,167 @@
+// Parallel execution runtime (docs/ARCHITECTURE.md, "Parallel runtime").
+//
+// The paper's design is parallel twice over — p*q independent BRAM banks
+// per access and up to four replicated read ports (Fig. 3) — and the DSE
+// grid of Sec. IV is a set of fully independent design points. This module
+// is the host-side mirror of that parallelism: a small work-stealing
+// thread pool plus a deterministic `parallel_for` that the DSE sweep
+// (dse/explorer.hpp), the concurrent multi-port read engine
+// (core::PolyMem::read_batch_mt) and the benchmark harness all share.
+//
+// Design rules, in priority order:
+//  1. *Determinism.* Work is identified by its index, never by the worker
+//     that ran it: results land in slot `i`, and randomized workloads
+//     derive their RNG stream from `derive_seed(seed, i)` — so any thread
+//     count (including 1) produces bit-identical output.
+//  2. *Work stealing at chunk granularity.* parallel_for splits the index
+//     range into one contiguous sub-range per participant; a participant
+//     that drains its own range steals the upper half of the fullest
+//     remaining range. Regular grids stay cache-local, irregular ones
+//     (DSE points whose PolyMem capacity varies 8x) still balance.
+//  3. *The caller works too.* parallel_for enlists the calling thread as
+//     participant 0, so a pool of size 0 degrades to plain serial
+//     execution with zero synchronisation surprises — that is the
+//     reference path the differential tests compare against.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace polymem::runtime {
+
+/// A fixed-size pool of worker threads consuming submitted tasks.
+/// Tasks are arbitrary callables; parallel_for (below) is the structured
+/// entry point virtually all library code uses.
+class ThreadPool {
+ public:
+  /// `threads` worker threads (0 is valid: every operation then runs on
+  /// the calling thread). `hardware()` picks the host's concurrency.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Host hardware concurrency (at least 1).
+  static unsigned hardware_threads();
+
+  /// Pool sized to the host (size() == hardware_threads()).
+  static ThreadPool& hardware();
+
+  /// Enqueues one task. Tasks must not throw (parallel_for wraps user
+  /// callables and routes their exceptions; raw submit is for internal
+  /// and test use).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished (test/teardown aid;
+  /// parallel_for has its own completion tracking).
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  unsigned running_ = 0;
+  bool stop_ = false;
+};
+
+namespace detail {
+
+/// One participant's contiguous slice of the iteration space. `next` and
+/// `end` move under `lock` only: owners take `grain` indices from the
+/// front, thieves take the upper half from the back, and neither can
+/// observe a torn range.
+struct WorkRange {
+  std::mutex lock;
+  std::int64_t next = 0;
+  std::int64_t end = 0;
+};
+
+class ParallelForJob {
+ public:
+  ParallelForJob(std::int64_t begin, std::int64_t end, unsigned participants,
+                 std::int64_t grain);
+
+  /// Claims up to `grain` indices for `worker`, preferring its own range,
+  /// then stealing. Returns false when the whole iteration space is done.
+  bool claim(unsigned worker, std::int64_t& lo, std::int64_t& hi);
+
+  void record_exception(std::exception_ptr error);
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  /// Called by each participant when it can claim no more work; the last
+  /// one wakes the caller. Rethrows the first recorded exception in the
+  /// caller once every participant has quiesced.
+  void participant_done();
+  void wait_and_rethrow(unsigned participants);
+
+ private:
+  std::vector<std::unique_ptr<WorkRange>> ranges_;
+  std::int64_t grain_;
+  std::atomic<bool> cancelled_{false};
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  unsigned done_count_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace detail
+
+/// Runs `fn(i, worker)` for every i in [begin, end), distributed over the
+/// pool's workers plus the calling thread. `worker` is a dense stable id
+/// in [0, pool.size()] — 0 is the caller — usable to index per-participant
+/// scratch state. Blocks until the whole range completed; the first
+/// exception thrown by `fn` is rethrown here (remaining iterations may be
+/// skipped). `grain` is the number of consecutive indices claimed at once.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  Fn&& fn, std::int64_t grain = 1) {
+  if (begin >= end) return;
+  const unsigned participants = pool.size() + 1;
+  if (participants == 1 || end - begin == 1) {
+    for (std::int64_t i = begin; i < end; ++i) fn(i, 0u);
+    return;
+  }
+  detail::ParallelForJob job(begin, end, participants, grain);
+  auto run = [&job, &fn](unsigned worker) {
+    std::int64_t lo, hi;
+    while (!job.cancelled() && job.claim(worker, lo, hi)) {
+      try {
+        for (std::int64_t i = lo; i < hi; ++i) fn(i, worker);
+      } catch (...) {
+        job.record_exception(std::current_exception());
+      }
+    }
+    job.participant_done();
+  };
+  for (unsigned w = 1; w < participants; ++w) pool.submit([&run, w] { run(w); });
+  run(0);
+  job.wait_and_rethrow(participants);
+}
+
+/// Deterministic per-index seed derivation (splitmix64 over base ^ index):
+/// workload generators draw from Rng(derive_seed(seed, i)) so the random
+/// stream of element i never depends on which thread computed it or on the
+/// thread count. Statistically independent streams for adjacent indices.
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace polymem::runtime

@@ -133,6 +133,64 @@ TEST(DseExplorer, ParetoFrontierIsNonDominatedAndMonotone) {
   EXPECT_TRUE(found);
 }
 
+TEST(DseSweep, MatchesExploreOnAnalyticFields) {
+  const DseExplorer explorer;
+  const auto serial = explorer.sweep({.threads = 1, .validate = false});
+  const auto reference = explorer.explore();
+  ASSERT_EQ(serial.size(), reference.size());
+  for (std::size_t k = 0; k < serial.size(); ++k) {
+    EXPECT_EQ(serial[k].point, reference[k].point);
+    EXPECT_DOUBLE_EQ(serial[k].fmax_mhz, reference[k].fmax_mhz);
+    EXPECT_DOUBLE_EQ(serial[k].read_bw_bytes_per_s,
+                     reference[k].read_bw_bytes_per_s);
+    EXPECT_FALSE(serial[k].validated);
+  }
+}
+
+TEST(DseSweep, ParallelSweepIsBitIdenticalAcrossThreadCounts) {
+  // The determinism contract: 1, 2 and 8 threads produce the identical
+  // result vector, including the functional-validation checksums (RNG is
+  // derived per point index, never per thread).
+  const DseExplorer explorer;
+  const SweepOptions base{.threads = 1, .validate = true, .seed = 77};
+  const auto serial = explorer.sweep(base);
+  ASSERT_EQ(serial.size(), 90u);
+  for (const DseResult& r : serial) {
+    EXPECT_TRUE(r.validated);
+    EXPECT_TRUE(r.validation_ok) << maf::scheme_name(r.point.scheme) << " "
+                                 << r.point.size_kb << "KB";
+    EXPECT_NE(r.validation_checksum, 0u);
+  }
+  for (unsigned threads : {2u, 8u}) {
+    SweepOptions opts = base;
+    opts.threads = threads;
+    const auto parallel = explorer.sweep(opts);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t k = 0; k < serial.size(); ++k) {
+      EXPECT_EQ(parallel[k].point, serial[k].point);
+      EXPECT_DOUBLE_EQ(parallel[k].fmax_mhz, serial[k].fmax_mhz);
+      EXPECT_EQ(parallel[k].validation_ok, serial[k].validation_ok);
+      EXPECT_EQ(parallel[k].validation_checksum,
+                serial[k].validation_checksum)
+          << "thread count " << threads << " point " << k;
+    }
+  }
+}
+
+TEST(DseSweep, SeedChangesChecksumsButNotVerdicts) {
+  const DseExplorer explorer;
+  const auto a = explorer.sweep({.threads = 2, .validate = true, .seed = 1});
+  const auto b = explorer.sweep({.threads = 2, .validate = true, .seed = 2});
+  ASSERT_EQ(a.size(), b.size());
+  bool any_diff = false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_TRUE(a[k].validation_ok);
+    EXPECT_TRUE(b[k].validation_ok);
+    any_diff = any_diff || a[k].validation_checksum != b[k].validation_checksum;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
 TEST(DseExplorer, InvalidPointRejected) {
   const DseExplorer explorer;
   EXPECT_THROW(explorer.evaluate(DsePoint{Scheme::kReO, 4096, 8, 2}),

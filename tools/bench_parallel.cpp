@@ -1,0 +1,205 @@
+// Parallel-runtime benchmark runner: measures (1) the DSE sweep wall time
+// serial vs multi-threaded (dse::DseExplorer::sweep over the thread pool)
+// and (2) batched parallel-read throughput of the serial single-port
+// engine vs the concurrent multi-port engine (PolyMem::read_batch vs
+// read_batch_mt), and emits machine-readable JSON (BENCH_parallel.json)
+// committed at the repo root.
+//
+// Like bench_core this runner is dependency-free (plain chrono, median of
+// repeated trials, fixed workloads). Both comparisons cross-check results
+// before timing counts: the sweep checksums must match the serial sweep
+// and the MT read output must be bit-identical to the serial read, so a
+// determinism regression fails the benchmark rather than skewing it.
+//
+// The container this repo grows in may expose a single hardware thread;
+// the JSON therefore records hardware_threads next to every speedup so
+// numbers from different hosts are comparable. On a 1-CPU host the
+// speedups hover around 1x — the interesting signal is then the
+// *overhead* (how far below 1x the threaded path falls).
+//
+// Usage: bench_parallel [output.json] [threads]
+//        (defaults: BENCH_parallel.json, hardware concurrency)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/polymem.hpp"
+#include "dse/explorer.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using namespace polymem;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kTrials = 5;
+
+template <typename Fn>
+double median_ms(Fn&& run) {
+  std::vector<double> trials;
+  run();  // warm-up
+  for (int t = 0; t < kTrials; ++t) {
+    const auto start = Clock::now();
+    run();
+    const auto stop = Clock::now();
+    trials.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  std::sort(trials.begin(), trials.end());
+  return trials[trials.size() / 2];
+}
+
+struct SweepResult {
+  double serial_ms, parallel_ms, speedup;
+  bool checksums_match;
+};
+
+SweepResult bench_sweep(unsigned threads) {
+  const dse::DseExplorer explorer;
+  const dse::SweepOptions serial{.threads = 1, .validate = true};
+  dse::SweepOptions parallel = serial;
+  parallel.threads = threads;
+
+  // Determinism cross-check before timing anything.
+  const auto ref = explorer.sweep(serial);
+  const auto par = explorer.sweep(parallel);
+  bool match = ref.size() == par.size();
+  for (std::size_t k = 0; match && k < ref.size(); ++k)
+    match = ref[k].validation_ok && par[k].validation_ok &&
+            ref[k].validation_checksum == par[k].validation_checksum;
+
+  SweepResult r{};
+  r.checksums_match = match;
+  r.serial_ms = median_ms([&] { (void)explorer.sweep(serial); });
+  r.parallel_ms = median_ms([&] { (void)explorer.sweep(parallel); });
+  r.speedup = r.serial_ms / r.parallel_ms;
+  return r;
+}
+
+struct ReadResult {
+  unsigned ports;
+  double serial_ns, mt_ns, speedup;
+  double serial_gbps, mt_gbps;  // aggregate bandwidth over the batch
+  bool bit_identical;
+};
+
+ReadResult bench_read(unsigned ports, unsigned threads) {
+  const auto cfg = core::PolyMemConfig::with_capacity(
+      256 * KiB, maf::Scheme::kReRo, 2, 4, ports);
+  core::PolyMem mem(cfg);
+  std::vector<core::Word> row(cfg.width);
+  for (std::int64_t i = 0; i < cfg.height; ++i) {
+    for (std::int64_t j = 0; j < cfg.width; ++j)
+      row[j] = static_cast<core::Word>(i * cfg.width + j);
+    mem.fill_rect({i, 0}, 1, cfg.width, row);
+  }
+
+  const auto lanes = static_cast<std::int64_t>(cfg.lanes());
+  const core::AccessBatch batch{access::PatternKind::kRow, {0, 0},
+                                {0, lanes}, cfg.width / lanes,
+                                {1, 0},     cfg.height};
+  const std::int64_t accesses = batch.count();
+  std::vector<core::Word> serial(static_cast<std::size_t>(accesses) * lanes);
+  std::vector<core::Word> parallel(serial.size());
+  runtime::ThreadPool pool(threads > 0 ? threads - 1 : 0);
+
+  mem.read_batch(batch, 0, serial);
+  mem.read_batch_mt(batch, pool, parallel);
+  const bool identical = serial == parallel;
+
+  const double serial_ms = median_ms([&] { mem.read_batch(batch, 0, serial); });
+  const double mt_ms =
+      median_ms([&] { mem.read_batch_mt(batch, pool, parallel); });
+
+  const double bytes =
+      static_cast<double>(serial.size()) * sizeof(core::Word);
+  ReadResult r{};
+  r.ports = ports;
+  r.serial_ns = serial_ms * 1e6 / static_cast<double>(accesses);
+  r.mt_ns = mt_ms * 1e6 / static_cast<double>(accesses);
+  r.speedup = r.serial_ns / r.mt_ns;
+  r.serial_gbps = bytes / (serial_ms * 1e-3) / 1e9;
+  r.mt_gbps = bytes / (mt_ms * 1e-3) / 1e9;
+  r.bit_identical = identical;
+  return r;
+}
+
+void write_json(const std::string& path, unsigned threads,
+                const SweepResult& sweep,
+                const std::vector<ReadResult>& reads) {
+  std::ofstream os(path);
+  os.precision(2);
+  os << std::fixed;
+  os << "{\n  \"benchmark\": \"polymem_parallel_runtime\",\n"
+     << "  \"hardware_threads\": " << runtime::ThreadPool::hardware_threads()
+     << ",\n  \"threads\": " << threads << ",\n  \"trials\": " << kTrials
+     << ",\n"
+     << "  \"dse_sweep\": {\"points\": 90, \"validate\": true,\n"
+     << "    \"serial_ms\": " << sweep.serial_ms
+     << ", \"parallel_ms\": " << sweep.parallel_ms
+     << ", \"speedup\": " << sweep.speedup << ",\n"
+     << "    \"checksums_match\": "
+     << (sweep.checksums_match ? "true" : "false") << "},\n"
+     << "  \"batched_read\": [\n";
+  for (std::size_t k = 0; k < reads.size(); ++k) {
+    const ReadResult& r = reads[k];
+    os << "    {\"scheme\": \"ReRo\", \"p\": 2, \"q\": 4, \"ports\": "
+       << r.ports << ",\n"
+       << "     \"serial_ns_per_access\": " << r.serial_ns
+       << ", \"mt_ns_per_access\": " << r.mt_ns
+       << ", \"speedup\": " << r.speedup << ",\n"
+       << "     \"serial_gb_per_s\": " << r.serial_gbps
+       << ", \"mt_gb_per_s\": " << r.mt_gbps << ", \"bit_identical\": "
+       << (r.bit_identical ? "true" : "false") << "}"
+       << (k + 1 < reads.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  const unsigned threads =
+      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2]))
+               : runtime::ThreadPool::hardware_threads();
+
+  std::cout << "hardware threads: "
+            << runtime::ThreadPool::hardware_threads() << ", using "
+            << threads << "\n";
+
+  const SweepResult sweep = bench_sweep(threads);
+  std::cout << "DSE sweep (90 points, validated): serial " << sweep.serial_ms
+            << " ms, " << threads << " threads " << sweep.parallel_ms
+            << " ms (" << sweep.speedup << "x), checksums "
+            << (sweep.checksums_match ? "match" : "DIVERGE") << "\n";
+
+  std::vector<ReadResult> reads;
+  for (unsigned ports : {1u, 2u, 4u}) {
+    reads.push_back(bench_read(ports, threads));
+    const ReadResult& r = reads.back();
+    std::cout << "batched read ReRo 2x4 " << r.ports << "P: serial "
+              << r.serial_ns << " ns/access (" << r.serial_gbps
+              << " GB/s), mt " << r.mt_ns << " ns/access (" << r.mt_gbps
+              << " GB/s, " << r.speedup << "x), "
+              << (r.bit_identical ? "bit-identical" : "OUTPUT DIVERGES")
+              << "\n";
+  }
+
+  write_json(path, threads, sweep, reads);
+  std::cout << "wrote " << path << "\n";
+
+  bool ok = sweep.checksums_match;
+  for (const ReadResult& r : reads) ok = ok && r.bit_identical;
+  if (!ok) {
+    std::cerr << "ERROR: parallel results diverge from serial reference\n";
+    return 1;
+  }
+  return 0;
+}
