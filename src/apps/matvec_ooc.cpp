@@ -1,0 +1,40 @@
+#include "apps/matvec_ooc.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/layout.hpp"
+
+namespace polymem::apps {
+
+OocMatVecReport ooc_matvec(maxsim::LMem& lmem, core::PolyMem& mem,
+                           const maxsim::LMemMatrix& a,
+                           std::span<const double> x, std::span<double> y,
+                           const cache::CacheOptions& options) {
+  POLYMEM_REQUIRE(x.size() == static_cast<std::size_t>(a.cols),
+                  "x does not match the matrix columns");
+  POLYMEM_REQUIRE(y.size() == static_cast<std::size_t>(a.rows),
+                  "y does not match the matrix rows");
+
+  cache::CachedMatrix cached(
+      lmem, mem, a, core::FramePool::default_tiling(mem.config()), options);
+
+  OocMatVecReport report;
+  report.rows = a.rows;
+  report.cols = a.cols;
+
+  std::vector<hw::Word> row(static_cast<std::size_t>(a.cols));
+  for (std::int64_t i = 0; i < a.rows; ++i) {
+    cached.read_row(i, 0, row);
+    double acc = 0;
+    for (std::int64_t j = 0; j < a.cols; ++j)
+      acc += core::unpack_double(row[static_cast<std::size_t>(j)]) *
+             x[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+
+  report.cache = cached.stats();
+  return report;
+}
+
+}  // namespace polymem::apps

@@ -1,0 +1,32 @@
+// Out-of-core dense matrix-vector multiply.
+//
+// y = A x with A resident in LMem and streamed through the software
+// cache (cache::CachedMatrix): row panels of A fault into PolyMem frames
+// on demand, so n is bounded by board DRAM instead of on-chip capacity —
+// the out-of-core counterpart of apps::MatVecApp. The traversal is
+// row-major, exactly the sequential sweep the cache's next-tile
+// prefetcher predicts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cache/cached_matrix.hpp"
+
+namespace polymem::apps {
+
+struct OocMatVecReport {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  cache::CacheStats cache;  ///< A-cache accounting (refills, hit rate)
+};
+
+/// y = A x for the rows x cols matrix `a` of packed doubles
+/// (core::pack_double) in LMem. x holds cols values, y receives rows.
+/// Cache frames default to core::FramePool::default_tiling(mem.config()).
+OocMatVecReport ooc_matvec(maxsim::LMem& lmem, core::PolyMem& mem,
+                           const maxsim::LMemMatrix& a,
+                           std::span<const double> x, std::span<double> y,
+                           const cache::CacheOptions& options = {});
+
+}  // namespace polymem::apps

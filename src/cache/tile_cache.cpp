@@ -1,0 +1,330 @@
+#include "cache/tile_cache.hpp"
+
+#include <algorithm>
+#include <list>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace polymem::cache {
+
+const char* eviction_name(EvictionKind kind) {
+  switch (kind) {
+    case EvictionKind::kLru: return "lru";
+    case EvictionKind::kFifo: return "fifo";
+  }
+  return "?";
+}
+
+const char* write_policy_name(WritePolicy policy) {
+  switch (policy) {
+    case WritePolicy::kWriteBack: return "write-back";
+    case WritePolicy::kWriteThrough: return "write-through";
+  }
+  return "?";
+}
+
+namespace {
+
+/// One list covers both policies: frames enter at the back, the victim is
+/// the front; LRU additionally moves a touched frame to the back.
+class ListOrder : public EvictionOrder {
+ public:
+  ListOrder(bool move_on_access, const char* name)
+      : move_on_access_(move_on_access), name_(name) {}
+
+  const char* name() const override { return name_; }
+
+  void on_insert(int frame) override {
+    pos_[frame] = order_.insert(order_.end(), frame);
+  }
+
+  void on_access(int frame) override {
+    if (!move_on_access_) return;
+    const auto it = pos_.find(frame);
+    POLYMEM_REQUIRE(it != pos_.end(), "access to a frame not in the order");
+    order_.splice(order_.end(), order_, it->second);
+  }
+
+  void on_erase(int frame) override {
+    const auto it = pos_.find(frame);
+    POLYMEM_REQUIRE(it != pos_.end(), "erase of a frame not in the order");
+    order_.erase(it->second);
+    pos_.erase(it);
+  }
+
+  int victim() const override {
+    POLYMEM_REQUIRE(!order_.empty(), "no frame to evict");
+    return order_.front();
+  }
+
+  bool empty() const override { return order_.empty(); }
+
+ private:
+  std::list<int> order_;
+  std::unordered_map<int, std::list<int>::iterator> pos_;
+  bool move_on_access_;
+  const char* name_;
+};
+
+}  // namespace
+
+std::unique_ptr<EvictionOrder> EvictionOrder::make(EvictionKind kind) {
+  switch (kind) {
+    case EvictionKind::kLru:
+      return std::make_unique<ListOrder>(true, "lru");
+    case EvictionKind::kFifo:
+      return std::make_unique<ListOrder>(false, "fifo");
+  }
+  throw InvalidArgument("unknown eviction kind");
+}
+
+TileCache::TileCache(maxsim::LMem& lmem, core::PolyMem& mem,
+                     const maxsim::LMemMatrix& matrix,
+                     core::FramePool frames, CacheOptions options)
+    : lmem_(&lmem),
+      mem_(&mem),
+      matrix_(matrix),
+      frames_(frames),
+      options_(options),
+      dma_(lmem, mem),
+      tiles_i_(ceil_div(matrix.rows, frames.tile_rows())),
+      tiles_j_(ceil_div(matrix.cols, frames.tile_cols())),
+      order_(EvictionOrder::make(options.eviction)),
+      slot_(std::make_shared<PrefetchSlot>()) {
+  POLYMEM_REQUIRE(matrix.rows >= 1 && matrix.cols >= 1,
+                  "cached matrix must be non-empty");
+  POLYMEM_REQUIRE(matrix.leading_dim >= matrix.cols,
+                  "bad leading dimension");
+  POLYMEM_REQUIRE(options.clock_hz > 0, "clock must be positive");
+  frame_table_.resize(static_cast<std::size_t>(frames_.frames()));
+  // Free list popped from the back: frame 0 is handed out first.
+  for (int f = frames_.frames() - 1; f >= 0; --f) free_frames_.push_back(f);
+}
+
+TileCache::~TileCache() { drain_prefetch(); }
+
+std::int64_t TileCache::clipped_rows(std::int64_t ti) const {
+  return std::min(frames_.tile_rows(),
+                  matrix_.rows - ti * frames_.tile_rows());
+}
+
+std::int64_t TileCache::clipped_cols(std::int64_t tj) const {
+  return std::min(frames_.tile_cols(),
+                  matrix_.cols - tj * frames_.tile_cols());
+}
+
+bool TileCache::resident(std::int64_t ti, std::int64_t tj) const {
+  return residency_.count(tile_key(ti, tj)) > 0;
+}
+
+TileCache::TileRef TileCache::acquire(std::int64_t ti, std::int64_t tj) {
+  POLYMEM_REQUIRE(ti >= 0 && ti < tiles_i_ && tj >= 0 && tj < tiles_j_,
+                  "tile coordinate outside the matrix");
+  const std::int64_t key = tile_key(ti, tj);
+  TileRef ref;
+  ref.ti = ti;
+  ref.tj = tj;
+  ref.rows = clipped_rows(ti);
+  ref.cols = clipped_cols(tj);
+
+  if (const auto it = residency_.find(key); it != residency_.end()) {
+    ++stats_.dma.cache.hits;
+    order_->on_access(it->second);
+    ref.frame = it->second;
+    ref.origin = frames_.frame_origin(it->second);
+    return ref;
+  }
+  ++stats_.dma.cache.misses;
+
+  // Is the missing tile already staged (or being staged) by the
+  // prefetcher? Wait out an in-flight load of exactly this tile.
+  bool staged = false;
+  {
+    std::unique_lock<std::mutex> lock(slot_->m);
+    if (slot_->inflight && slot_->ti == ti && slot_->tj == tj)
+      slot_->cv.wait(lock, [&] { return !slot_->inflight; });
+    staged = slot_->ready && slot_->ti == ti && slot_->tj == tj;
+  }
+
+  // Free a frame first: an eviction's write-back takes the LMem lock
+  // itself, so it must run before we pin the slot for the install.
+  const int frame = take_frame();
+
+  if (staged) {
+    std::unique_lock<std::mutex> lock(slot_->m);
+    install_prefetched(frame, lock);
+  } else {
+    std::lock_guard<std::mutex> lock(slot_->m);
+    stats_.dma += dma_.load_tile(matrix_, ti * frames_.tile_rows(),
+                                 tj * frames_.tile_cols(), ref.rows,
+                                 ref.cols, frames_.frame_origin(frame));
+  }
+
+  residency_[key] = frame;
+  frame_table_[static_cast<std::size_t>(frame)] = {ti, tj, false};
+  order_->on_insert(frame);
+  ref.frame = frame;
+  ref.origin = frames_.frame_origin(frame);
+
+  // Sequential next-tile prediction: the next tile in row-major tile
+  // order. Issued after the install so the burst overlaps the kernel's
+  // work on the tile we just returned.
+  if (options_.prefetch_pool != nullptr) {
+    std::int64_t ni = ti, nj = tj + 1;
+    if (nj == tiles_j_) {
+      ni = ti + 1;
+      nj = 0;
+    }
+    if (ni < tiles_i_) issue_prefetch(ni, nj);
+  }
+  return ref;
+}
+
+int TileCache::take_frame() {
+  if (!free_frames_.empty()) {
+    const int frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  const int victim = order_->victim();
+  evict(victim);
+  free_frames_.pop_back();
+  return victim;
+}
+
+void TileCache::evict(int frame) {
+  Frame& slot = frame_table_[static_cast<std::size_t>(frame)];
+  POLYMEM_REQUIRE(slot.ti >= 0, "evicting a free frame");
+  if (slot.dirty) write_back(frame);
+  ++stats_.dma.cache.evictions;
+  residency_.erase(tile_key(slot.ti, slot.tj));
+  order_->on_erase(frame);
+  slot = Frame{};
+  free_frames_.push_back(frame);
+}
+
+void TileCache::write_back(int frame) {
+  Frame& slot = frame_table_[static_cast<std::size_t>(frame)];
+  std::lock_guard<std::mutex> lock(slot_->m);
+  stats_.dma += dma_.store_tile(
+      matrix_, slot.ti * frames_.tile_rows(), slot.tj * frames_.tile_cols(),
+      clipped_rows(slot.ti), clipped_cols(slot.tj),
+      frames_.frame_origin(frame));
+  ++stats_.dma.cache.writebacks;
+  slot.dirty = false;
+}
+
+void TileCache::mark_dirty(int frame) {
+  Frame& slot = frame_table_[static_cast<std::size_t>(frame)];
+  POLYMEM_REQUIRE(slot.ti >= 0, "dirtying a free frame");
+  if (options_.write_policy == WritePolicy::kWriteBack) slot.dirty = true;
+}
+
+void TileCache::write_through(std::int64_t i, std::int64_t j,
+                              std::span<const hw::Word> data) {
+  POLYMEM_REQUIRE(i >= 0 && i < matrix_.rows && j >= 0 &&
+                      j + static_cast<std::int64_t>(data.size()) <=
+                          matrix_.cols,
+                  "write-through outside the matrix");
+  std::lock_guard<std::mutex> lock(slot_->m);
+  lmem_->write(matrix_.word_addr(i, j), data);
+  stats_.dma.lmem_seconds += lmem_->burst_seconds(data.size() * 8);
+}
+
+void TileCache::note_kernel_accesses(std::uint64_t accesses,
+                                     std::uint64_t words) {
+  stats_.kernel_accesses += accesses;
+  stats_.kernel_words += words;
+}
+
+void TileCache::flush() {
+  for (int f = 0; f < frames_.frames(); ++f)
+    if (frame_table_[static_cast<std::size_t>(f)].dirty) write_back(f);
+}
+
+void TileCache::invalidate() {
+  drain_prefetch();
+  {
+    std::lock_guard<std::mutex> lock(slot_->m);
+    if (slot_->ready) ++stats_.dma.cache.prefetch_dropped;
+    slot_->ready = false;
+    slot_->ti = slot_->tj = -1;
+  }
+  for (int f = 0; f < frames_.frames(); ++f) {
+    Frame& slot = frame_table_[static_cast<std::size_t>(f)];
+    if (slot.ti < 0) continue;
+    residency_.erase(tile_key(slot.ti, slot.tj));
+    order_->on_erase(f);
+    slot = Frame{};
+    free_frames_.push_back(f);
+  }
+}
+
+void TileCache::issue_prefetch(std::int64_t ti, std::int64_t tj) {
+  if (resident(ti, tj)) return;
+  const std::int64_t rows = clipped_rows(ti);
+  const std::int64_t cols = clipped_cols(tj);
+  const std::int64_t row0 = ti * frames_.tile_rows();
+  const std::int64_t col0 = tj * frames_.tile_cols();
+  {
+    std::lock_guard<std::mutex> lock(slot_->m);
+    if (slot_->inflight) return;  // one outstanding prefetch at a time
+    if (slot_->ready) {
+      if (slot_->ti == ti && slot_->tj == tj) return;  // already staged
+      ++stats_.dma.cache.prefetch_dropped;  // stale staging, overwrite
+    }
+    slot_->inflight = true;
+    slot_->ready = false;
+    slot_->ti = ti;
+    slot_->tj = tj;
+    slot_->rows = rows;
+    slot_->cols = cols;
+    slot_->issue_cycles = stats_.total_polymem_cycles();
+    ++stats_.dma.cache.prefetch_issued;
+  }
+  options_.prefetch_pool->submit(
+      [slot = slot_, lmem = lmem_, matrix = matrix_, row0, col0, rows,
+       cols] {
+        std::lock_guard<std::mutex> lock(slot->m);
+        slot->data.resize(static_cast<std::size_t>(rows * cols));
+        for (std::int64_t r = 0; r < rows; ++r)
+          lmem->read(matrix.word_addr(row0 + r, col0),
+                     std::span<hw::Word>(slot->data)
+                         .subspan(static_cast<std::size_t>(r * cols),
+                                  static_cast<std::size_t>(cols)));
+        slot->lmem_seconds =
+            lmem->burst_seconds(static_cast<std::uint64_t>(rows) * cols * 8);
+        slot->ready = true;
+        slot->inflight = false;
+        slot->cv.notify_all();
+      });
+}
+
+void TileCache::install_prefetched(int frame,
+                                   std::unique_lock<std::mutex>& lock) {
+  POLYMEM_REQUIRE(lock.owns_lock() && slot_->ready,
+                  "install without a staged tile");
+  // Overlap credit first: PolyMem cycles spent since the issue bound the
+  // DRAM time the prefetch hid from the critical path.
+  const std::uint64_t cycles_since =
+      stats_.total_polymem_cycles() - slot_->issue_cycles;
+  stats_.lmem_seconds_overlapped +=
+      std::min(slot_->lmem_seconds,
+               static_cast<double>(cycles_since) / options_.clock_hz);
+  stats_.dma += dma_.write_staged(slot_->data, slot_->rows, slot_->cols,
+                                  frames_.frame_origin(frame));
+  stats_.dma.lmem_seconds += slot_->lmem_seconds;
+  ++stats_.dma.cache.prefetch_useful;
+  slot_->ready = false;
+  slot_->ti = slot_->tj = -1;
+}
+
+void TileCache::drain_prefetch() {
+  std::unique_lock<std::mutex> lock(slot_->m);
+  slot_->cv.wait(lock, [&] { return !slot_->inflight; });
+}
+
+CacheStats TileCache::stats() const { return stats_; }
+
+}  // namespace polymem::cache

@@ -1,0 +1,214 @@
+// Out-of-core software cache: tile residency over LMem.
+//
+// The paper presents PolyMem as "a high-bandwidth, 2D parallel software
+// cache" between the board DRAM and the kernel (Fig. 1, Sec. II-B). The
+// seed reproduction stopped at raw DMA tile moves, capping every workload
+// at the on-chip capacity; TileCache adds the missing controller. It
+// manages the PolyMem 2D space as a pool of fixed-geometry frames
+// (core::FramePool) caching tiles of one row-major LMem matrix:
+//
+//  - a *residency map* from matrix tile coordinates to frames, so matrix
+//    (i, j) translates to a PolyMem coordinate in O(1);
+//  - pluggable *eviction* (LRU and FIFO) with dirty-tile tracking and
+//    write-back vs write-through policies;
+//  - asynchronous *prefetch* of the predicted next tile on the shared
+//    runtime::ThreadPool: the DRAM burst of the next tile is staged in
+//    the background while the kernel keeps issuing PolyMem accesses, and
+//    the hidden portion of LMem::burst_seconds is accounted separately
+//    (stats().lmem_seconds_overlapped) so benchmarks can report the
+//    overlap win honestly.
+//
+// TileCache is single-consumer: one thread calls acquire/flush; the only
+// concurrency is the prefetch worker. The staged-tile handoff is
+// serialized on the slot mutex, LMem itself is internally synchronized
+// (several caches may share one board memory), and PolyMem is only ever
+// touched by the consumer thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/frame_pool.hpp"
+#include "core/polymem.hpp"
+#include "maxsim/dma.hpp"
+#include "maxsim/lmem.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace polymem::cache {
+
+enum class EvictionKind : std::uint8_t { kLru, kFifo };
+enum class WritePolicy : std::uint8_t { kWriteBack, kWriteThrough };
+
+const char* eviction_name(EvictionKind kind);
+const char* write_policy_name(WritePolicy policy);
+
+/// Pluggable eviction order over frame ids. TileCache notifies residency
+/// changes and touches; victim() names the frame to displace next.
+class EvictionOrder {
+ public:
+  virtual ~EvictionOrder() = default;
+  virtual const char* name() const = 0;
+  virtual void on_insert(int frame) = 0;  ///< frame became resident
+  virtual void on_access(int frame) = 0;  ///< resident frame was touched
+  virtual void on_erase(int frame) = 0;   ///< frame was evicted/invalidated
+  virtual int victim() const = 0;         ///< next frame to displace
+  virtual bool empty() const = 0;
+
+  static std::unique_ptr<EvictionOrder> make(EvictionKind kind);
+};
+
+struct CacheOptions {
+  EvictionKind eviction = EvictionKind::kLru;
+  WritePolicy write_policy = WritePolicy::kWriteBack;
+  /// Non-null enables sequential next-tile prefetch on this pool.
+  runtime::ThreadPool* prefetch_pool = nullptr;
+  /// Clock used to convert PolyMem cycles elapsed while a prefetch was in
+  /// flight into the DRAM time it hid (paper Sec. V: 120 MHz design).
+  double clock_hz = 120e6;
+};
+
+/// Aggregate accounting of a cache session. `dma` sums every refill and
+/// write-back (its `cache` member carries the event counters);
+/// `kernel_accesses` are the consumer-side PolyMem parallel accesses the
+/// cache served from resident frames.
+struct CacheStats {
+  maxsim::DmaStats dma;
+  std::uint64_t kernel_accesses = 0;
+  std::uint64_t kernel_words = 0;
+  double lmem_seconds_overlapped = 0;
+
+  const CacheCounters& counters() const { return dma.cache; }
+  /// DRAM time on the critical path: total bursts minus what prefetch hid.
+  double effective_lmem_seconds() const {
+    return dma.lmem_seconds - lmem_seconds_overlapped;
+  }
+  /// Every PolyMem cycle spent (refills, write-backs and kernel accesses).
+  std::uint64_t total_polymem_cycles() const {
+    return dma.polymem_cycles + kernel_accesses;
+  }
+};
+
+class TileCache {
+ public:
+  /// Caches tiles of `matrix` (resident in `lmem`) in the frames of
+  /// `frames` (a region of `mem`). The matrix is tiled in
+  /// tile_rows x tile_cols steps from its top-left corner; edge tiles are
+  /// clipped. The frame pool, LMem and PolyMem must outlive the cache.
+  TileCache(maxsim::LMem& lmem, core::PolyMem& mem,
+            const maxsim::LMemMatrix& matrix, core::FramePool frames,
+            CacheOptions options = {});
+
+  /// Drains any in-flight prefetch. Does NOT flush dirty tiles — call
+  /// flush() when the LMem copy must be current.
+  ~TileCache();
+
+  TileCache(const TileCache&) = delete;
+  TileCache& operator=(const TileCache&) = delete;
+
+  /// A resident tile: its frame, PolyMem origin and clipped extent.
+  struct TileRef {
+    int frame = -1;
+    access::Coord origin;     ///< frame origin in PolyMem
+    std::int64_t rows = 0;    ///< actual tile rows (edge tiles clipped)
+    std::int64_t cols = 0;
+    std::int64_t ti = 0, tj = 0;
+  };
+
+  /// Ensures tile (ti, tj) is resident (refilling and evicting as
+  /// needed) and returns its frame. Counts one hit or one miss.
+  TileRef acquire(std::int64_t ti, std::int64_t tj);
+
+  /// Marks a frame's tile as modified (write-back policy tracks it for
+  /// eviction/flush; under write-through the caller is expected to also
+  /// call write_through with the new data).
+  void mark_dirty(int frame);
+
+  /// Writes `data` straight to LMem at matrix row `i`, columns
+  /// [j, j + data.size()), accounting the burst — the write-through half
+  /// of a store (serialized against the prefetch worker).
+  void write_through(std::int64_t i, std::int64_t j,
+                     std::span<const hw::Word> data);
+
+  /// Consumer-side PolyMem access accounting (CachedMatrix reports the
+  /// parallel accesses it issued against resident frames here).
+  void note_kernel_accesses(std::uint64_t accesses, std::uint64_t words);
+
+  /// Writes every dirty tile back to LMem (no-op under write-through).
+  void flush();
+
+  /// Drops all residency without writing anything back.
+  void invalidate();
+
+  bool resident(std::int64_t ti, std::int64_t tj) const;
+
+  const maxsim::LMemMatrix& matrix() const { return matrix_; }
+  const core::FramePool& frames() const { return frames_; }
+  const CacheOptions& options() const { return options_; }
+  core::PolyMem& polymem() { return *mem_; }
+  std::int64_t tiles_i() const { return tiles_i_; }
+  std::int64_t tiles_j() const { return tiles_j_; }
+
+  /// Snapshot of the aggregate accounting. An issued-but-unconsumed
+  /// prefetch is not yet in the DMA totals (it merges on install).
+  CacheStats stats() const;
+
+ private:
+  struct Frame {
+    std::int64_t ti = -1, tj = -1;  ///< resident tile; -1 = free
+    bool dirty = false;
+  };
+
+  /// Prefetch slot shared with the worker. Held by shared_ptr so a job
+  /// that outlives the cache (never in practice: the destructor drains)
+  /// still touches valid memory. `m` also serializes every LMem access.
+  struct PrefetchSlot {
+    std::mutex m;
+    std::condition_variable cv;
+    bool inflight = false;
+    bool ready = false;
+    std::int64_t ti = -1, tj = -1;
+    std::int64_t rows = 0, cols = 0;
+    std::vector<hw::Word> data;          ///< staged row-major tile
+    double lmem_seconds = 0;
+    std::uint64_t issue_cycles = 0;      ///< total cycles at issue time
+  };
+
+  std::int64_t tile_key(std::int64_t ti, std::int64_t tj) const {
+    return ti * tiles_j_ + tj;
+  }
+  std::int64_t clipped_rows(std::int64_t ti) const;
+  std::int64_t clipped_cols(std::int64_t tj) const;
+  int take_frame();                      ///< free frame or evicted victim
+  void evict(int frame);
+  void write_back(int frame);
+  void issue_prefetch(std::int64_t ti, std::int64_t tj);
+  /// Installs the ready slot's tile into `frame` (counts as a refill
+  /// whose burst happened off the critical path). Caller holds slot->m.
+  void install_prefetched(int frame, std::unique_lock<std::mutex>& lock);
+  void drain_prefetch();
+
+  maxsim::LMem* lmem_;
+  core::PolyMem* mem_;
+  maxsim::LMemMatrix matrix_;
+  core::FramePool frames_;
+  CacheOptions options_;
+  maxsim::DmaEngine dma_;
+  std::int64_t tiles_i_;
+  std::int64_t tiles_j_;
+
+  std::vector<Frame> frame_table_;
+  std::vector<int> free_frames_;
+  std::unordered_map<std::int64_t, int> residency_;
+  std::unique_ptr<EvictionOrder> order_;
+
+  std::shared_ptr<PrefetchSlot> slot_;
+  CacheStats stats_;
+};
+
+}  // namespace polymem::cache

@@ -7,6 +7,24 @@
 
 namespace polymem {
 
+double CacheCounters::hit_rate() const {
+  const std::uint64_t accesses = hits + misses;
+  return accesses == 0 ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(accesses);
+}
+
+CacheCounters& CacheCounters::operator+=(const CacheCounters& other) {
+  hits += other.hits;
+  misses += other.misses;
+  evictions += other.evictions;
+  writebacks += other.writebacks;
+  prefetch_issued += other.prefetch_issued;
+  prefetch_useful += other.prefetch_useful;
+  prefetch_dropped += other.prefetch_dropped;
+  return *this;
+}
+
 void RunningStats::add(double x) {
   ++n_;
   min_ = std::min(min_, x);

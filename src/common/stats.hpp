@@ -1,14 +1,41 @@
 // Running statistics and small fitting helpers.
 //
 // Used by the STREAM harness (min/avg/max over 1000 runs, as the original
-// STREAM reports) and by the synthesis-model calibration (error metrics).
+// STREAM reports), by the synthesis-model calibration (error metrics) and
+// by the software-cache observability counters (src/cache hot path).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
 namespace polymem {
+
+/// Software-cache event counters (src/cache hot path; surfaced through
+/// maxsim::DmaStats and the bench_cache JSON report). A *hit* is a tile
+/// request served from a resident frame; a *miss* triggers a refill; an
+/// *eviction* displaces a resident tile (dirty or clean); a *writeback*
+/// is the dirty half of an eviction or flush. Prefetch counters split
+/// issued background loads into useful (consumed by a later miss) and
+/// dropped (overwritten or invalidated before use).
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_useful = 0;
+  std::uint64_t prefetch_dropped = 0;
+
+  /// hits / (hits + misses); 0 when no accesses happened.
+  double hit_rate() const;
+
+  CacheCounters& operator+=(const CacheCounters& other);
+
+  friend bool operator==(const CacheCounters&, const CacheCounters&) =
+      default;
+};
 
 /// Accumulates count/min/max/mean/variance in one pass (Welford).
 class RunningStats {

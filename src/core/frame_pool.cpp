@@ -1,0 +1,59 @@
+#include "core/frame_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace polymem::core {
+
+FramePool::FramePool(const PolyMemConfig& config, access::Coord origin,
+                     std::int64_t region_rows, std::int64_t region_cols,
+                     std::int64_t tile_rows, std::int64_t tile_cols)
+    : origin_(origin),
+      region_rows_(region_rows),
+      region_cols_(region_cols),
+      tile_rows_(tile_rows),
+      tile_cols_(tile_cols) {
+  const auto p = static_cast<std::int64_t>(config.p);
+  const auto q = static_cast<std::int64_t>(config.q);
+  POLYMEM_REQUIRE(tile_rows >= 1 && tile_cols >= 1,
+                  "frame tile must be non-empty");
+  POLYMEM_REQUIRE(region_rows >= tile_rows && region_cols >= tile_cols,
+                  "frame region smaller than one tile");
+  POLYMEM_REQUIRE(origin.i >= 0 && origin.j >= 0 &&
+                      origin.i + region_rows <= config.height &&
+                      origin.j + region_cols <= config.width,
+                  "frame region exceeds the PolyMem address space");
+  POLYMEM_REQUIRE(tile_rows % p == 0 && origin.i % p == 0,
+                  "frame rows must align to the p bank rows");
+  POLYMEM_REQUIRE(tile_cols % q == 0 && origin.j % q == 0,
+                  "frame columns must align to the q bank columns");
+  POLYMEM_REQUIRE(region_rows % tile_rows == 0 &&
+                      region_cols % tile_cols == 0,
+                  "tile dimensions must divide the frame region");
+  frames_i_ = static_cast<int>(region_rows / tile_rows);
+  frames_j_ = static_cast<int>(region_cols / tile_cols);
+}
+
+FramePool FramePool::whole_space(const PolyMemConfig& config,
+                                 std::int64_t tile_rows,
+                                 std::int64_t tile_cols) {
+  return FramePool(config, {0, 0}, config.height, config.width, tile_rows,
+                   tile_cols);
+}
+
+FramePool FramePool::default_tiling(const PolyMemConfig& config) {
+  const auto p = static_cast<std::int64_t>(config.p);
+  // Up to four full-width row panels; height and p are powers of two, so
+  // height / frames is always a p multiple when frames <= height / p.
+  const std::int64_t frames = std::min<std::int64_t>(4, config.height / p);
+  return whole_space(config, config.height / frames, config.width);
+}
+
+access::Coord FramePool::frame_origin(int f) const {
+  POLYMEM_REQUIRE(f >= 0 && f < frames(), "frame index out of range");
+  return {origin_.i + (f / frames_j_) * tile_rows_,
+          origin_.j + (f % frames_j_) * tile_cols_};
+}
+
+}  // namespace polymem::core

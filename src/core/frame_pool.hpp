@@ -1,0 +1,74 @@
+// Tile-frame reservation over the 2D address space.
+//
+// The out-of-core cache (src/cache) manages PolyMem as a pool of
+// fixed-geometry *frames*: equal rectangular slots that each hold one
+// matrix tile at a time. FramePool is the core-side reservation of that
+// pool — it carves a rectangular region of the address space (paper
+// Fig. 2 regions, but with a fixed frame grid) into frames whose origins
+// stay aligned to the p x q bank grid, so every frame supports the same
+// parallel-access shapes (and reuses the same plan-template residue
+// classes) regardless of which tile it currently holds.
+#pragma once
+
+#include <cstdint>
+
+#include "access/coord.hpp"
+#include "core/config.hpp"
+
+namespace polymem::core {
+
+class FramePool {
+ public:
+  /// Reserves the `region_rows` x `region_cols` rectangle at `origin` and
+  /// partitions it into (region_rows/tile_rows) x (region_cols/tile_cols)
+  /// frames of tile_rows x tile_cols elements. Requires: the region lies
+  /// inside the address space, tile dimensions divide the region
+  /// dimensions, and both the origin and the tile dimensions are aligned
+  /// to the bank grid (p | tile_rows and origin.i, q | tile_cols and
+  /// origin.j) — the alignment that keeps every frame's access support
+  /// identical under aligned-only schemes like RoCo.
+  FramePool(const PolyMemConfig& config, access::Coord origin,
+            std::int64_t region_rows, std::int64_t region_cols,
+            std::int64_t tile_rows, std::int64_t tile_cols);
+
+  /// The whole address space as one frame grid.
+  static FramePool whole_space(const PolyMemConfig& config,
+                               std::int64_t tile_rows,
+                               std::int64_t tile_cols);
+
+  /// A default row-panel tiling of the whole space: full-width frames,
+  /// up to four of them (fewer when the space is shallow). This is what
+  /// tools report and what callers get when they don't care about the
+  /// tile shape.
+  static FramePool default_tiling(const PolyMemConfig& config);
+
+  access::Coord origin() const { return origin_; }
+  std::int64_t region_rows() const { return region_rows_; }
+  std::int64_t region_cols() const { return region_cols_; }
+  std::int64_t tile_rows() const { return tile_rows_; }
+  std::int64_t tile_cols() const { return tile_cols_; }
+  int frames_i() const { return frames_i_; }
+  int frames_j() const { return frames_j_; }
+  int frames() const { return frames_i_ * frames_j_; }
+
+  /// Words and bytes one frame holds.
+  std::int64_t frame_words() const { return tile_rows_ * tile_cols_; }
+  std::uint64_t frame_bytes() const {
+    return static_cast<std::uint64_t>(frame_words()) * sizeof(std::uint64_t);
+  }
+
+  /// PolyMem coordinate of frame `f`'s top-left element (frames are
+  /// numbered row-major across the region).
+  access::Coord frame_origin(int f) const;
+
+ private:
+  access::Coord origin_;
+  std::int64_t region_rows_;
+  std::int64_t region_cols_;
+  std::int64_t tile_rows_;
+  std::int64_t tile_cols_;
+  int frames_i_;
+  int frames_j_;
+};
+
+}  // namespace polymem::core

@@ -10,12 +10,14 @@ namespace polymem::maxsim {
 using access::Coord;
 using access::ParallelAccess;
 using access::PatternKind;
+using core::AccessBatch;
 
 DmaStats& DmaStats::operator+=(const DmaStats& other) {
   words += other.words;
   polymem_accesses += other.polymem_accesses;
   polymem_cycles += other.polymem_cycles;
   lmem_seconds += other.lmem_seconds;
+  cache += other.cache;
   return *this;
 }
 
@@ -55,6 +57,164 @@ void DmaEngine::check_tile(const LMemMatrix& m, std::int64_t tile_i,
                   "tile exceeds the PolyMem address space");
 }
 
+void DmaEngine::check_staged(std::span<const hw::Word> tile,
+                             std::int64_t rows, std::int64_t cols,
+                             Coord origin) const {
+  POLYMEM_REQUIRE(rows >= 1 && cols >= 1, "tile must be non-empty");
+  POLYMEM_REQUIRE(tile.size() == static_cast<std::size_t>(rows * cols),
+                  "staged buffer does not match the tile shape");
+  const auto& cfg = mem_->config();
+  POLYMEM_REQUIRE(origin.i >= 0 && origin.j >= 0 &&
+                      origin.i + rows <= cfg.height &&
+                      origin.j + cols <= cfg.width,
+                  "tile exceeds the PolyMem address space");
+}
+
+void DmaEngine::write_staged_into(std::span<const hw::Word> tile,
+                                  std::int64_t rows, std::int64_t cols,
+                                  Coord origin, DmaStats& stats) {
+  const auto& cfg = mem_->config();
+  const auto lanes = static_cast<std::int64_t>(cfg.lanes());
+  const Shape shape = pick_shape(rows, cols, origin);
+
+  switch (shape) {
+    case Shape::kRowAccesses: {
+      // The batch's canonical-lane concatenation (inner = row segments,
+      // outer = rows) is exactly the row-major tile buffer.
+      const AccessBatch batch{PatternKind::kRow, origin,    {0, lanes},
+                              cols / lanes,      {1, 0},    rows};
+      if (batched_) {
+        mem_->write_batch(batch, tile);
+      } else {
+        for (std::int64_t t = 0; t < batch.count(); ++t)
+          mem_->write(batch.access(t),
+                      tile.subspan(static_cast<std::size_t>(t * lanes),
+                                   static_cast<std::size_t>(lanes)));
+      }
+      stats.polymem_accesses += static_cast<std::uint64_t>(batch.count());
+      break;
+    }
+    case Shape::kRectAccesses: {
+      // Re-stage row-major into per-access canonical groups: p x q block
+      // row-major, blocks walked row-of-blocks first (the batch order).
+      const AccessBatch batch{PatternKind::kRect,
+                              origin,
+                              {0, static_cast<std::int64_t>(cfg.q)},
+                              cols / cfg.q,
+                              {static_cast<std::int64_t>(cfg.p), 0},
+                              rows / cfg.p};
+      block_.resize(tile.size());
+      std::int64_t g = 0;
+      for (std::int64_t br = 0; br < rows; br += cfg.p)
+        for (std::int64_t bc = 0; bc < cols; bc += cfg.q)
+          for (std::int64_t u = 0; u < cfg.p; ++u)
+            for (std::int64_t v = 0; v < cfg.q; ++v)
+              block_[static_cast<std::size_t>(g++)] =
+                  tile[static_cast<std::size_t>((br + u) * cols + bc + v)];
+      if (batched_) {
+        mem_->write_batch(batch, block_);
+      } else {
+        for (std::int64_t t = 0; t < batch.count(); ++t)
+          mem_->write(batch.access(t),
+                      std::span<const hw::Word>(block_).subspan(
+                          static_cast<std::size_t>(t * lanes),
+                          static_cast<std::size_t>(lanes)));
+      }
+      stats.polymem_accesses += static_cast<std::uint64_t>(batch.count());
+      break;
+    }
+    case Shape::kScalar:
+      for (std::int64_t r = 0; r < rows; ++r)
+        for (std::int64_t c = 0; c < cols; ++c) {
+          mem_->store({origin.i + r, origin.j + c},
+                      tile[static_cast<std::size_t>(r * cols + c)]);
+          ++stats.polymem_accesses;
+        }
+      break;
+  }
+}
+
+void DmaEngine::read_staged_into(std::span<hw::Word> tile, std::int64_t rows,
+                                 std::int64_t cols, Coord origin,
+                                 DmaStats& stats) {
+  const auto& cfg = mem_->config();
+  const auto lanes = static_cast<std::int64_t>(cfg.lanes());
+  const Shape shape = pick_shape(rows, cols, origin);
+
+  switch (shape) {
+    case Shape::kRowAccesses: {
+      const AccessBatch batch{PatternKind::kRow, origin,    {0, lanes},
+                              cols / lanes,      {1, 0},    rows};
+      if (batched_) {
+        mem_->read_batch(batch, 0, tile);
+      } else {
+        for (std::int64_t t = 0; t < batch.count(); ++t)
+          mem_->read_into(batch.access(t), 0,
+                          tile.subspan(static_cast<std::size_t>(t * lanes),
+                                       static_cast<std::size_t>(lanes)));
+      }
+      stats.polymem_accesses += static_cast<std::uint64_t>(batch.count());
+      break;
+    }
+    case Shape::kRectAccesses: {
+      const AccessBatch batch{PatternKind::kRect,
+                              origin,
+                              {0, static_cast<std::int64_t>(cfg.q)},
+                              cols / cfg.q,
+                              {static_cast<std::int64_t>(cfg.p), 0},
+                              rows / cfg.p};
+      block_.resize(tile.size());
+      if (batched_) {
+        mem_->read_batch(batch, 0, block_);
+      } else {
+        for (std::int64_t t = 0; t < batch.count(); ++t)
+          mem_->read_into(batch.access(t), 0,
+                          std::span<hw::Word>(block_).subspan(
+                              static_cast<std::size_t>(t * lanes),
+                              static_cast<std::size_t>(lanes)));
+      }
+      std::int64_t g = 0;
+      for (std::int64_t br = 0; br < rows; br += cfg.p)
+        for (std::int64_t bc = 0; bc < cols; bc += cfg.q)
+          for (std::int64_t u = 0; u < cfg.p; ++u)
+            for (std::int64_t v = 0; v < cfg.q; ++v)
+              tile[static_cast<std::size_t>((br + u) * cols + bc + v)] =
+                  block_[static_cast<std::size_t>(g++)];
+      stats.polymem_accesses += static_cast<std::uint64_t>(batch.count());
+      break;
+    }
+    case Shape::kScalar:
+      for (std::int64_t r = 0; r < rows; ++r)
+        for (std::int64_t c = 0; c < cols; ++c) {
+          tile[static_cast<std::size_t>(r * cols + c)] =
+              mem_->load({origin.i + r, origin.j + c});
+          ++stats.polymem_accesses;
+        }
+      break;
+  }
+}
+
+DmaStats DmaEngine::write_staged(std::span<const hw::Word> tile,
+                                 std::int64_t rows, std::int64_t cols,
+                                 Coord origin) {
+  check_staged(tile, rows, cols, origin);
+  DmaStats stats;
+  stats.words = static_cast<std::uint64_t>(rows * cols);
+  write_staged_into(tile, rows, cols, origin, stats);
+  stats.polymem_cycles = stats.polymem_accesses;
+  return stats;
+}
+
+DmaStats DmaEngine::read_staged(std::span<hw::Word> tile, std::int64_t rows,
+                                std::int64_t cols, Coord origin) {
+  check_staged(tile, rows, cols, origin);
+  DmaStats stats;
+  stats.words = static_cast<std::uint64_t>(rows * cols);
+  read_staged_into(tile, rows, cols, origin, stats);
+  stats.polymem_cycles = stats.polymem_accesses;
+  return stats;
+}
+
 DmaStats DmaEngine::load_tile(const LMemMatrix& src, std::int64_t tile_i,
                               std::int64_t tile_j, std::int64_t rows,
                               std::int64_t cols, Coord dst_origin) {
@@ -64,57 +224,15 @@ DmaStats DmaEngine::load_tile(const LMemMatrix& src, std::int64_t tile_i,
   stats.lmem_seconds =
       lmem_->burst_seconds(static_cast<std::uint64_t>(rows) * cols * 8);
 
-  const auto& cfg = mem_->config();
-  const auto lanes = static_cast<std::int64_t>(cfg.lanes());
-  const Shape shape = pick_shape(rows, cols, dst_origin);
-
   // The whole tile is staged row-major (the DMA's burst buffer).
-  std::vector<hw::Word> tile(static_cast<std::size_t>(rows * cols));
+  stage_.resize(static_cast<std::size_t>(rows * cols));
   for (std::int64_t r = 0; r < rows; ++r)
     lmem_->read(src.word_addr(tile_i + r, tile_j),
-                std::span<hw::Word>(tile).subspan(
+                std::span<hw::Word>(stage_).subspan(
                     static_cast<std::size_t>(r * cols),
                     static_cast<std::size_t>(cols)));
 
-  switch (shape) {
-    case Shape::kRowAccesses:
-      for (std::int64_t r = 0; r < rows; ++r) {
-        for (std::int64_t g = 0; g < cols; g += lanes) {
-          mem_->write(
-              {PatternKind::kRow, {dst_origin.i + r, dst_origin.j + g}},
-              std::span<const hw::Word>(tile).subspan(
-                  static_cast<std::size_t>(r * cols + g),
-                  static_cast<std::size_t>(lanes)));
-          ++stats.polymem_accesses;
-        }
-      }
-      break;
-    case Shape::kRectAccesses: {
-      std::vector<hw::Word> block(static_cast<std::size_t>(lanes));
-      for (std::int64_t br = 0; br < rows; br += cfg.p) {
-        for (std::int64_t bc = 0; bc < cols; bc += cfg.q) {
-          // Canonical rect order: row-major p x q.
-          for (std::int64_t u = 0; u < cfg.p; ++u)
-            for (std::int64_t v = 0; v < cfg.q; ++v)
-              block[static_cast<std::size_t>(u * cfg.q + v)] =
-                  tile[static_cast<std::size_t>((br + u) * cols + bc + v)];
-          mem_->write(
-              {PatternKind::kRect, {dst_origin.i + br, dst_origin.j + bc}},
-              block);
-          ++stats.polymem_accesses;
-        }
-      }
-      break;
-    }
-    case Shape::kScalar:
-      for (std::int64_t r = 0; r < rows; ++r)
-        for (std::int64_t c = 0; c < cols; ++c) {
-          mem_->store({dst_origin.i + r, dst_origin.j + c},
-                      tile[static_cast<std::size_t>(r * cols + c)]);
-          ++stats.polymem_accesses;
-        }
-      break;
-  }
+  write_staged_into(stage_, rows, cols, dst_origin, stats);
   stats.polymem_cycles = stats.polymem_accesses;
   return stats;
 }
@@ -128,51 +246,12 @@ DmaStats DmaEngine::store_tile(const LMemMatrix& dst, std::int64_t tile_i,
   stats.lmem_seconds =
       lmem_->burst_seconds(static_cast<std::uint64_t>(rows) * cols * 8);
 
-  const auto& cfg = mem_->config();
-  const auto lanes = static_cast<std::int64_t>(cfg.lanes());
-  const Shape shape = pick_shape(rows, cols, src_origin);
+  stage_.resize(static_cast<std::size_t>(rows * cols));
+  read_staged_into(stage_, rows, cols, src_origin, stats);
 
-  std::vector<hw::Word> tile(static_cast<std::size_t>(rows * cols));
-  std::vector<hw::Word> group(static_cast<std::size_t>(lanes));
-  switch (shape) {
-    case Shape::kRowAccesses:
-      for (std::int64_t r = 0; r < rows; ++r) {
-        for (std::int64_t g = 0; g < cols; g += lanes) {
-          mem_->read_into(
-              {PatternKind::kRow, {src_origin.i + r, src_origin.j + g}}, 0,
-              group);
-          std::copy(group.begin(), group.end(),
-                    tile.begin() + static_cast<std::ptrdiff_t>(r * cols + g));
-          ++stats.polymem_accesses;
-        }
-      }
-      break;
-    case Shape::kRectAccesses:
-      for (std::int64_t br = 0; br < rows; br += cfg.p) {
-        for (std::int64_t bc = 0; bc < cols; bc += cfg.q) {
-          mem_->read_into(
-              {PatternKind::kRect, {src_origin.i + br, src_origin.j + bc}},
-              0, group);
-          for (std::int64_t u = 0; u < cfg.p; ++u)
-            for (std::int64_t v = 0; v < cfg.q; ++v)
-              tile[static_cast<std::size_t>((br + u) * cols + bc + v)] =
-                  group[static_cast<std::size_t>(u * cfg.q + v)];
-          ++stats.polymem_accesses;
-        }
-      }
-      break;
-    case Shape::kScalar:
-      for (std::int64_t r = 0; r < rows; ++r)
-        for (std::int64_t c = 0; c < cols; ++c) {
-          tile[static_cast<std::size_t>(r * cols + c)] =
-              mem_->load({src_origin.i + r, src_origin.j + c});
-          ++stats.polymem_accesses;
-        }
-      break;
-  }
   for (std::int64_t r = 0; r < rows; ++r)
     lmem_->write(dst.word_addr(tile_i + r, tile_j),
-                 std::span<const hw::Word>(tile).subspan(
+                 std::span<const hw::Word>(stage_).subspan(
                      static_cast<std::size_t>(r * cols),
                      static_cast<std::size_t>(cols)));
   stats.polymem_cycles = stats.polymem_accesses;

@@ -7,22 +7,33 @@
 // accesses where the scheme supports them, and accounts both sides' time
 // (LMem burst time vs PolyMem cycles) so applications can quantify the
 // caching win.
+//
+// The PolyMem side of a transfer runs through the batched access engine
+// (PolyMem::read_batch / write_batch): the whole tile is one validated
+// AccessBatch replayed through the plan-template cache. The original
+// per-access path is kept behind set_batched(false) as the differential
+// reference (tests/maxsim/dma_test.cpp compares contents and stats).
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "access/coord.hpp"
+#include "common/stats.hpp"
 #include "core/polymem.hpp"
 #include "maxsim/lmem.hpp"
 
 namespace polymem::maxsim {
 
-/// Timing/volume accounting of one tile transfer.
+/// Timing/volume accounting of one tile transfer (and, aggregated, of a
+/// software-cache session: TileCache sums the DmaStats of its refills and
+/// write-backs and fills in the `cache` event counters).
 struct DmaStats {
   std::uint64_t words = 0;            ///< elements moved
   std::uint64_t polymem_accesses = 0; ///< parallel accesses used
   std::uint64_t polymem_cycles = 0;   ///< == polymem_accesses (1/cycle)
   double lmem_seconds = 0;            ///< DRAM burst time for the tile
+  CacheCounters cache;                ///< cache events (zero for raw DMA)
 
   DmaStats& operator+=(const DmaStats& other);
 };
@@ -57,18 +68,46 @@ class DmaEngine {
                       std::int64_t tile_j, std::int64_t rows,
                       std::int64_t cols, access::Coord src_origin);
 
+  /// The PolyMem half of a transfer on its own: writes/reads a staged
+  /// row-major tile buffer (rows * cols words) into/out of the frame at
+  /// `origin`, LMem untouched (lmem_seconds stays 0). load_tile is
+  /// "LMem burst + write_staged"; the software cache uses these directly
+  /// to install tiles its prefetcher already staged off the critical
+  /// path.
+  DmaStats write_staged(std::span<const hw::Word> tile, std::int64_t rows,
+                        std::int64_t cols, access::Coord origin);
+  DmaStats read_staged(std::span<hw::Word> tile, std::int64_t rows,
+                       std::int64_t cols, access::Coord origin);
+
   /// The transfer shape the engine would use for this tile.
   enum class Shape : std::uint8_t { kRowAccesses, kRectAccesses, kScalar };
   Shape pick_shape(std::int64_t rows, std::int64_t cols,
                    access::Coord origin) const;
 
+  /// Toggles the batched engine (default on). The legacy per-access path
+  /// is the differential-test reference; both produce identical memory
+  /// contents and DmaStats.
+  void set_batched(bool batched) { batched_ = batched; }
+  bool batched() const { return batched_; }
+
  private:
   void check_tile(const LMemMatrix& m, std::int64_t tile_i,
                   std::int64_t tile_j, std::int64_t rows,
                   std::int64_t cols, access::Coord origin) const;
+  void check_staged(std::span<const hw::Word> tile, std::int64_t rows,
+                    std::int64_t cols, access::Coord origin) const;
+  void write_staged_into(std::span<const hw::Word> tile, std::int64_t rows,
+                         std::int64_t cols, access::Coord origin,
+                         DmaStats& stats);
+  void read_staged_into(std::span<hw::Word> tile, std::int64_t rows,
+                        std::int64_t cols, access::Coord origin,
+                        DmaStats& stats);
 
   LMem* lmem_;
   core::PolyMem* mem_;
+  bool batched_ = true;
+  std::vector<hw::Word> stage_;  ///< tile burst buffer (reused)
+  std::vector<hw::Word> block_;  ///< rect-order staging (reused)
 };
 
 }  // namespace polymem::maxsim

@@ -32,12 +32,14 @@ const hw::Word* LMem::slot_if_present(std::uint64_t word_addr) const {
 
 void LMem::write(std::uint64_t word_addr, std::span<const hw::Word> data) {
   check_range(word_addr, data.size());
+  const std::lock_guard<std::mutex> lock(m_);
   for (std::size_t k = 0; k < data.size(); ++k)
     *slot(word_addr + k) = data[k];
 }
 
 void LMem::read(std::uint64_t word_addr, std::span<hw::Word> out) const {
   check_range(word_addr, out.size());
+  const std::lock_guard<std::mutex> lock(m_);
   for (std::size_t k = 0; k < out.size(); ++k) {
     const hw::Word* w = slot_if_present(word_addr + k);
     out[k] = w ? *w : 0;

@@ -7,9 +7,15 @@
 //
 // Storage is allocated page-on-demand so a 24GB device can be modelled
 // without committing 24GB of host RAM.
+//
+// Thread safety: read and write serialize on an internal mutex — the
+// real DRAM controller serializes bursts too. This is what lets
+// several software caches (src/cache) share one board memory while
+// their prefetch workers stream tiles concurrently.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -29,7 +35,8 @@ class LMem {
 
   std::uint64_t capacity_bytes() const { return capacity_; }
 
-  /// Bulk transfers, word-granular. Unwritten memory reads as zero.
+  /// Bulk transfers, word-granular, safe to call from any thread.
+  /// Unwritten memory reads as zero.
   void write(std::uint64_t word_addr, std::span<const hw::Word> data);
   void read(std::uint64_t word_addr, std::span<hw::Word> out) const;
 
@@ -37,7 +44,10 @@ class LMem {
   double burst_seconds(std::uint64_t bytes) const;
 
   /// Pages currently materialised (for tests/diagnostics).
-  std::size_t resident_pages() const { return pages_.size(); }
+  std::size_t resident_pages() const {
+    const std::lock_guard<std::mutex> lock(m_);
+    return pages_.size();
+  }
 
  private:
   static constexpr std::uint64_t kPageWords = 512;  // 4KB pages
@@ -49,6 +59,7 @@ class LMem {
   std::uint64_t capacity_;
   double bandwidth_;
   double latency_s_;
+  mutable std::mutex m_;
   mutable std::unordered_map<std::uint64_t, std::vector<hw::Word>> pages_;
 };
 

@@ -1,0 +1,152 @@
+#include "cache/cached_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "maf/scheme.hpp"
+
+namespace polymem::cache {
+namespace {
+
+core::PolyMemConfig pm_cfg(maf::Scheme scheme) {
+  core::PolyMemConfig c;
+  c.scheme = scheme;
+  c.p = 2;
+  c.q = 4;
+  c.height = 16;
+  c.width = 32;
+  return c;
+}
+
+// Host-side mirror of a rows x cols LMem matrix.
+struct Mirror {
+  std::int64_t rows, cols;
+  std::vector<hw::Word> data;
+
+  hw::Word& at(std::int64_t i, std::int64_t j) {
+    return data[static_cast<std::size_t>(i * cols + j)];
+  }
+};
+
+Mirror random_matrix(maxsim::LMem& lmem, const maxsim::LMemMatrix& m,
+                     Rng& rng) {
+  Mirror host{m.rows, m.cols,
+              std::vector<hw::Word>(static_cast<std::size_t>(m.rows * m.cols))};
+  for (auto& w : host.data) w = rng.bits();
+  for (std::int64_t i = 0; i < m.rows; ++i)
+    lmem.write(m.word_addr(i, 0),
+               std::span<const hw::Word>(host.data).subspan(
+                   static_cast<std::size_t>(i * m.cols),
+                   static_cast<std::size_t>(m.cols)));
+  return host;
+}
+
+// Random read/write blocks, rows and scalars against a host mirror. The
+// matrix is larger than the cached region (4 frames of 8x16 over a 16x32
+// space vs a 40x48 matrix), so the op stream continuously evicts.
+void differential_run(maf::Scheme scheme, EvictionKind eviction,
+                      WritePolicy policy, std::uint64_t seed) {
+  maxsim::LMem lmem(1 << 22);
+  core::PolyMem mem(pm_cfg(scheme));
+  const maxsim::LMemMatrix m{128, 40, 48, 48};
+  Rng rng(seed);
+  Mirror host = random_matrix(lmem, m, rng);
+
+  CachedMatrix cached(lmem, mem, m,
+                      core::FramePool::whole_space(mem.config(), 8, 16),
+                      {.eviction = eviction, .write_policy = policy});
+
+  std::vector<hw::Word> buf;
+  for (int op = 0; op < 160; ++op) {
+    const std::int64_t rows = rng.uniform(1, 12);
+    const std::int64_t cols = rng.uniform(1, 20);
+    const std::int64_t i = rng.uniform(0, m.rows - rows);
+    const std::int64_t j = rng.uniform(0, m.cols - cols);
+    buf.resize(static_cast<std::size_t>(rows * cols));
+    switch (rng.uniform(0, 3)) {
+      case 0:
+        cached.read_block(i, j, rows, cols, buf);
+        for (std::int64_t r = 0; r < rows; ++r)
+          for (std::int64_t c = 0; c < cols; ++c)
+            ASSERT_EQ(buf[static_cast<std::size_t>(r * cols + c)],
+                      host.at(i + r, j + c))
+                << "read_block(" << i << "," << j << "," << rows << "," << cols
+                << ") at +" << r << ",+" << c << " op " << op;
+        break;
+      case 1:
+        for (auto& w : buf) w = rng.bits();
+        cached.write_block(i, j, rows, cols, buf);
+        for (std::int64_t r = 0; r < rows; ++r)
+          for (std::int64_t c = 0; c < cols; ++c)
+            host.at(i + r, j + c) = buf[static_cast<std::size_t>(r * cols + c)];
+        break;
+      case 2: {
+        ASSERT_EQ(cached.read(i, j), host.at(i, j)) << "read(" << i << "," << j
+                                                    << ") op " << op;
+        break;
+      }
+      default: {
+        const hw::Word w = rng.bits();
+        cached.write(i, j, w);
+        host.at(i, j) = w;
+        break;
+      }
+    }
+  }
+
+  cached.flush();
+  std::vector<hw::Word> row(static_cast<std::size_t>(m.cols));
+  for (std::int64_t i = 0; i < m.rows; ++i) {
+    lmem.read(m.word_addr(i, 0), row);
+    for (std::int64_t j = 0; j < m.cols; ++j)
+      ASSERT_EQ(row[static_cast<std::size_t>(j)], host.at(i, j))
+          << "LMem after flush at " << i << "," << j;
+  }
+
+  const auto stats = cached.stats();
+  EXPECT_GT(stats.counters().misses, 0u);
+  EXPECT_GT(stats.counters().evictions, 0u);
+  EXPECT_GT(stats.kernel_accesses, 0u);
+  if (policy == WritePolicy::kWriteThrough) {
+    EXPECT_EQ(stats.counters().writebacks, 0u);
+  }
+}
+
+TEST(CachedMatrixDifferential, AllSchemesBothEvictionPolicies) {
+  std::uint64_t seed = 20260806;
+  for (maf::Scheme scheme : maf::kAllSchemes) {
+    for (EvictionKind eviction : {EvictionKind::kLru, EvictionKind::kFifo}) {
+      SCOPED_TRACE(std::string(maf::scheme_name(scheme)) + "/" +
+                   eviction_name(eviction));
+      differential_run(scheme, eviction, WritePolicy::kWriteBack, seed++);
+    }
+  }
+}
+
+TEST(CachedMatrixDifferential, WriteThroughKeepsLMemCurrent) {
+  // Same op stream under write-through; additionally, LMem must match the
+  // mirror even without the final flush for pure-write coverage.
+  differential_run(maf::Scheme::kReRo, EvictionKind::kLru,
+                   WritePolicy::kWriteThrough, 7);
+  differential_run(maf::Scheme::kRoCo, EvictionKind::kFifo,
+                   WritePolicy::kWriteThrough, 11);
+}
+
+TEST(CachedMatrix, RejectsOutOfRangeBlocks) {
+  maxsim::LMem lmem(1 << 20);
+  core::PolyMem mem(pm_cfg(maf::Scheme::kReRo));
+  const maxsim::LMemMatrix m{0, 16, 16, 16};
+  CachedMatrix cached(lmem, mem, m,
+                      core::FramePool::whole_space(mem.config(), 8, 16));
+  std::vector<hw::Word> buf(16);
+  EXPECT_THROW(cached.read_block(8, 8, 2, 16, buf), InvalidArgument);
+  EXPECT_THROW(cached.read_block(-1, 0, 1, 1, buf), InvalidArgument);
+  EXPECT_THROW(cached.read_block(0, 0, 4, 8, std::span<hw::Word>(buf).first(8)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace polymem::cache

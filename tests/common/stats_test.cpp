@@ -68,6 +68,34 @@ TEST(ErrorMetrics, MeanAbsRelError) {
   EXPECT_THROW(mean_abs_rel_error({1, 2}, {1}), InvalidArgument);
 }
 
+TEST(CacheCounters, HitRate) {
+  CacheCounters c;
+  EXPECT_EQ(c.hit_rate(), 0.0);  // no accesses yet: neutral, not NaN
+  c.hits = 3;
+  c.misses = 1;
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.75);
+}
+
+TEST(CacheCounters, Accumulate) {
+  CacheCounters a{.hits = 1,
+                  .misses = 2,
+                  .evictions = 3,
+                  .writebacks = 4,
+                  .prefetch_issued = 5,
+                  .prefetch_useful = 6,
+                  .prefetch_dropped = 7};
+  CacheCounters b = a;
+  a += b;
+  EXPECT_EQ(a.hits, 2u);
+  EXPECT_EQ(a.misses, 4u);
+  EXPECT_EQ(a.evictions, 6u);
+  EXPECT_EQ(a.writebacks, 8u);
+  EXPECT_EQ(a.prefetch_issued, 10u);
+  EXPECT_EQ(a.prefetch_useful, 12u);
+  EXPECT_EQ(a.prefetch_dropped, 14u);
+  EXPECT_EQ(b, b);
+}
+
 TEST(ErrorMetrics, Pearson) {
   // Perfect positive and negative correlation.
   EXPECT_NEAR(pearson({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);

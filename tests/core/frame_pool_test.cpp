@@ -1,0 +1,66 @@
+#include "core/frame_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace polymem::core {
+namespace {
+
+PolyMemConfig cfg(std::int64_t height = 16, std::int64_t width = 32) {
+  PolyMemConfig c;
+  c.p = 2;
+  c.q = 4;
+  c.height = height;
+  c.width = width;
+  return c;
+}
+
+TEST(FramePool, PartitionsRegionRowMajor) {
+  const FramePool pool(cfg(), {4, 8}, 8, 16, 4, 8);
+  EXPECT_EQ(pool.frames_i(), 2);
+  EXPECT_EQ(pool.frames_j(), 2);
+  EXPECT_EQ(pool.frames(), 4);
+  EXPECT_EQ(pool.frame_words(), 32);
+  EXPECT_EQ(pool.frame_origin(0), (access::Coord{4, 8}));
+  EXPECT_EQ(pool.frame_origin(1), (access::Coord{4, 16}));
+  EXPECT_EQ(pool.frame_origin(2), (access::Coord{8, 8}));
+  EXPECT_EQ(pool.frame_origin(3), (access::Coord{8, 16}));
+}
+
+TEST(FramePool, WholeSpace) {
+  const FramePool pool = FramePool::whole_space(cfg(), 8, 16);
+  EXPECT_EQ(pool.origin(), (access::Coord{0, 0}));
+  EXPECT_EQ(pool.frames(), 4);
+  EXPECT_EQ(pool.frame_origin(3), (access::Coord{8, 16}));
+}
+
+TEST(FramePool, DefaultTilingIsRowPanels) {
+  const FramePool pool = FramePool::default_tiling(cfg(64, 64));
+  EXPECT_EQ(pool.frames(), 4);
+  EXPECT_EQ(pool.tile_rows(), 16);
+  EXPECT_EQ(pool.tile_cols(), 64);
+  // A shallow space gets fewer panels, never below one p-aligned row band.
+  const FramePool shallow = FramePool::default_tiling(cfg(4, 64));
+  EXPECT_EQ(shallow.frames(), 2);
+  EXPECT_EQ(shallow.tile_rows(), 2);
+}
+
+TEST(FramePool, RejectsMisalignedAndOversized) {
+  // Tile not aligned to the bank grid.
+  EXPECT_THROW(FramePool(cfg(), {0, 0}, 16, 32, 3, 8), InvalidArgument);
+  EXPECT_THROW(FramePool(cfg(), {0, 0}, 16, 32, 4, 6), InvalidArgument);
+  // Origin off the bank grid.
+  EXPECT_THROW(FramePool(cfg(), {1, 0}, 8, 32, 4, 8), InvalidArgument);
+  EXPECT_THROW(FramePool(cfg(), {0, 2}, 8, 16, 4, 8), InvalidArgument);
+  // Region exceeding the space or not divisible by the tile.
+  EXPECT_THROW(FramePool(cfg(), {8, 0}, 16, 32, 4, 8), InvalidArgument);
+  EXPECT_THROW(FramePool(cfg(), {0, 0}, 12, 32, 8, 8), InvalidArgument);
+  // Frame index bounds.
+  const FramePool pool = FramePool::whole_space(cfg(), 8, 16);
+  EXPECT_THROW(pool.frame_origin(4), InvalidArgument);
+  EXPECT_THROW(pool.frame_origin(-1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace polymem::core

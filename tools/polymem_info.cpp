@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "common/config.hpp"
+#include "core/frame_pool.hpp"
 #include "dse/explorer.hpp"
 #include "maf/conflict.hpp"
 #include "synth/fmax_model.hpp"
@@ -30,7 +31,9 @@ constexpr const char* kExample =
     "p = 2\n"
     "q = 4\n"
     "read_ports = 1\n"
-    "# clock_mhz = 120    # optional: override the model's estimate\n";
+    "# clock_mhz = 120        # optional: override the model's estimate\n"
+    "# cache_tile_rows = 16   # optional: software-cache tile geometry\n"
+    "# cache_tile_cols = 64   #   (defaults to row panels, up to 4 frames)\n";
 
 }  // namespace
 
@@ -108,6 +111,27 @@ int main(int argc, char** argv) {
     std::printf("  logic      : %.1f%%   LUTs: %.1f%%\n", est.logic_pct,
                 est.lut_pct);
     std::printf("  fits       : %s\n", est.fits() ? "yes" : "NO");
+
+    // Out-of-core operation: how the space partitions into cache frames
+    // (src/cache). Geometry is overridable for tuning experiments.
+    const core::FramePool frames =
+        file.has("cache_tile_rows") || file.has("cache_tile_cols")
+            ? core::FramePool::whole_space(
+                  cfg,
+                  file.get_int_or("cache_tile_rows", cfg.height),
+                  file.get_int_or("cache_tile_cols", cfg.width))
+            : core::FramePool::default_tiling(cfg);
+    std::printf("\nsoftware cache (src/cache, default frame pool):\n");
+    std::printf("  frames     : %d (%lld x %lld grid)\n", frames.frames(),
+                static_cast<long long>(frames.frames_i()),
+                static_cast<long long>(frames.frames_j()));
+    std::printf("  tile       : %lld x %lld elements = %s each\n",
+                static_cast<long long>(frames.tile_rows()),
+                static_cast<long long>(frames.tile_cols()),
+                format_capacity(frames.frame_bytes()).c_str());
+    std::printf("  out-of-core: matrices up to board DRAM; %d-deep "
+                "residency, LRU/FIFO eviction, async prefetch\n",
+                frames.frames());
 
     const double port_bw = bandwidth_bytes_per_s(cfg.lanes(), 64, mhz * 1e6);
     std::printf("\nbandwidth at %.0f MHz:\n", mhz);
