@@ -1,0 +1,54 @@
+// AccessBatch — a strided sequence of parallel accesses.
+//
+// Split out of core/polymem.hpp so the compiled execution engine
+// (core/exec_plan.hpp) can consume batches without pulling in the whole
+// PolyMem interface.
+#pragma once
+
+#include <cstdint>
+
+#include "access/pattern.hpp"
+
+namespace polymem::core {
+
+/// A strided sequence of parallel accesses, validated once and executed
+/// through the compiled engine with no per-access allocation. Anchors
+/// form an outer x inner grid walked row-major:
+///
+///   anchor(o, t) = start + o*outer_stride + t*inner_stride,
+///   o in [0, outer_count), t in [0, inner_count).
+///
+/// This covers the library's bulk walks: a STREAM band is (rows x groups),
+/// a matrix load is (rows x row segments), a transpose is the tile grid,
+/// a plain 1D sweep is outer_count == 1.
+struct AccessBatch {
+  access::PatternKind kind = access::PatternKind::kRect;
+  access::Coord start;
+  access::Coord inner_stride;
+  std::int64_t inner_count = 1;
+  access::Coord outer_stride;
+  std::int64_t outer_count = 1;
+
+  std::int64_t count() const { return inner_count * outer_count; }
+
+  /// The flat-index-t access, t in [0, count()), inner index fastest.
+  access::ParallelAccess access(std::int64_t t) const {
+    const std::int64_t o = t / inner_count;
+    const std::int64_t k = t % inner_count;
+    return {kind,
+            {start.i + o * outer_stride.i + k * inner_stride.i,
+             start.j + o * outer_stride.j + k * inner_stride.j}};
+  }
+
+  /// A 1D strided sequence (outer_count == 1).
+  static AccessBatch strided(access::PatternKind kind, access::Coord start,
+                             access::Coord stride, std::int64_t count) {
+    return {kind, start, stride, count, {0, 0}, 1};
+  }
+
+  /// Field-wise equality — the key of the compiled-plan memo: equal
+  /// batches on the same PolyMem replay the same ExecPlan.
+  friend bool operator==(const AccessBatch&, const AccessBatch&) = default;
+};
+
+}  // namespace polymem::core

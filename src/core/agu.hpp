@@ -32,6 +32,14 @@ struct AccessPlan {
   std::vector<std::int64_t> addr;
 
   unsigned lanes() const { return static_cast<unsigned>(coords.size()); }
+
+  /// Pre-sizes the per-lane vectors so a warmed plan's expand_into never
+  /// reallocates mid-batch (the batch heap-count test's contract).
+  void reserve(unsigned lanes) {
+    coords.reserve(lanes);
+    bank.reserve(lanes);
+    addr.reserve(lanes);
+  }
 };
 
 class Agu {

@@ -59,6 +59,25 @@ void BankArray::read_shared(unsigned port,
     per_bank_data[b] = replica(port, b).peek(per_bank_addr[b]);
 }
 
+const hw::Word* BankArray::bank_storage(unsigned port, unsigned bank) const {
+  return replica(port, bank).data();
+}
+
+hw::Word* BankArray::bank_storage(unsigned port, unsigned bank) {
+  return replica(port, bank).data();
+}
+
+void BankArray::add_bulk_reads(unsigned port, std::uint64_t per_bank) {
+  for (unsigned b = 0; b < banks_; ++b)
+    replica(port, b).add_bulk_reads(per_bank);
+}
+
+void BankArray::add_bulk_writes(std::uint64_t per_bank) {
+  for (unsigned r = 0; r < read_ports_; ++r)
+    for (unsigned b = 0; b < banks_; ++b)
+      replica(r, b).add_bulk_writes(per_bank);
+}
+
 hw::Word BankArray::peek(unsigned bank, std::int64_t addr) const {
   return replica(0, bank).peek(addr);
 }

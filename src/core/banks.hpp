@@ -48,6 +48,20 @@ class BankArray {
   hw::Word peek(unsigned bank, std::int64_t addr) const;
   void poke(unsigned bank, std::int64_t addr, hw::Word value);
 
+  /// Raw storage base of one bank replica — the compiled batch engine
+  /// (core/exec_plan.hpp) builds its flat gather/scatter pointer tables
+  /// from these. Stable for the array's lifetime (banks never resize).
+  const hw::Word* bank_storage(unsigned port, unsigned bank) const;
+  hw::Word* bank_storage(unsigned port, unsigned bank);
+
+  /// Bulk counter credit for compiled-engine batches, which skip the
+  /// per-cycle port handshake (conflict-freedom is proven per residue
+  /// class at plan-build time — the read_shared contract). `per_bank`
+  /// accesses are credited to every bank of read replica `port`
+  /// (reads), respectively every bank of every replica (writes).
+  void add_bulk_reads(unsigned port, std::uint64_t per_bank);
+  void add_bulk_writes(std::uint64_t per_bank);
+
   std::uint64_t total_reads() const;
   std::uint64_t total_writes() const;
 

@@ -1,0 +1,87 @@
+#include "core/exec_plan.hpp"
+
+namespace polymem::core {
+
+ExecPlan::Tables& ExecPlan::acquire_table(const PlanTemplate* tmpl,
+                                          BankArray& banks) {
+  if (used_ == tables_.size()) tables_.emplace_back();
+  Tables& t = tables_[used_++];
+  t.tmpl = tmpl;
+  const unsigned lanes = lanes_;
+  const unsigned ports = ports_;
+  t.bank.resize(lanes);
+  t.lane_for_bank.resize(lanes);
+  t.bank_addr0.resize(lanes);
+  t.lane_base.resize(static_cast<std::size_t>(ports) * lanes);
+  t.bank_base.resize(static_cast<std::size_t>(ports) * lanes);
+  for (unsigned k = 0; k < lanes; ++k) {
+    t.bank[k] = static_cast<std::int32_t>(tmpl->bank[k]);
+    t.lane_for_bank[k] = static_cast<std::uint32_t>(tmpl->lane_for_bank[k]);
+    t.bank_addr0[k] = tmpl->bank_addr0[k];
+  }
+  // Base addresses of a residue class may sit below the bank's first word
+  // (the per-anchor delta shifts them back in range); fold them into the
+  // table as integers so no out-of-range pointer is ever formed.
+  for (unsigned r = 0; r < ports; ++r) {
+    const std::size_t row = static_cast<std::size_t>(r) * lanes;
+    for (unsigned k = 0; k < lanes; ++k) {
+      t.lane_base[row + k] =
+          reinterpret_cast<std::uintptr_t>(
+              banks.bank_storage(r, tmpl->bank[k])) +
+          static_cast<std::uintptr_t>(
+              static_cast<std::int64_t>(sizeof(hw::Word)) * tmpl->addr0[k]);
+      t.bank_base[row + k] =
+          reinterpret_cast<std::uintptr_t>(banks.bank_storage(r, k)) +
+          static_cast<std::uintptr_t>(static_cast<std::int64_t>(
+                                          sizeof(hw::Word)) *
+                                      tmpl->bank_addr0[k]);
+    }
+  }
+  return t;
+}
+
+bool ExecPlan::compile(const AccessBatch& batch, PlanCache& cache,
+                       BankArray& banks, unsigned lanes) {
+  count_ = batch.count();
+  lanes_ = lanes;
+  ports_ = banks.read_ports();
+  used_ = 0;
+  tmpl_of_.resize(static_cast<std::size_t>(count_));
+  delta_.resize(static_cast<std::size_t>(count_));
+
+  PlanCache::Memo memo;
+  std::int32_t last = -1;  // table index the previous access resolved to
+  std::int64_t t = 0;
+  access::ParallelAccess acc{batch.kind, batch.start};
+  for (std::int64_t o = 0; o < batch.outer_count; ++o) {
+    acc.anchor = {batch.start.i + o * batch.outer_stride.i,
+                  batch.start.j + o * batch.outer_stride.j};
+    for (std::int64_t k = 0; k < batch.inner_count; ++k) {
+      std::int64_t delta = 0;
+      const PlanTemplate* tmpl = cache.lookup(acc, delta, memo);
+      if (tmpl == nullptr) return false;
+      if (last < 0 || tables_[static_cast<std::size_t>(last)].tmpl != tmpl) {
+        last = -1;
+        for (std::size_t m = 0; m < used_; ++m) {
+          if (tables_[m].tmpl == tmpl) {
+            last = static_cast<std::int32_t>(m);
+            break;
+          }
+        }
+        if (last < 0) {
+          if (used_ == kMaxTables) return false;
+          acquire_table(tmpl, banks);
+          last = static_cast<std::int32_t>(used_ - 1);
+        }
+      }
+      tmpl_of_[static_cast<std::size_t>(t)] = last;
+      delta_[static_cast<std::size_t>(t)] = delta;
+      ++t;
+      acc.anchor.i += batch.inner_stride.i;
+      acc.anchor.j += batch.inner_stride.j;
+    }
+  }
+  return used_ > 0 || count_ == 0;
+}
+
+}  // namespace polymem::core

@@ -1,0 +1,107 @@
+// ExecPlan — a batch of parallel accesses compiled to flat SoA tables.
+//
+// The plan-template cache (core/plan_cache.hpp) already reduces one
+// access to "permute through a residue-class table, add one delta per
+// bank". What remained slow (BENCH_core.json: 75–130 ns/access) was the
+// *execution*: per access, the engine still walked per-lane vectors,
+// reset per-bank cycle state and crossed a function call per bank. The
+// plan is a static permutation, so execution should be a gather, not a
+// traversal.
+//
+// compile() turns a whole AccessBatch into structure-of-arrays form:
+//
+//   tmpl_of[t]  int32  — which residue-class table access t uses
+//                        (strided walks cycle through a handful);
+//   delta[t]    int64  — access t's word offset from the table's base
+//                        addresses (the plan cache's per-anchor delta);
+//   tables[m]          — one entry per distinct residue class touched:
+//     bank[k]          int32      lane -> bank (the shuffle select),
+//     lane_for_bank[b] uint32     the inverse permutation,
+//     bank_addr0[b]    int64      intra-bank base offsets, and the
+//     lane_base / bank_base       pointer tables that fold the bank
+//                                 select and base address into a single
+//                                 uintptr per lane/bank — so executing
+//                                 access t is the gather
+//                                   out[k] = *(lane_base[k] + delta[t])
+//                                 and the mirrored scatter for writes.
+//
+// All arrays are cache-line aligned (simd/aligned.hpp) and resized in
+// place: recompiling a plan of the same shape allocates nothing, which
+// the batch heap-count test enforces. The pointer tables stay valid for
+// the owning PolyMem's lifetime — bank storage is fixed at construction
+// and plan templates are pinned — so a compiled plan can be memoized and
+// replayed for every later call with an equal AccessBatch.
+//
+// The permutation baked into each table is safe to replay blindly: the
+// capability oracle proves conflict-freedom for the scheme per residue
+// class before the plan cache hands out a template, which makes `bank` a
+// permutation of [0, lanes) by construction (see plan_cache.hpp). That is
+// why execution needs no per-cycle bank-conflict accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/access_batch.hpp"
+#include "core/banks.hpp"
+#include "core/plan_cache.hpp"
+#include "core/simd/aligned.hpp"
+
+namespace polymem::core {
+
+class ExecPlan {
+ public:
+  /// Distinct residue classes a single plan may span before compile()
+  /// gives up (adversarial batches fall back to the interpreted engine).
+  static constexpr std::size_t kMaxTables = 64;
+
+  struct Tables {
+    const PlanTemplate* tmpl = nullptr;
+    simd::AlignedVec<std::int32_t> bank;           // lane k -> bank
+    simd::AlignedVec<std::uint32_t> lane_for_bank; // bank b -> lane
+    simd::AlignedVec<std::int64_t> bank_addr0;     // bank b -> base offset
+    // Gather table, [port][lane] flattened: replica `port`'s storage of
+    // lane k's bank, pre-advanced by the lane's base address.
+    simd::AlignedVec<std::uintptr_t> lane_base;
+    // Scatter table, [replica][bank] flattened: every replica's storage
+    // of bank b, pre-advanced by the bank's base address.
+    simd::AlignedVec<std::uintptr_t> bank_base;
+  };
+
+  /// Compiles `batch` against the plan cache and bank storage. Returns
+  /// false — leaving the plan unusable — when any access lacks a cached
+  /// template (cache disabled/full, unsupported anchors; the interpreted
+  /// engine then serves the batch and reports exact errors) or the batch
+  /// spans more than kMaxTables residue classes.
+  bool compile(const AccessBatch& batch, PlanCache& cache, BankArray& banks,
+               unsigned lanes);
+
+  std::int64_t count() const { return count_; }
+  unsigned lanes() const { return lanes_; }
+  unsigned ports() const { return ports_; }
+  bool uniform() const { return used_ == 1; }
+  std::size_t table_count() const { return used_; }
+
+  const Tables& table(std::size_t m) const { return tables_[m]; }
+  const std::int32_t* tmpl_of() const { return tmpl_of_.data(); }
+  const std::int64_t* delta() const { return delta_.data(); }
+
+  /// Gather pointer table of table `m` as seen by read replica `port`.
+  const std::uintptr_t* lane_base(std::size_t m, unsigned port) const {
+    return tables_[m].lane_base.data() +
+           static_cast<std::size_t>(port) * lanes_;
+  }
+
+ private:
+  Tables& acquire_table(const PlanTemplate* tmpl, BankArray& banks);
+
+  simd::AlignedVec<std::int32_t> tmpl_of_;
+  simd::AlignedVec<std::int64_t> delta_;
+  std::vector<Tables> tables_;  // entries reused across recompiles
+  std::size_t used_ = 0;        // live prefix of tables_
+  std::int64_t count_ = 0;
+  unsigned lanes_ = 0;
+  unsigned ports_ = 0;
+};
+
+}  // namespace polymem::core

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "core/shuffle.hpp"
+#include "core/simd/dispatch.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace polymem::core {
@@ -20,15 +21,19 @@ PolyMem::PolyMem(PolyMemConfig config)
   init_scratch(scratch_);
   init_scratch(write_scratch_);
   copy_buf_.resize(config_.lanes());
+  // Kernel argument tables for multi-residue batches: bounded by the
+  // table cap and port count, so one reservation covers every call.
+  table_lane_scratch_.reserve(ExecPlan::kMaxTables);
+  table_bank_scratch_.reserve(ExecPlan::kMaxTables);
+  table_lfb_scratch_.reserve(ExecPlan::kMaxTables);
+  mt_table_scratch_.reserve(ExecPlan::kMaxTables * config_.read_ports);
 }
 
 void PolyMem::init_scratch(Scratch& s) {
   // Sized once here; every later access reuses the buffers (the AGU's
   // resize calls become no-ops and expansion never reallocates).
   const unsigned lanes = config_.lanes();
-  s.plan.coords.reserve(lanes);
-  s.plan.bank.reserve(lanes);
-  s.plan.addr.reserve(lanes);
+  s.plan.reserve(lanes);
   s.bank_addr.resize(lanes);
   s.bank_data.resize(lanes);
 }
@@ -189,6 +194,64 @@ void PolyMem::validate_batch(const AccessBatch& batch) const {
   }
 }
 
+ExecPlan* PolyMem::compiled_plan(const AccessBatch& batch,
+                                 const ExecPlan* avoid) {
+  if (!use_plan_cache_ || !plan_cache_.enabled()) return nullptr;
+  for (ExecSlot& slot : exec_slots_)
+    if (slot.valid && slot.key == batch) return &slot.plan;
+  if (avoid != nullptr && &exec_slots_[exec_victim_].plan == avoid)
+    exec_victim_ = (exec_victim_ + 1) % kExecSlots;
+  ExecSlot& slot = exec_slots_[exec_victim_];
+  if (!slot.plan.compile(batch, plan_cache_, banks_, config_.lanes())) {
+    slot.valid = false;
+    return nullptr;
+  }
+  slot.key = batch;
+  slot.valid = true;
+  exec_victim_ = (exec_victim_ + 1) % kExecSlots;
+  return &slot.plan;
+}
+
+void PolyMem::exec_read(const ExecPlan& plan, unsigned port, std::int64_t t0,
+                        std::int64_t count, Word* out) {
+  const simd::Kernels& kernels = simd::kernels();
+  const unsigned lanes = plan.lanes();
+  if (plan.uniform()) {
+    kernels.gather_run(plan.lane_base(0, port), lanes, plan.delta() + t0,
+                       count, out);
+    return;
+  }
+  const std::size_t tables = plan.table_count();
+  table_lane_scratch_.resize(tables);
+  for (std::size_t m = 0; m < tables; ++m)
+    table_lane_scratch_[m] = plan.lane_base(m, port);
+  kernels.gather_multi(table_lane_scratch_.data(), plan.tmpl_of() + t0,
+                       lanes, plan.delta() + t0, count, out);
+}
+
+void PolyMem::exec_write(const ExecPlan& plan, std::int64_t t0,
+                         std::int64_t count, const Word* data) {
+  const simd::Kernels& kernels = simd::kernels();
+  const unsigned lanes = plan.lanes();
+  const unsigned replicas = plan.ports();
+  if (plan.uniform()) {
+    const ExecPlan::Tables& t = plan.table(0);
+    kernels.scatter_run(t.bank_base.data(), replicas, t.lane_for_bank.data(),
+                        lanes, plan.delta() + t0, count, data);
+    return;
+  }
+  const std::size_t tables = plan.table_count();
+  table_bank_scratch_.resize(tables);
+  table_lfb_scratch_.resize(tables);
+  for (std::size_t m = 0; m < tables; ++m) {
+    table_bank_scratch_[m] = plan.table(m).bank_base.data();
+    table_lfb_scratch_[m] = plan.table(m).lane_for_bank.data();
+  }
+  kernels.scatter_multi(table_bank_scratch_.data(), table_lfb_scratch_.data(),
+                        plan.tmpl_of() + t0, replicas, lanes,
+                        plan.delta() + t0, count, data);
+}
+
 void PolyMem::read_batch(const AccessBatch& batch, unsigned port,
                          std::span<Word> out) {
   POLYMEM_REQUIRE(port < config_.read_ports, "read port out of range");
@@ -196,6 +259,16 @@ void PolyMem::read_batch(const AccessBatch& batch, unsigned port,
   const unsigned lanes = config_.lanes();
   POLYMEM_REQUIRE(out.size() == static_cast<std::size_t>(batch.count()) * lanes,
                   "batch read buffer must provide count * lanes words");
+  if (batch.count() == 0) return;
+  if (ExecPlan* plan = compiled_plan(batch)) {
+    exec_read(*plan, port, 0, plan->count(), out.data());
+    // Bulk accounting: one read of every bank of replica `port` per
+    // access (conflict-freedom was proven at template build time, so the
+    // per-cycle handshake carries no information here).
+    banks_.add_bulk_reads(port, static_cast<std::uint64_t>(plan->count()));
+    parallel_reads_ += static_cast<std::uint64_t>(plan->count());
+    return;
+  }
   Word* chunk = out.data();
   access::ParallelAccess acc{batch.kind, batch.start};
   for (std::int64_t o = 0; o < batch.outer_count; ++o) {
@@ -223,6 +296,52 @@ void PolyMem::read_batch_mt(const AccessBatch& batch,
   const unsigned lanes = config_.lanes();
   POLYMEM_REQUIRE(out.size() == static_cast<std::size_t>(batch.count()) * lanes,
                   "batch read buffer must provide count * lanes words");
+  if (batch.count() == 0) return;
+  const unsigned ports = config_.read_ports;
+  Word* const base = out.data();
+  // Claim whole inner rows when the batch is 2D, else modest chunks: long
+  // enough to amortise the claim lock, short enough to steal.
+  const std::int64_t grain =
+      batch.outer_count > 1 ? batch.inner_count
+                            : std::clamp<std::int64_t>(batch.count() / 64, 16, 1024);
+  if (ExecPlan* plan = compiled_plan(batch)) {
+    // Compiled path: one serial compile (or memo hit), then the workers
+    // split the batch into grain-sized chunks and run one kernel call
+    // per chunk — results land slot-addressed, so output is bit-identical
+    // to read_batch for any thread count. Reads go to the worker's port
+    // replica, the same data-race-free contract as read_shared.
+    const std::size_t tables = plan->table_count();
+    if (!plan->uniform()) {
+      mt_table_scratch_.resize(static_cast<std::size_t>(ports) * tables);
+      for (unsigned r = 0; r < ports; ++r)
+        for (std::size_t m = 0; m < tables; ++m)
+          mt_table_scratch_[static_cast<std::size_t>(r) * tables + m] =
+              plan->lane_base(m, r);
+    }
+    const simd::Kernels& kernels = simd::kernels();
+    const std::int64_t count = plan->count();
+    const std::int64_t chunks = (count + grain - 1) / grain;
+    runtime::parallel_for(
+        pool, 0, chunks,
+        [&](std::int64_t c, unsigned worker) {
+          const std::int64_t t0 = c * grain;
+          const std::int64_t n = std::min(count - t0, grain);
+          const unsigned port = worker % ports;
+          if (plan->uniform()) {
+            kernels.gather_run(plan->lane_base(0, port), lanes,
+                               plan->delta() + t0, n, base + t0 * lanes);
+          } else {
+            kernels.gather_multi(
+                mt_table_scratch_.data() +
+                    static_cast<std::size_t>(port) * tables,
+                plan->tmpl_of() + t0, lanes, plan->delta() + t0, n,
+                base + t0 * lanes);
+          }
+        },
+        1);
+    parallel_reads_ += static_cast<std::uint64_t>(count);
+    return;
+  }
   // One Scratch per participant (pool workers + the calling thread),
   // allocated before the parallel region so the hot loop allocates
   // nothing. Existing scratches survive resizes untouched in content;
@@ -232,13 +351,6 @@ void PolyMem::read_batch_mt(const AccessBatch& batch,
     mt_scratch_.emplace_back();
     init_scratch(mt_scratch_.back());
   }
-  const unsigned ports = config_.read_ports;
-  Word* const base = out.data();
-  // Claim whole inner rows when the batch is 2D, else modest chunks: long
-  // enough to amortise the claim lock, short enough to steal.
-  const std::int64_t grain =
-      batch.outer_count > 1 ? batch.inner_count
-                            : std::clamp<std::int64_t>(batch.count() / 64, 16, 1024);
   runtime::parallel_for(
       pool, 0, batch.count(),
       [&](std::int64_t t, unsigned worker) {
@@ -262,6 +374,15 @@ void PolyMem::write_batch(const AccessBatch& batch,
   POLYMEM_REQUIRE(
       data.size() == static_cast<std::size_t>(batch.count()) * lanes,
       "batch write buffer must provide count * lanes words");
+  if (batch.count() == 0) return;
+  if (ExecPlan* plan = compiled_plan(batch)) {
+    exec_write(*plan, 0, plan->count(), data.data());
+    // Every replica of every bank takes one write per access, exactly as
+    // the interpreted loop would issue them.
+    banks_.add_bulk_writes(static_cast<std::uint64_t>(plan->count()));
+    parallel_writes_ += static_cast<std::uint64_t>(plan->count());
+    return;
+  }
   const Word* chunk = data.data();
   access::ParallelAccess acc{batch.kind, batch.start};
   for (std::int64_t o = 0; o < batch.outer_count; ++o) {
@@ -288,6 +409,24 @@ void PolyMem::stream_copy_batch(const AccessBatch& from,
   validate_batch(from);
   validate_batch(to);
   const unsigned lanes = config_.lanes();
+  if (from.count() == 0) return;
+  // Fused compiled path: both halves compile, then each element is one
+  // gather into the lane buffer and one scatter out of it — preserving
+  // the read-before-write-per-cycle semantics for overlapping batches.
+  if (ExecPlan* rd = compiled_plan(from)) {
+    if (ExecPlan* wr = compiled_plan(to, /*avoid=*/rd)) {
+      const std::int64_t count = rd->count();
+      for (std::int64_t t = 0; t < count; ++t) {
+        exec_read(*rd, port, t, 1, copy_buf_.data());
+        exec_write(*wr, t, 1, copy_buf_.data());
+      }
+      banks_.add_bulk_reads(port, static_cast<std::uint64_t>(count));
+      banks_.add_bulk_writes(static_cast<std::uint64_t>(count));
+      parallel_reads_ += static_cast<std::uint64_t>(count);
+      parallel_writes_ += static_cast<std::uint64_t>(count);
+      return;
+    }
+  }
   access::ParallelAccess src{from.kind, from.start};
   access::ParallelAccess dst{to.kind, to.start};
   for (std::int64_t o = 0; o < from.outer_count; ++o) {

@@ -11,28 +11,36 @@
 // simulation (latency, concurrent read+write, multi-port scheduling) use
 // core/cycle_polymem.hpp, which layers clocking on top of the same blocks.
 //
-// Two execution engines serve each access (docs/ARCHITECTURE.md,
-// "Performance model"):
+// Three execution engines serve accesses (docs/ARCHITECTURE.md,
+// "Performance model" and "SIMD execution engine"):
 //  - the *naive* path runs the AGU per access (support probe, bounds
 //    check, per-lane MAF + addressing, three shuffles);
-//  - the *cached* path (default) replays a memoized plan template
+//  - the *cached* path replays a memoized plan template
 //    (core/plan_cache.hpp) — the MAF is periodic per axis, so the bank
 //    permutation and base addresses of an anchor-residue class are
 //    computed once and every later access in the class is one table
-//    lookup plus one add per bank.
-// Both paths are observably identical (differentially tested); the naive
+//    lookup plus one add per bank;
+//  - the *compiled* path (default for batches) lowers a whole
+//    AccessBatch to flat structure-of-arrays tables (core/exec_plan.hpp)
+//    and executes it with CPU-dispatched gather/scatter kernels
+//    (core/simd/) — scalar, AVX2 or NEON, selected at startup and
+//    overridable via POLYMEM_SIMD / POLYMEM_FORCE_SCALAR.
+// All paths are observably identical (differentially tested); the naive
 // path remains for unsupported/out-of-bounds error reporting, cache
 // overflow, and as the benchmark baseline.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "access/pattern.hpp"
+#include "core/access_batch.hpp"
 #include "core/agu.hpp"
 #include "core/banks.hpp"
 #include "core/config.hpp"
+#include "core/exec_plan.hpp"
 #include "core/plan_cache.hpp"
 #include "hw/bram.hpp"
 #include "maf/addressing.hpp"
@@ -47,41 +55,8 @@ namespace polymem::core {
 
 using hw::Word;
 
-/// A strided sequence of parallel accesses, validated once and executed
-/// through the cached engine with no per-access allocation. Anchors form
-/// an outer x inner grid walked row-major:
-///
-///   anchor(o, t) = start + o*outer_stride + t*inner_stride,
-///   o in [0, outer_count), t in [0, inner_count).
-///
-/// This covers the library's bulk walks: a STREAM band is (rows x groups),
-/// a matrix load is (rows x row segments), a transpose is the tile grid,
-/// a plain 1D sweep is outer_count == 1.
-struct AccessBatch {
-  access::PatternKind kind = access::PatternKind::kRect;
-  access::Coord start;
-  access::Coord inner_stride;
-  std::int64_t inner_count = 1;
-  access::Coord outer_stride;
-  std::int64_t outer_count = 1;
-
-  std::int64_t count() const { return inner_count * outer_count; }
-
-  /// The flat-index-t access, t in [0, count()), inner index fastest.
-  access::ParallelAccess access(std::int64_t t) const {
-    const std::int64_t o = t / inner_count;
-    const std::int64_t k = t % inner_count;
-    return {kind,
-            {start.i + o * outer_stride.i + k * inner_stride.i,
-             start.j + o * outer_stride.j + k * inner_stride.j}};
-  }
-
-  /// A 1D strided sequence (outer_count == 1).
-  static AccessBatch strided(access::PatternKind kind, access::Coord start,
-                             access::Coord stride, std::int64_t count) {
-    return {kind, start, stride, count, {0, 0}, 1};
-  }
-};
+// AccessBatch lives in core/access_batch.hpp (included above) so the
+// compiled execution engine can consume batches without this header.
 
 class PolyMem {
  public:
@@ -119,11 +94,15 @@ class PolyMem {
                   std::span<const Word> write_data);
 
   /// Batched access engine: validates the whole batch once (support,
-  /// alignment, bounds), then executes `count()` accesses back-to-back
-  /// through the plan-template cache with no per-access allocation or
-  /// re-validation. Each batch element is its own cycle; results/data are
-  /// the concatenation of the per-access canonical lane groups, so
-  /// `out`/`data` must hold count() * lanes() words.
+  /// alignment, bounds), then compiles it to a flat ExecPlan and executes
+  /// it with the dispatched gather/scatter kernels (core/simd/) — no
+  /// per-access allocation, re-validation or per-bank call. Compiled
+  /// plans are memoized per batch, so replaying an equal batch skips
+  /// compilation entirely. Batches the plan cache cannot serve fall back
+  /// to the interpreted per-access loop (identical results). Each batch
+  /// element is its own cycle; results/data are the concatenation of the
+  /// per-access canonical lane groups, so `out`/`data` must hold
+  /// count() * lanes() words.
   void read_batch(const AccessBatch& batch, unsigned port,
                   std::span<Word> out);
   void write_batch(const AccessBatch& batch, std::span<const Word> data);
@@ -180,8 +159,10 @@ class PolyMem {
   // set when the access was planned from a cache template (the template
   // then carries the shuffle permutation), null on the naive path. The
   // plan-cache memo lives here (not in the cache) so each reader thread
-  // of the MT engine owns its own single-entry fast path.
-  struct Scratch {
+  // of the MT engine owns its own single-entry fast path. Cache-line
+  // aligned so the per-participant scratches of the MT engine
+  // (mt_scratch_) never share a line across worker threads.
+  struct alignas(64) Scratch {
     AccessPlan plan;
     const PlanTemplate* tmpl = nullptr;
     PlanCache::Memo memo;
@@ -189,11 +170,33 @@ class PolyMem {
     std::vector<Word> bank_data;
   };
 
+  // Compiled-batch memo: a tiny LRU-ish set of recently executed batches
+  // and their ExecPlans. Pointer tables inside a plan stay valid for the
+  // PolyMem's lifetime (banks and templates are pinned), so replaying an
+  // equal batch is pure kernel execution.
+  static constexpr std::size_t kExecSlots = 4;
+  struct ExecSlot {
+    AccessBatch key;
+    bool valid = false;
+    ExecPlan plan;
+  };
+
   void init_scratch(Scratch& s);
   void plan_and_route_write(const access::ParallelAccess& where,
                             std::span<const Word> data, Scratch& s);
   void plan_read(const access::ParallelAccess& where, Scratch& s);
   void validate_batch(const AccessBatch& batch) const;
+
+  /// The compiled plan serving `batch`: a memo hit, or a fresh compile
+  /// into the next slot. Returns nullptr (interpreted engine takes over)
+  /// when the plan cache cannot serve the batch. `avoid` pins one plan
+  /// (the other half of a fused copy) against eviction.
+  ExecPlan* compiled_plan(const AccessBatch& batch,
+                          const ExecPlan* avoid = nullptr);
+  void exec_read(const ExecPlan& plan, unsigned port, std::int64_t t0,
+                 std::int64_t count, Word* out);
+  void exec_write(const ExecPlan& plan, std::int64_t t0, std::int64_t count,
+                  const Word* data);
 
   PolyMemConfig config_;
   maf::Maf maf_;
@@ -206,6 +209,16 @@ class PolyMem {
   Scratch write_scratch_;          // read_write's concurrent write plan
   std::vector<Scratch> mt_scratch_;  // read_batch_mt: one per participant
   std::vector<Word> copy_buf_;     // stream_copy_batch lane staging
+  std::array<ExecSlot, kExecSlots> exec_slots_;
+  std::size_t exec_victim_ = 0;    // next slot a fresh compile lands in
+  // Per-call kernel argument tables for multi-residue batches (reserved
+  // once; bounded by kMaxTables and the port count — see exec_plan.hpp).
+  std::vector<const std::uintptr_t*> table_lane_scratch_;
+  std::vector<const std::uintptr_t*> table_bank_scratch_;
+  std::vector<const std::uint32_t*> table_lfb_scratch_;
+  // read_batch_mt: per-port gather tables, [port][table] flattened,
+  // built serially before the parallel region.
+  std::vector<const std::uintptr_t*> mt_table_scratch_;
   std::uint64_t parallel_reads_ = 0;
   std::uint64_t parallel_writes_ = 0;
 };

@@ -1,0 +1,95 @@
+#include "core/simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/simd/kernels.hpp"
+
+namespace polymem::core::simd {
+
+namespace {
+
+// -1 = not yet initialised from the environment.
+std::atomic<int> g_active{-1};
+
+bool env_truthy(const char* value) {
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+Level clamp_to_host(Level requested) {
+  switch (requested) {
+    case Level::kAvx2:
+      return avx2_supported() ? Level::kAvx2 : Level::kScalar;
+    case Level::kNeon:
+      return neon_supported() ? Level::kNeon : Level::kScalar;
+    case Level::kScalar:
+      return Level::kScalar;
+  }
+  return Level::kScalar;
+}
+
+Level level_from_env() {
+  if (env_truthy(std::getenv("POLYMEM_FORCE_SCALAR"))) return Level::kScalar;
+  const char* request = std::getenv("POLYMEM_SIMD");
+  if (request == nullptr || std::strcmp(request, "auto") == 0)
+    return detected_level();
+  if (std::strcmp(request, "scalar") == 0) return Level::kScalar;
+  if (std::strcmp(request, "avx2") == 0) return clamp_to_host(Level::kAvx2);
+  if (std::strcmp(request, "neon") == 0) return clamp_to_host(Level::kNeon);
+  // Unknown value: fail safe to auto-detection rather than aborting a
+  // production process over a typo.
+  return detected_level();
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+Level detected_level() {
+  if (avx2_supported()) return Level::kAvx2;
+  if (neon_supported()) return Level::kNeon;
+  return Level::kScalar;
+}
+
+Level active_level() {
+  int level = g_active.load(std::memory_order_acquire);
+  if (level < 0) {
+    // Racing initialisers compute the same value; last store wins.
+    level = static_cast<int>(level_from_env());
+    g_active.store(level, std::memory_order_release);
+  }
+  return static_cast<Level>(level);
+}
+
+void force_level(Level level) {
+  g_active.store(static_cast<int>(clamp_to_host(level)),
+                 std::memory_order_release);
+}
+
+const Kernels& kernels_for(Level level) {
+  switch (clamp_to_host(level)) {
+    case Level::kAvx2:
+      return avx2_kernels();
+    case Level::kNeon:
+      return neon_kernels();
+    case Level::kScalar:
+      break;
+  }
+  return scalar_kernels();
+}
+
+const Kernels& kernels() { return kernels_for(active_level()); }
+
+}  // namespace polymem::core::simd

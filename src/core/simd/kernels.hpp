@@ -1,0 +1,19 @@
+// Internal: per-level kernel table constructors (see dispatch.hpp for the
+// kernel contracts). Each translation unit provides one level; a level a
+// build cannot produce (AVX2 on aarch64, NEON on x86) reports itself
+// unavailable and dispatch falls back to scalar.
+#pragma once
+
+#include "core/simd/dispatch.hpp"
+
+namespace polymem::core::simd {
+
+const Kernels& scalar_kernels();
+
+bool avx2_supported();  // build-time and run-time (cpuid) support
+const Kernels& avx2_kernels();
+
+bool neon_supported();
+const Kernels& neon_kernels();
+
+}  // namespace polymem::core::simd

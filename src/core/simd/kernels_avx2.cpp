@@ -1,0 +1,157 @@
+// AVX2 kernels: 4-lane 64-bit gathers (`vpgatherqq`) over the ExecPlan's
+// flat pointer tables.
+//
+// The pointer table itself is the gather index vector: with a null base
+// and scale 1, `_mm256_i64gather_epi64` loads from the four absolute
+// addresses `lane_base[k..k+3] + delta` directly. All addresses are
+// word-aligned (tables point at Word arrays, deltas are word offsets), so
+// the gathers are UBSan-clean; intermediate below-base values exist only
+// as integers (see dispatch.hpp).
+//
+// AVX2 has no scatter instruction. The write kernels vectorise the data
+// *permutation* (a gather of the canonical data words through
+// lane_for_bank) and issue the bank stores scalar — on the simulator the
+// permutation and the flat table walk are where the time goes.
+//
+// Everything is compiled behind function-level `target("avx2")`
+// attributes, so the library builds (and the scalar path runs) on any
+// x86-64 toolchain without global -mavx2; kernels_for(kAvx2) is handed
+// out only when cpuid reports AVX2.
+#include "core/simd/kernels.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define POLYMEM_HAVE_AVX2_BUILD 1
+#include <immintrin.h>
+#endif
+
+namespace polymem::core::simd {
+
+#if defined(POLYMEM_HAVE_AVX2_BUILD)
+
+namespace {
+
+__attribute__((target("avx2"))) inline __m256i gather4(
+    const std::uintptr_t* lane_base, unsigned k, __m256i delta_bytes) {
+  __m256i ptrs = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(lane_base + k));
+  ptrs = _mm256_add_epi64(ptrs, delta_bytes);
+  return _mm256_i64gather_epi64(static_cast<const long long*>(nullptr),
+                                ptrs, 1);
+}
+
+__attribute__((target("avx2"))) void gather_run(
+    const std::uintptr_t* lane_base, unsigned lanes,
+    const std::int64_t* delta, std::int64_t count, Word* out) {
+  const unsigned vec = lanes & ~3u;
+  for (std::int64_t t = 0; t < count; ++t) {
+    const std::int64_t db =
+        delta[t] * static_cast<std::int64_t>(sizeof(Word));
+    const __m256i dv = _mm256_set1_epi64x(db);
+    Word* o = out + static_cast<std::size_t>(t) * lanes;
+    unsigned k = 0;
+    for (; k < vec; k += 4)
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(o + k),
+                          gather4(lane_base, k, dv));
+    for (; k < lanes; ++k)
+      o[k] = *reinterpret_cast<const Word*>(
+          lane_base[k] + static_cast<std::uintptr_t>(db));
+  }
+}
+
+__attribute__((target("avx2"))) void gather_multi(
+    const std::uintptr_t* const* table_lane_base, const std::int32_t* tmpl_of,
+    unsigned lanes, const std::int64_t* delta, std::int64_t count,
+    Word* out) {
+  const unsigned vec = lanes & ~3u;
+  for (std::int64_t t = 0; t < count; ++t) {
+    const std::uintptr_t* lane_base = table_lane_base[tmpl_of[t]];
+    const std::int64_t db =
+        delta[t] * static_cast<std::int64_t>(sizeof(Word));
+    const __m256i dv = _mm256_set1_epi64x(db);
+    Word* o = out + static_cast<std::size_t>(t) * lanes;
+    unsigned k = 0;
+    for (; k < vec; k += 4)
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(o + k),
+                          gather4(lane_base, k, dv));
+    for (; k < lanes; ++k)
+      o[k] = *reinterpret_cast<const Word*>(
+          lane_base[k] + static_cast<std::uintptr_t>(db));
+  }
+}
+
+// One write access: permute the canonical data words into bank order with
+// vectorised index gathers, then store per bank (scalar; every replica
+// stores the same permuted word).
+__attribute__((target("avx2"))) inline void scatter_one(
+    const std::uintptr_t* bank_base, unsigned replicas,
+    const std::uint32_t* lane_for_bank, unsigned lanes, std::int64_t db,
+    const Word* d) {
+  alignas(32) Word permuted[4];
+  const unsigned vec = lanes & ~3u;
+  unsigned b = 0;
+  for (; b < vec; b += 4) {
+    const __m128i idx = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(lane_for_bank + b));
+    const __m256i v = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(d), idx, 8);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(permuted), v);
+    for (unsigned r = 0; r < replicas; ++r) {
+      const std::uintptr_t* base =
+          bank_base + static_cast<std::size_t>(r) * lanes;
+      for (unsigned u = 0; u < 4; ++u)
+        *reinterpret_cast<Word*>(base[b + u] +
+                                 static_cast<std::uintptr_t>(db)) =
+            permuted[u];
+    }
+  }
+  for (; b < lanes; ++b) {
+    const Word w = d[lane_for_bank[b]];
+    for (unsigned r = 0; r < replicas; ++r)
+      *reinterpret_cast<Word*>(
+          bank_base[static_cast<std::size_t>(r) * lanes + b] +
+          static_cast<std::uintptr_t>(db)) = w;
+  }
+}
+
+__attribute__((target("avx2"))) void scatter_run(
+    const std::uintptr_t* bank_base, unsigned replicas,
+    const std::uint32_t* lane_for_bank, unsigned lanes,
+    const std::int64_t* delta, std::int64_t count, const Word* data) {
+  for (std::int64_t t = 0; t < count; ++t)
+    scatter_one(bank_base, replicas, lane_for_bank, lanes,
+                delta[t] * static_cast<std::int64_t>(sizeof(Word)),
+                data + static_cast<std::size_t>(t) * lanes);
+}
+
+__attribute__((target("avx2"))) void scatter_multi(
+    const std::uintptr_t* const* table_bank_base,
+    const std::uint32_t* const* table_lane_for_bank,
+    const std::int32_t* tmpl_of, unsigned replicas, unsigned lanes,
+    const std::int64_t* delta, std::int64_t count, const Word* data) {
+  for (std::int64_t t = 0; t < count; ++t) {
+    const std::int32_t m = tmpl_of[t];
+    scatter_one(table_bank_base[m], replicas, table_lane_for_bank[m], lanes,
+                delta[t] * static_cast<std::int64_t>(sizeof(Word)),
+                data + static_cast<std::size_t>(t) * lanes);
+  }
+}
+
+}  // namespace
+
+bool avx2_supported() { return __builtin_cpu_supports("avx2") != 0; }
+
+const Kernels& avx2_kernels() {
+  static const Kernels k{Level::kAvx2, gather_run, gather_multi, scatter_run,
+                         scatter_multi};
+  return k;
+}
+
+#else  // !POLYMEM_HAVE_AVX2_BUILD
+
+bool avx2_supported() { return false; }
+
+const Kernels& avx2_kernels() { return scalar_kernels(); }
+
+#endif
+
+}  // namespace polymem::core::simd

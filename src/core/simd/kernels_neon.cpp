@@ -1,0 +1,106 @@
+// NEON (aarch64) kernels, compile-time guarded: AArch64 has no gather
+// instruction, so the loads stay scalar and NEON contributes paired
+// 128-bit stores plus the flat, branch-free table walk. Bit-identical to
+// the scalar kernels by construction (same loads, same order); the
+// differential suite still checks it where the build runs on ARM.
+#include "core/simd/kernels.hpp"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#define POLYMEM_HAVE_NEON_BUILD 1
+#include <arm_neon.h>
+#endif
+
+namespace polymem::core::simd {
+
+#if defined(POLYMEM_HAVE_NEON_BUILD)
+
+namespace {
+
+inline const Word* word_at(std::uintptr_t base, std::int64_t delta_bytes) {
+  return reinterpret_cast<const Word*>(
+      base + static_cast<std::uintptr_t>(delta_bytes));
+}
+
+inline void gather_one(const std::uintptr_t* lane_base, unsigned lanes,
+                       std::int64_t db, Word* o) {
+  const unsigned vec = lanes & ~1u;
+  unsigned k = 0;
+  for (; k < vec; k += 2) {
+    uint64x2_t v = vdupq_n_u64(*word_at(lane_base[k], db));
+    v = vsetq_lane_u64(*word_at(lane_base[k + 1], db), v, 1);
+    vst1q_u64(o + k, v);
+  }
+  for (; k < lanes; ++k) o[k] = *word_at(lane_base[k], db);
+}
+
+void gather_run(const std::uintptr_t* lane_base, unsigned lanes,
+                const std::int64_t* delta, std::int64_t count, Word* out) {
+  for (std::int64_t t = 0; t < count; ++t)
+    gather_one(lane_base, lanes,
+               delta[t] * static_cast<std::int64_t>(sizeof(Word)),
+               out + static_cast<std::size_t>(t) * lanes);
+}
+
+void gather_multi(const std::uintptr_t* const* table_lane_base,
+                  const std::int32_t* tmpl_of, unsigned lanes,
+                  const std::int64_t* delta, std::int64_t count, Word* out) {
+  for (std::int64_t t = 0; t < count; ++t)
+    gather_one(table_lane_base[tmpl_of[t]], lanes,
+               delta[t] * static_cast<std::int64_t>(sizeof(Word)),
+               out + static_cast<std::size_t>(t) * lanes);
+}
+
+inline void scatter_one(const std::uintptr_t* bank_base, unsigned replicas,
+                        const std::uint32_t* lane_for_bank, unsigned lanes,
+                        std::int64_t db, const Word* d) {
+  for (unsigned r = 0; r < replicas; ++r) {
+    const std::uintptr_t* base =
+        bank_base + static_cast<std::size_t>(r) * lanes;
+    for (unsigned b = 0; b < lanes; ++b)
+      *reinterpret_cast<Word*>(base[b] + static_cast<std::uintptr_t>(db)) =
+          d[lane_for_bank[b]];
+  }
+}
+
+void scatter_run(const std::uintptr_t* bank_base, unsigned replicas,
+                 const std::uint32_t* lane_for_bank, unsigned lanes,
+                 const std::int64_t* delta, std::int64_t count,
+                 const Word* data) {
+  for (std::int64_t t = 0; t < count; ++t)
+    scatter_one(bank_base, replicas, lane_for_bank, lanes,
+                delta[t] * static_cast<std::int64_t>(sizeof(Word)),
+                data + static_cast<std::size_t>(t) * lanes);
+}
+
+void scatter_multi(const std::uintptr_t* const* table_bank_base,
+                   const std::uint32_t* const* table_lane_for_bank,
+                   const std::int32_t* tmpl_of, unsigned replicas,
+                   unsigned lanes, const std::int64_t* delta,
+                   std::int64_t count, const Word* data) {
+  for (std::int64_t t = 0; t < count; ++t) {
+    const std::int32_t m = tmpl_of[t];
+    scatter_one(table_bank_base[m], replicas, table_lane_for_bank[m], lanes,
+                delta[t] * static_cast<std::int64_t>(sizeof(Word)),
+                data + static_cast<std::size_t>(t) * lanes);
+  }
+}
+
+}  // namespace
+
+bool neon_supported() { return true; }
+
+const Kernels& neon_kernels() {
+  static const Kernels k{Level::kNeon, gather_run, gather_multi, scatter_run,
+                         scatter_multi};
+  return k;
+}
+
+#else  // !POLYMEM_HAVE_NEON_BUILD
+
+bool neon_supported() { return false; }
+
+const Kernels& neon_kernels() { return scalar_kernels(); }
+
+#endif
+
+}  // namespace polymem::core::simd

@@ -41,6 +41,18 @@ class BramBank {
   std::uint64_t total_reads() const { return total_reads_; }
   std::uint64_t total_writes() const { return total_writes_; }
 
+  /// Raw storage base, for the compiled batch engine's gather/scatter
+  /// pointer tables (core/exec_plan.hpp). The pointer is stable for the
+  /// bank's lifetime: capacity is fixed at construction.
+  const Word* data() const { return mem_.data(); }
+  Word* data() { return mem_.data(); }
+
+  /// Bulk counter credit for accesses served through the compiled engine,
+  /// which proves conflict-freedom per residue class at plan-build time
+  /// instead of per cycle (the same contract as BankArray::read_shared).
+  void add_bulk_reads(std::uint64_t n) { total_reads_ += n; }
+  void add_bulk_writes(std::uint64_t n) { total_writes_ += n; }
+
  private:
   void check_addr(std::int64_t addr) const;
 

@@ -1,8 +1,10 @@
 // Heap discipline of the batched access engine: after one warm-up pass
-// (templates built, scratch sized), read_batch / write_batch /
-// stream_copy_batch perform ZERO heap allocations per call, and
-// read_batch_mt allocates per *invocation* (task plumbing), never per
-// access. Verified by counting global operator new calls.
+// (templates built, ExecPlans compiled, scratch sized), read_batch /
+// write_batch / stream_copy_batch perform ZERO heap allocations per
+// call, and read_batch_mt allocates per *invocation* (task plumbing),
+// never per access. Verified by counting global operator new calls —
+// including the aligned forms the compiled engine's cache-line-aligned
+// SoA tables (core/simd/aligned.hpp) go through.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -31,14 +33,39 @@ void* counted_alloc(std::size_t size) {
   if (void* p = std::malloc(size ? size : 1)) return p;
   throw std::bad_alloc();
 }
+
+void* counted_alloc_aligned(std::size_t size, std::align_val_t align) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_news.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  void* p = nullptr;
+  if (posix_memalign(&p, a < sizeof(void*) ? sizeof(void*) : a,
+                     size ? size : a) != 0)
+    throw std::bad_alloc();
+  return p;
+}
 }  // namespace
 
 void* operator new(std::size_t size) { return counted_alloc(size); }
 void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, align);
+}
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace polymem::core {
 namespace {
@@ -78,6 +105,33 @@ TEST(BatchAllocation, SteadyStateBatchesAllocateNothing) {
   EXPECT_EQ(count_allocations([&] { mem.write_batch(batch, buf); }), 0u);
   EXPECT_EQ(count_allocations([&] { mem.stream_copy_batch(batch, dst, 0); }),
             0u);
+}
+
+// The compiled-plan memo holds four slots; driving five distinct batch
+// shapes forces a recompile on every call. Recompiling must land in the
+// evicted slot's existing AlignedVec capacity and reuse its table
+// storage — steady-state recompilation is allocation-free too.
+TEST(BatchAllocation, ExecPlanRecompileReusesCapacity) {
+  const auto cfg =
+      PolyMemConfig::with_capacity(64 * KiB, maf::Scheme::kReRo, 2, 4);
+  PolyMem mem(cfg);
+  const auto lanes = static_cast<std::int64_t>(cfg.lanes());
+  std::vector<AccessBatch> batches;
+  for (std::int64_t r = 0; r < 5; ++r)
+    batches.push_back({PatternKind::kRow, {r, 0}, {0, lanes},
+                       cfg.width / lanes,  {1, 0}, cfg.height / 8});
+  std::vector<Word> buf(
+      static_cast<std::size_t>(batches[0].count()) * lanes);
+
+  // Two warm-up rounds: templates, scratch, and peak table counts all
+  // reach steady state.
+  for (int round = 0; round < 2; ++round)
+    for (const AccessBatch& b : batches) mem.read_batch(b, 0, buf);
+
+  const std::uint64_t allocs = count_allocations([&] {
+    for (const AccessBatch& b : batches) mem.read_batch(b, 0, buf);
+  });
+  EXPECT_EQ(allocs, 0u);
 }
 
 TEST(BatchAllocation, NaiveEngineSteadyStateAlsoAllocationFree) {

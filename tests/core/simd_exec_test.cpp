@@ -1,0 +1,239 @@
+// Differential gate of the compiled SIMD execution engine
+// (core/exec_plan.hpp + core/simd/): for every scheme x geometry x
+// supported pattern, the compiled path — at every kernel level the host
+// supports — must be bit-identical to the interpreted per-access engine
+// for read_batch, write_batch and read_batch_mt. A forced-scalar
+// dispatch test keeps the fallback kernels exercised on AVX2 hosts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/polymem.hpp"
+#include "core/simd/dispatch.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace polymem::core {
+namespace {
+
+using access::Coord;
+using access::PatternKind;
+using maf::Scheme;
+using maf::SupportLevel;
+
+struct Geometry {
+  unsigned p, q;
+};
+
+constexpr Geometry kGeometries[] = {{2, 2}, {2, 4}, {4, 4}};
+
+// Restores whatever level was active on entry (which may be scalar via
+// POLYMEM_FORCE_SCALAR even on an AVX2 host) when a test exits, pass or
+// fail — the SIMD sweeps must not leak a forced level into later tests.
+struct LevelGuard {
+  simd::Level entry = simd::active_level();
+  ~LevelGuard() { simd::force_level(entry); }
+};
+
+// Every level the host can actually run (scalar always; AVX2/NEON when
+// detected). force_level clamps, so requesting an unsupported level
+// silently stays scalar — filter those out to avoid duplicate runs.
+std::vector<simd::Level> host_levels() {
+  LevelGuard guard;
+  std::vector<simd::Level> levels{simd::Level::kScalar};
+  for (simd::Level l : {simd::Level::kAvx2, simd::Level::kNeon}) {
+    simd::force_level(l);
+    if (simd::active_level() == l) levels.push_back(l);
+  }
+  return levels;
+}
+
+PolyMemConfig make_config(Scheme scheme, Geometry g) {
+  return PolyMemConfig::with_capacity(16 * KiB, scheme, g.p, g.q);
+}
+
+void fill_deterministic(PolyMem& mem) {
+  const auto& cfg = mem.config();
+  std::vector<Word> values(static_cast<std::size_t>(cfg.height) * cfg.width);
+  for (std::size_t k = 0; k < values.size(); ++k)
+    values[k] = 0xD1B54A32D192ED03ull * (k + 1);
+  mem.fill_rect({0, 0}, cfg.height, cfg.width, values);
+}
+
+// A batch of every in-bounds anchor of `kind` (p/q-aligned when the
+// scheme only serves aligned anchors) — covers every residue class, so
+// both the uniform and the multi-table kernel paths run.
+AccessBatch full_sweep(const PolyMemConfig& cfg, const PolyMem& mem,
+                       PatternKind kind, SupportLevel level) {
+  const auto ext =
+      access::pattern_extent(kind, cfg.p, cfg.q);
+  const std::int64_t step_i =
+      level == SupportLevel::kAligned ? cfg.p : 1;
+  const std::int64_t step_j =
+      level == SupportLevel::kAligned ? cfg.q : 1;
+  const std::int64_t rows = (cfg.height - ext.rows) / step_i + 1;
+  const std::int64_t min_j = -ext.col_offset;
+  const std::int64_t max_j = cfg.width - ext.cols - ext.col_offset;
+  std::int64_t start_j = min_j;
+  if (level == SupportLevel::kAligned && start_j % cfg.q != 0)
+    start_j += cfg.q - start_j % cfg.q;
+  const std::int64_t cols = (max_j - start_j) / step_j + 1;
+  (void)mem;
+  return {kind, {0, start_j}, {0, step_j}, cols, {step_i, 0}, rows};
+}
+
+TEST(SimdExec, ReadBatchBitIdenticalAcrossLevels) {
+  LevelGuard guard;
+  const auto levels = host_levels();
+  for (Scheme scheme : maf::kAllSchemes) {
+    for (Geometry g : kGeometries) {
+      const PolyMemConfig cfg = make_config(scheme, g);
+      PolyMem compiled(cfg);
+      PolyMem interpreted(cfg);
+      interpreted.set_plan_cache_enabled(false);
+      fill_deterministic(compiled);
+      fill_deterministic(interpreted);
+      for (PatternKind kind : access::kAllPatterns) {
+        const SupportLevel level = compiled.supports(kind);
+        if (level == SupportLevel::kNone) continue;
+        const AccessBatch batch = full_sweep(cfg, compiled, kind, level);
+        std::vector<Word> want(
+            static_cast<std::size_t>(batch.count()) * cfg.lanes());
+        interpreted.read_batch(batch, 0, want);
+        std::vector<Word> got(want.size());
+        for (simd::Level l : levels) {
+          simd::force_level(l);
+          got.assign(got.size(), 0);
+          compiled.read_batch(batch, 0, got);
+          ASSERT_EQ(got, want)
+              << maf::scheme_name(scheme) << " " << g.p << "x" << g.q << " "
+              << access::pattern_name(kind) << " level "
+              << simd::level_name(l);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdExec, WriteBatchBitIdenticalAcrossLevels) {
+  LevelGuard guard;
+  const auto levels = host_levels();
+  for (Scheme scheme : maf::kAllSchemes) {
+    for (Geometry g : kGeometries) {
+      const PolyMemConfig cfg = make_config(scheme, g);
+      for (PatternKind kind : access::kAllPatterns) {
+        // Fresh, identically-seeded instances per pattern: sweeps that do
+        // not cover every cell must still match on the untouched ones.
+        PolyMem interpreted(cfg);
+        interpreted.set_plan_cache_enabled(false);
+        fill_deterministic(interpreted);
+        const SupportLevel level = interpreted.supports(kind);
+        if (level == SupportLevel::kNone) continue;
+        const AccessBatch batch = full_sweep(cfg, interpreted, kind, level);
+        std::vector<Word> data(
+            static_cast<std::size_t>(batch.count()) * cfg.lanes());
+        for (std::size_t k = 0; k < data.size(); ++k)
+          data[k] = 0x9E3779B97F4A7C15ull * (k + 7);
+        const std::size_t cells =
+            static_cast<std::size_t>(cfg.height) * cfg.width;
+        std::vector<Word> want(cells), got(cells);
+        interpreted.write_batch(batch, data);
+        interpreted.dump_rect({0, 0}, cfg.height, cfg.width, want);
+        for (simd::Level l : levels) {
+          simd::force_level(l);
+          PolyMem compiled(cfg);
+          fill_deterministic(compiled);
+          compiled.write_batch(batch, data);
+          compiled.dump_rect({0, 0}, cfg.height, cfg.width, got);
+          ASSERT_EQ(got, want)
+              << maf::scheme_name(scheme) << " " << g.p << "x" << g.q << " "
+              << access::pattern_name(kind) << " level "
+              << simd::level_name(l);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdExec, ReadBatchMtBitIdenticalAcrossLevelsAndWorkerCounts) {
+  LevelGuard guard;
+  const auto levels = host_levels();
+  const PolyMemConfig cfg = PolyMemConfig::with_capacity(
+      64 * KiB, Scheme::kReRo, 2, 4, /*read_ports=*/2);
+  PolyMem mem(cfg);
+  fill_deterministic(mem);
+  const AccessBatch batch{PatternKind::kRow, {0, 0},
+                          {0, static_cast<std::int64_t>(cfg.lanes())},
+                          cfg.width / cfg.lanes(), {1, 0},
+                          cfg.height};
+  std::vector<Word> want(
+      static_cast<std::size_t>(batch.count()) * cfg.lanes());
+  mem.read_batch(batch, 0, want);
+  for (unsigned workers : {0u, 1u, 3u}) {
+    runtime::ThreadPool pool(workers);
+    for (simd::Level l : levels) {
+      simd::force_level(l);
+      std::vector<Word> got(want.size(), 0);
+      mem.read_batch_mt(batch, pool, got);
+      ASSERT_EQ(got, want) << workers << " workers, level "
+                           << simd::level_name(l);
+    }
+  }
+}
+
+// Write-then-read round trip through the compiled engine at every level,
+// against a host-side mirror — catches a scatter/gather pair that is
+// self-consistently wrong.
+TEST(SimdExec, RoundTripMatchesHostMirror) {
+  LevelGuard guard;
+  const auto levels = host_levels();
+  const PolyMemConfig cfg = make_config(Scheme::kRoCo, {4, 4});
+  const AccessBatch batch{PatternKind::kRect, {0, 0},
+                          {0, 4}, cfg.width / 4, {4, 0}, cfg.height / 4};
+  std::vector<Word> data(
+      static_cast<std::size_t>(batch.count()) * cfg.lanes());
+  for (std::size_t k = 0; k < data.size(); ++k)
+    data[k] = 0xA24BAED4963EE407ull ^ (k * 0x9FB21C651E98DF25ull);
+  for (simd::Level l : levels) {
+    simd::force_level(l);
+    PolyMem mem(cfg);
+    mem.write_batch(batch, data);
+    std::vector<Word> got(data.size(), 0);
+    mem.read_batch(batch, 0, got);
+    ASSERT_EQ(got, data) << "level " << simd::level_name(l);
+  }
+}
+
+TEST(SimdExec, ForcedScalarDispatchTakesEffect) {
+  LevelGuard guard;
+  simd::force_level(simd::Level::kScalar);
+  EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  EXPECT_EQ(simd::kernels().level, simd::Level::kScalar);
+  // Forcing a level the host lacks stays scalar rather than crashing.
+  if (simd::detected_level() == simd::Level::kScalar) {
+    simd::force_level(simd::Level::kAvx2);
+    EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  }
+  // And the scalar engine still serves data correctly.
+  const PolyMemConfig cfg = make_config(Scheme::kReRo, {2, 4});
+  PolyMem mem(cfg);
+  fill_deterministic(mem);
+  const AccessBatch batch = AccessBatch::strided(
+      PatternKind::kRow, {0, 0}, {1, 0}, cfg.height);
+  std::vector<Word> a(static_cast<std::size_t>(batch.count()) * cfg.lanes());
+  mem.read_batch(batch, 0, a);
+  simd::force_level(simd::detected_level());
+  std::vector<Word> b(a.size(), 0);
+  mem.read_batch(batch, 0, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SimdExec, LevelNamesRoundTrip) {
+  EXPECT_STREQ(simd::level_name(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::level_name(simd::Level::kAvx2), "avx2");
+  EXPECT_STREQ(simd::level_name(simd::Level::kNeon), "neon");
+}
+
+}  // namespace
+}  // namespace polymem::core

@@ -1,7 +1,10 @@
 // Hot-path benchmark runner: measures the functional model's parallel-read
 // throughput on the naive AGU path, the plan-template cached path, and the
-// batched access engine, and emits machine-readable JSON (BENCH_core.json)
-// so the speedup of the cached engine is tracked in the repository.
+// compiled batched engine — at the host's best SIMD level and with the
+// kernels forced scalar — and emits machine-readable JSON (BENCH_core.json)
+// so both the engine speedup and the SIMD contribution are tracked in the
+// repository. A roofline-style bytes/cycle figure per case shows how close
+// the gather loop runs to the load-port limit.
 //
 // Unlike bench/bench_micro.cpp (google-benchmark, interactive tuning) this
 // runner is deliberately dependency-free: plain chrono timing, median of
@@ -13,11 +16,13 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/units.hpp"
 #include "core/polymem.hpp"
+#include "core/simd/dispatch.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace {
@@ -73,12 +78,31 @@ double measure_ns(Fn&& run) {
   return trials[trials.size() / 2];
 }
 
+// Best-effort CPU clock for the roofline figure; 0.0 when unknown.
+// /proc/cpuinfo reports the *current* MHz, which is close enough for a
+// bytes-per-cycle estimate on a pinned benchmark run.
+double cpu_ghz() {
+  std::ifstream is("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("cpu MHz", 0) != 0) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::istringstream v(line.substr(colon + 1));
+    double mhz = 0.0;
+    if (v >> mhz && mhz > 0.0) return mhz / 1000.0;
+  }
+  return 0.0;
+}
+
 struct Result {
   std::string scheme;
   unsigned p, q;
   std::string pattern;
   double naive_ns, cached_ns, batched_ns, mt_ns;
-  double cached_speedup, batched_speedup, mt_speedup;
+  double scalar_ns, simd_ns;
+  double cached_speedup, batched_speedup, mt_speedup, simd_speedup;
+  double bytes_per_access, bytes_per_cycle;
 };
 
 Result run_case(const Case& c) {
@@ -116,7 +140,21 @@ Result run_case(const Case& c) {
   // Normalise to the actual access count of one batched trial.
   const double scale = static_cast<double>(reps * batch.count()) /
                        static_cast<double>(kAccessesPerTrial);
-  const double batched_ns = measure_ns(batched) / scale;
+  // Same compiled ExecPlan, kernels forced scalar vs the host's best
+  // level — isolates the SIMD contribution from the plan compilation win.
+  core::simd::force_level(core::simd::Level::kScalar);
+  const double scalar_ns = measure_ns(batched) / scale;
+  core::simd::force_level(core::simd::detected_level());
+  const double simd_ns = measure_ns(batched) / scale;
+  const double batched_ns = simd_ns;
+
+  // Roofline-style figure: one parallel access gathers lanes words from
+  // the banks and stores lanes words to the caller's buffer.
+  const double bytes_per_access =
+      2.0 * static_cast<double>(cfg.lanes()) * sizeof(core::Word);
+  const double ghz = cpu_ghz();
+  const double bytes_per_cycle =
+      ghz > 0.0 ? bytes_per_access / (simd_ns * ghz) : 0.0;
 
   // Threaded variant of the batched engine (read_batch_mt over the
   // parallel runtime, hardware-sized pool). Same workload, bit-identical
@@ -136,9 +174,14 @@ Result run_case(const Case& c) {
           cached_ns,
           batched_ns,
           mt_ns,
+          scalar_ns,
+          simd_ns,
           naive_ns / cached_ns,
           naive_ns / batched_ns,
-          naive_ns / mt_ns};
+          naive_ns / mt_ns,
+          scalar_ns / simd_ns,
+          bytes_per_access,
+          bytes_per_cycle};
 }
 
 void write_json(const std::vector<Result>& results, const std::string& path) {
@@ -149,6 +192,8 @@ void write_json(const std::vector<Result>& results, const std::string& path) {
      << "  \"unit\": \"ns_per_parallel_access\",\n"
      << "  \"accesses_per_trial\": " << kAccessesPerTrial << ",\n"
      << "  \"trials\": " << kTrials << ",\n"
+     << "  \"simd_level\": \""
+     << core::simd::level_name(core::simd::detected_level()) << "\",\n"
      << "  \"cases\": [\n";
   for (std::size_t k = 0; k < results.size(); ++k) {
     const Result& r = results[k];
@@ -158,9 +203,14 @@ void write_json(const std::vector<Result>& results, const std::string& path) {
        << ", \"cached_ns\": " << r.cached_ns
        << ", \"batched_ns\": " << r.batched_ns
        << ", \"batched_mt_ns\": " << r.mt_ns << ",\n"
+       << "     \"scalar_ns\": " << r.scalar_ns
+       << ", \"simd_ns\": " << r.simd_ns
+       << ", \"simd_speedup\": " << r.simd_speedup << ",\n"
        << "     \"cached_speedup\": " << r.cached_speedup
        << ", \"batched_speedup\": " << r.batched_speedup
-       << ", \"batched_mt_speedup\": " << r.mt_speedup << "}"
+       << ", \"batched_mt_speedup\": " << r.mt_speedup << ",\n"
+       << "     \"bytes_per_access\": " << r.bytes_per_access
+       << ", \"bytes_per_cycle\": " << r.bytes_per_cycle << "}"
        << (k + 1 < results.size() ? ",\n" : "\n");
   }
   os << "  ]\n}\n";
@@ -179,20 +229,28 @@ int main(int argc, char** argv) {
               << " ns (" << r.cached_speedup << "x), batched "
               << r.batched_ns << " ns (" << r.batched_speedup
               << "x), batched-mt " << r.mt_ns << " ns (" << r.mt_speedup
-              << "x)\n";
+              << "x), scalar " << r.scalar_ns << " ns vs simd " << r.simd_ns
+              << " ns (" << r.simd_speedup << "x), " << r.bytes_per_cycle
+              << " B/cycle\n";
   }
   write_json(results, path);
-  std::cout << "wrote " << path << "\n";
+  std::cout << "wrote " << path << " (simd level "
+            << core::simd::level_name(core::simd::detected_level())
+            << ")\n";
 
-  // Tracking gate. The naive baseline is itself allocation-free now (the
-  // shuffle permutation check no longer heap-allocates per access), which
-  // cut naive_ns by ~25% and compressed these ratios; 2.5x against the
-  // faster baseline is a stronger absolute bar than the original 3x.
+  // Tracking gates. The compiled ExecPlan engine replaced the per-access
+  // interpreter on the batched path, so the honest bar moved twice: the
+  // cached path keeps its 2.5x-over-naive gate, while the batched path is
+  // now gated in absolute terms — the ISSUE's acceptance criterion of
+  // <= 60 ns per parallel access on the p=4,q=4 geometries (the compiled
+  // gather loop lands near 8 ns; 60 leaves headroom for slow CI hosts).
   bool ok = true;
-  for (const Result& r : results)
+  for (const Result& r : results) {
     ok = ok && r.cached_speedup >= 2.5 && r.batched_speedup >= 2.5;
+    if (r.p == 4 && r.q == 4) ok = ok && r.batched_ns <= 60.0;
+  }
   if (!ok) {
-    std::cerr << "WARNING: cached/batched speedup below the 2.5x target\n";
+    std::cerr << "WARNING: speedup below 2.5x or 4x4 batched above 60 ns\n";
     return 1;
   }
   return 0;
