@@ -6,6 +6,7 @@
 #include "common/units.hpp"
 #include "core/polymem.hpp"
 #include "runtime/thread_pool.hpp"
+#include "verify/affine_prover.hpp"
 
 namespace polymem::dse {
 
@@ -117,6 +118,30 @@ std::uint64_t DseExplorer::validate_point(const DsePoint& point,
   return checksum;
 }
 
+DseExplorer::AffineCoverage DseExplorer::affine_coverage(maf::Scheme scheme,
+                                                         unsigned p,
+                                                         unsigned q) {
+  AffineCoverage cov;
+  const maf::Maf maf(scheme, p, q);
+  const verify::SymbolicMaf sym = verify::SymbolicMaf::of(maf);
+  for (const verify::AffinePattern& pattern :
+       verify::canonical_affine_suite(p, q)) {
+    ++cov.total;
+    switch (verify::prove_affine_support(sym, pattern)) {
+      case maf::SupportLevel::kAny:
+        ++cov.any;
+        ++cov.served;
+        break;
+      case maf::SupportLevel::kAligned:
+        ++cov.served;
+        break;
+      case maf::SupportLevel::kNone:
+        break;
+    }
+  }
+  return cov;
+}
+
 std::vector<DseResult> DseExplorer::sweep(const SweepOptions& opts) const {
   std::vector<DsePoint> points;
   points.reserve(synth::paper_table4().size());
@@ -142,6 +167,14 @@ std::vector<DseResult> DseExplorer::sweep(const SweepOptions& opts) const {
           r.validated = true;
           r.validation_checksum = validate_point(
               points[i], runtime::derive_seed(opts.seed, i), r.validation_ok);
+        }
+        if (opts.score_affine) {
+          const auto cfg = FmaxModel::make_config(points[i]);
+          const AffineCoverage cov =
+              affine_coverage(points[i].scheme, cfg.p, cfg.q);
+          r.affine_served = cov.served;
+          r.affine_any = cov.any;
+          r.affine_total = cov.total;
         }
         results[i] = std::move(r);
       });

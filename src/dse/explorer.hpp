@@ -43,6 +43,15 @@ struct DseResult {
   bool validated = false;
   bool validation_ok = false;
   std::uint64_t validation_checksum = 0;
+  // Filled by sweep() with SweepOptions::score_affine: how polymorphic
+  // the point's scheme really is, measured by the symbolic prover
+  // (verify/affine_prover.hpp) over the canonical affine suite.
+  // `affine_served` counts patterns proven conflict-free at least for
+  // aligned anchors, `affine_any` those proven for every anchor;
+  // `affine_total` is the suite size.
+  unsigned affine_served = 0;
+  unsigned affine_any = 0;
+  unsigned affine_total = 0;
 };
 
 /// sweep() configuration.
@@ -57,6 +66,10 @@ struct SweepOptions {
   /// Base seed of the per-point fill data (runtime::derive_seed keys each
   /// point off it, so the checksum is thread-count independent).
   std::uint64_t seed = 2018;
+  /// Also score each point by provably-served affine patterns (symbolic
+  /// prover over the canonical suite; fills DseResult::affine_*). Cheap:
+  /// purely algebraic, no lattice sweeps.
+  bool score_affine = false;
 };
 
 /// Per-port bandwidth at a clock: lanes x 8 bytes x f (64-bit data).
@@ -86,6 +99,19 @@ class DseExplorer {
   /// stream; `ok` reports the comparison.
   static std::uint64_t validate_point(const synth::DsePoint& point,
                                       std::uint64_t seed, bool& ok);
+
+  /// Symbolic polymorphism score of one (scheme, p, q): proves every
+  /// pattern of verify::canonical_affine_suite and returns how many are
+  /// served (>= aligned) and how many at any anchor, as
+  /// (affine_served, affine_any, affine_total). Used by sweep() with
+  /// SweepOptions::score_affine; exposed for direct scheme comparisons.
+  struct AffineCoverage {
+    unsigned served = 0;
+    unsigned any = 0;
+    unsigned total = 0;
+  };
+  static AffineCoverage affine_coverage(maf::Scheme scheme, unsigned p,
+                                        unsigned q);
 
   /// The point with the highest aggregated read bandwidth — the paper's
   /// headline "512KB ... 4 read ports ... around 32GB/s" claim.

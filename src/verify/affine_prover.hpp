@@ -1,0 +1,94 @@
+// Symbolic affine conflict-freedom prover.
+//
+// Decides, for an AffinePattern under a SymbolicMaf, whether all lanes hit
+// distinct banks at *every* anchor of the given class — without sweeping
+// anchors. The reduction (see prove_conflict_free in the .cpp for the
+// derivation):
+//
+//   1. Bank equality between two lanes is digit-wise congruence of the
+//      MAF's mixed-radix normal form: Δdigit_f ≡ 0 (mod m_f) for every
+//      form f.
+//   2. Each digit difference is affine in the lane-offset difference
+//      (Δi, Δj) plus floor terms ⌊(x+i_a)/D⌋ − ⌊(x+i_b)/D⌋. For anchor x
+//      with residue r = (x + i_b) mod D, that difference is exactly
+//      ⌊Δi/D⌋ + [r ≥ D − (Δi mod D)] — a constant plus a 0/1 indicator
+//      that depends only on which of two residue *intervals* r falls in.
+//      The unbounded anchor is gone; only the indicator remains.
+//   3. Anchor alignment (x ≡ 0 mod p) restricts r to a coset
+//      r ≡ i_b (mod gcd(p, D)). Whether an indicator interval meets the
+//      coset is a gcd computation; a concrete witness anchor is
+//      reconstructed by CRT (verify/congruence.hpp).
+//
+// So each lane pair costs O(forms · 4 indicator cases) — independent of
+// the anchor lattice, the matrix shape, and the MAF periods. A refutation
+// always carries a concrete AffineCounterexample that tests replay
+// against the real Maf::bank.
+//
+// sweep_conflict_free is the independent brute-force reference (one full
+// period lattice, pointwise banks): every symbolic verdict is
+// differentially validated against it in tests/verify and in
+// prove_affine_pattern (PMV009).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "maf/conflict.hpp"
+#include "maf/maf.hpp"
+#include "verify/affine.hpp"
+
+namespace polymem::verify {
+
+/// The anchor class quantified over: every anchor, or every p/q-aligned
+/// anchor (anchor.i ≡ 0 mod p, anchor.j ≡ 0 mod q).
+enum class AnchorClass : std::uint8_t { kAny, kAligned };
+
+const char* anchor_class_name(AnchorClass anchors);
+
+/// Outcome of one conflict-freedom decision. `degenerate` is set when the
+/// pattern is ill-formed (empty lane grid) or touches an element twice —
+/// such patterns are rejected rather than "refuted".
+struct AffineVerdict {
+  bool conflict_free = false;
+  std::optional<AffineCounterexample> counterexample;
+  std::string degenerate;       ///< non-empty when the pattern is ill-formed
+  std::uint64_t pairs_checked = 0;
+
+  bool ok() const { return conflict_free && degenerate.empty(); }
+};
+
+/// Symbolic decision: conflict-free for every anchor of the class, or a
+/// concrete counterexample. Never executes the memory and never sweeps
+/// anchors.
+AffineVerdict prove_conflict_free(const SymbolicMaf& maf,
+                                  const AffinePattern& pattern,
+                                  AnchorClass anchors);
+
+/// Brute-force reference: sweeps every (aligned) anchor of one
+/// period_i x period_j lattice and evaluates every lane's bank pointwise.
+/// Exhaustive by MAF periodicity; used to differentially validate the
+/// symbolic path.
+AffineVerdict sweep_conflict_free(const maf::Maf& maf,
+                                  const AffinePattern& pattern,
+                                  AnchorClass anchors);
+
+/// The support level the symbolic prover establishes (kAny > kAligned >
+/// kNone). When `counterexample` is given, it receives the witness that
+/// rules out the next-stronger level.
+maf::SupportLevel prove_affine_support(
+    const SymbolicMaf& maf, const AffinePattern& pattern,
+    AffineCounterexample* counterexample = nullptr);
+
+/// Checks the symbolic normal form against the concrete bank function
+/// over a window spanning one period box plus negative coordinates;
+/// returns the first disagreement ("(i,j): symbolic b1 != concrete b2").
+std::string validate_symbolic_maf(const SymbolicMaf& sym, const maf::Maf& maf);
+
+/// The canonical affine-pattern battery used to score how *polymorphic* a
+/// geometry really is (dse::DseExplorer): the six Table-I families plus
+/// strided and skewed variants, all with p·q lanes.
+std::vector<AffinePattern> canonical_affine_suite(unsigned p, unsigned q);
+
+}  // namespace polymem::verify

@@ -1,0 +1,72 @@
+#include "verify/congruence.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace polymem::verify {
+
+Egcd egcd(std::int64_t a, std::int64_t b) {
+  // Iterative extended Euclid on (a, b); signs are folded back at the end
+  // so the invariant a*x + b*y == g holds for negative inputs too.
+  std::int64_t old_r = a < 0 ? -a : a, r = b < 0 ? -b : b;
+  std::int64_t old_x = 1, x = 0;
+  std::int64_t old_y = 0, y = 1;
+  while (r != 0) {
+    const std::int64_t qt = old_r / r;
+    std::int64_t t = old_r - qt * r;
+    old_r = r;
+    r = t;
+    t = old_x - qt * x;
+    old_x = x;
+    x = t;
+    t = old_y - qt * y;
+    old_y = y;
+    y = t;
+  }
+  if (a < 0) old_x = -old_x;
+  if (b < 0) old_y = -old_y;
+  return {old_r, old_x, old_y};
+}
+
+bool ResidueClass::contains(std::int64_t x) const {
+  return floormod(x - residue, modulus) == 0;
+}
+
+std::int64_t ResidueClass::first_at_least(std::int64_t lo) const {
+  return lo + floormod(residue - lo, modulus);
+}
+
+std::optional<ResidueClass> solve_congruence(std::int64_t a, std::int64_t b,
+                                             std::int64_t m) {
+  POLYMEM_REQUIRE(m >= 1, "congruence modulus must be positive");
+  const std::int64_t an = floormod(a, m);
+  const std::int64_t bn = floormod(b, m);
+  if (an == 0)  // 0·x ≡ b: all of Z when b ≡ 0, else unsolvable
+    return bn == 0 ? std::optional<ResidueClass>({0, 1}) : std::nullopt;
+  const Egcd e = egcd(an, m);
+  if (bn % e.g != 0) return std::nullopt;
+  const std::int64_t step = m / e.g;
+  // x0 = (b/g)·x mod (m/g), where an·x + m·y == g.
+  const std::int64_t x0 =
+      floormod(static_cast<std::int64_t>(
+                   (static_cast<__int128>(bn / e.g) * e.x) % step),
+               step);
+  return ResidueClass{x0, step};
+}
+
+std::optional<ResidueClass> intersect(const ResidueClass& a,
+                                      const ResidueClass& b) {
+  // CRT: find x ≡ a.r (mod a.m) and x ≡ b.r (mod b.m).
+  const Egcd e = egcd(a.modulus, b.modulus);
+  const std::int64_t diff = b.residue - a.residue;
+  if (diff % e.g != 0) return std::nullopt;
+  const std::int64_t lcm = a.modulus / e.g * b.modulus;
+  // x = a.r + a.m·k with a.m·k ≡ diff (mod b.m) → k = (diff/g)·e.x.
+  const __int128 k = static_cast<__int128>(diff / e.g) * e.x;
+  const __int128 x = a.residue + static_cast<__int128>(a.modulus) *
+                                     static_cast<std::int64_t>(
+                                         k % (b.modulus / e.g));
+  return ResidueClass{floormod(static_cast<std::int64_t>(x % lcm), lcm), lcm};
+}
+
+}  // namespace polymem::verify

@@ -1,0 +1,55 @@
+// Linear congruence solving over Z — the number-theoretic core of the
+// symbolic affine prover (verify/affine_prover.hpp).
+//
+// The prover reduces "do two lanes of an affine pattern collide at some
+// anchor?" to the solvability of small systems of linear congruences
+//   a·x ≡ b (mod m)
+// whose solution sets are arithmetic progressions r + nZ. Everything
+// here is exact 64-bit integer math: extended GCD, single-congruence
+// solving, and CRT intersection of residue classes — the three
+// operations the prover composes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace polymem::verify {
+
+/// Result of the extended Euclidean algorithm: g = gcd(|a|, |b|) and
+/// Bezout coefficients with a*x + b*y == g.
+struct Egcd {
+  std::int64_t g = 0;
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+};
+
+/// Extended GCD; egcd(0, 0) is {0, 0, 0} (every integer divides 0).
+Egcd egcd(std::int64_t a, std::int64_t b);
+
+/// An arithmetic progression r + m·Z with 0 <= r < m (m >= 1): the
+/// solution set of a solvable linear congruence. modulus == 1 is all of Z.
+struct ResidueClass {
+  std::int64_t residue = 0;
+  std::int64_t modulus = 1;
+
+  /// True when x belongs to the class.
+  bool contains(std::int64_t x) const;
+
+  /// The smallest member >= lo.
+  std::int64_t first_at_least(std::int64_t lo) const;
+
+  friend bool operator==(const ResidueClass&, const ResidueClass&) = default;
+};
+
+/// Solves a·x ≡ b (mod m), m >= 1. The solution set, when non-empty, is
+/// the class x0 + (m/g)·Z with g = gcd(a, m); empty optional when g ∤ b.
+std::optional<ResidueClass> solve_congruence(std::int64_t a, std::int64_t b,
+                                             std::int64_t m);
+
+/// Intersects two residue classes via CRT: the result is a class modulo
+/// lcm(m1, m2), or empty when the classes are disjoint
+/// (r1 ≢ r2 (mod gcd(m1, m2))).
+std::optional<ResidueClass> intersect(const ResidueClass& a,
+                                      const ResidueClass& b);
+
+}  // namespace polymem::verify

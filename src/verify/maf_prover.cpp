@@ -22,6 +22,10 @@ const char* check_code(CheckKind kind) {
     case CheckKind::kConflictFreedom: return "PMV004";
     case CheckKind::kAddressInjectivity: return "PMV005";
     case CheckKind::kTemplateAgreement: return "PMV006";
+    case CheckKind::kAffineConflict: return "PMV007";
+    case CheckKind::kAffineForm: return "PMV008";
+    case CheckKind::kAffineDifferential: return "PMV009";
+    case CheckKind::kAffineDegenerate: return "PMV010";
   }
   throw InvalidArgument("unknown check kind");
 }
@@ -34,6 +38,10 @@ const char* check_name(CheckKind kind) {
     case CheckKind::kConflictFreedom: return "conflict-freedom";
     case CheckKind::kAddressInjectivity: return "address-injectivity";
     case CheckKind::kTemplateAgreement: return "template-agreement";
+    case CheckKind::kAffineConflict: return "affine-conflict";
+    case CheckKind::kAffineForm: return "affine-form";
+    case CheckKind::kAffineDifferential: return "affine-differential";
+    case CheckKind::kAffineDegenerate: return "affine-degenerate";
   }
   throw InvalidArgument("unknown check kind");
 }
@@ -298,6 +306,149 @@ maf::SupportLevel prove_support(const MafModel& model, PatternKind pattern,
   return maf::SupportLevel::kNone;
 }
 
+std::optional<Violation> check_affine_form(const SymbolicMaf& sym,
+                                           const maf::Maf& maf) {
+  const std::string mismatch = validate_symbolic_maf(sym, maf);
+  if (mismatch.empty()) return std::nullopt;
+  return violation(CheckKind::kAffineForm,
+                   "symbolic normal form disagrees with the concrete MAF at " +
+                       mismatch);
+}
+
+std::optional<Violation> check_affine_differential(const maf::Maf& maf,
+                                                   const SymbolicMaf& sym,
+                                                   const AffinePattern& pattern,
+                                                   AnchorClass anchors) {
+  const AffineVerdict symbolic = prove_conflict_free(sym, pattern, anchors);
+  const AffineVerdict swept = sweep_conflict_free(maf, pattern, anchors);
+  std::ostringstream os;
+  os << "pattern '" << pattern.spec() << "' [" << anchor_class_name(anchors)
+     << " anchors]: ";
+  if (symbolic.degenerate.empty() != swept.degenerate.empty()) {
+    os << "symbolic prover "
+       << (symbolic.degenerate.empty()
+               ? "accepts a pattern the sweep rejects as degenerate ("
+                     + swept.degenerate + ")"
+               : "rejects as degenerate (" + symbolic.degenerate +
+                     ") a pattern the sweep accepts");
+    return violation(CheckKind::kAffineDifferential, os.str());
+  }
+  if (!symbolic.degenerate.empty()) return std::nullopt;  // both degenerate
+  if (symbolic.conflict_free != swept.conflict_free) {
+    os << "symbolic verdict "
+       << (symbolic.conflict_free ? "conflict-free" : "conflict") << " != "
+       << "swept verdict "
+       << (swept.conflict_free ? "conflict-free" : "conflict");
+    if (symbolic.counterexample.has_value())
+      os << "; symbolic witness: " << symbolic.counterexample->str();
+    if (swept.counterexample.has_value())
+      os << "; sweep witness: " << swept.counterexample->str();
+    return violation(CheckKind::kAffineDifferential, os.str());
+  }
+  if (symbolic.counterexample.has_value()) {
+    // Replay the symbolic witness against the *concrete* bank function:
+    // lane offsets must reproduce the claimed elements, the anchor must
+    // respect the class, and both elements must really share a bank.
+    const AffineCounterexample& cx = *symbolic.counterexample;
+    const auto element = [&pattern](access::Coord anchor, std::int64_t lane) {
+      return pattern.element(anchor, lane / pattern.lanes_v,
+                             lane % pattern.lanes_v);
+    };
+    if (element(cx.anchor, cx.lane_a) != cx.elem_a ||
+        element(cx.anchor, cx.lane_b) != cx.elem_b) {
+      os << "counterexample elements do not match the lane map: "
+         << cx.str();
+      return violation(CheckKind::kAffineDifferential, os.str());
+    }
+    if (anchors == AnchorClass::kAligned &&
+        (floormod<std::int64_t>(cx.anchor.i, maf.p()) != 0 ||
+         floormod<std::int64_t>(cx.anchor.j, maf.q()) != 0)) {
+      os << "counterexample anchor is not " << maf.p() << '/' << maf.q()
+         << "-aligned: " << cx.str();
+      return violation(CheckKind::kAffineDifferential, os.str());
+    }
+    if (maf.bank(cx.elem_a) != maf.bank(cx.elem_b) ||
+        maf.bank(cx.elem_a) != cx.bank) {
+      os << "counterexample does not replay: concrete banks are "
+         << maf.bank(cx.elem_a) << " and " << maf.bank(cx.elem_b)
+         << " for claimed " << cx.str();
+      return violation(CheckKind::kAffineDifferential, os.str());
+    }
+  }
+  return std::nullopt;
+}
+
+AffineReport prove_affine_pattern(const maf::Maf& maf, const SymbolicMaf& sym,
+                                  const AffinePattern& pattern) {
+  AffineReport report;
+  report.scheme = maf.scheme();
+  report.p = maf.p();
+  report.q = maf.q();
+  report.pattern = pattern;
+  if (auto v = check_affine_form(sym, maf)) report.violations.push_back(*v);
+
+  const AffineVerdict any = prove_conflict_free(sym, pattern,
+                                                AnchorClass::kAny);
+  if (!any.degenerate.empty()) {
+    report.violations.push_back(violation(
+        CheckKind::kAffineDegenerate,
+        "pattern '" + pattern.spec() + "' is degenerate: " + any.degenerate));
+    return report;
+  }
+  AffineCounterexample cx;
+  report.proven = prove_affine_support(sym, pattern, &cx);
+  if (report.proven != maf::SupportLevel::kAny) report.counterexample = cx;
+  if (report.proven == maf::SupportLevel::kNone) {
+    report.violations.push_back(violation(
+        CheckKind::kAffineConflict,
+        "pattern '" + pattern.spec() + "' collides under " +
+            maf::scheme_name(maf.scheme()) + ": " + cx.str()));
+  }
+  // Every symbolic verdict ships differentially validated against the
+  // brute-force sweep — the CLI result is never a single algorithm's word.
+  for (const AnchorClass anchors :
+       {AnchorClass::kAny, AnchorClass::kAligned}) {
+    if (auto v = check_affine_differential(maf, sym, pattern, anchors))
+      report.violations.push_back(*v);
+  }
+  report.ok = report.proven != maf::SupportLevel::kNone &&
+              report.violations.empty();
+  return report;
+}
+
+AffineReport prove_affine_pattern(maf::Scheme scheme, unsigned p, unsigned q,
+                                  const AffinePattern& pattern) {
+  try {
+    const maf::Maf maf(scheme, p, q);
+    return prove_affine_pattern(maf, SymbolicMaf::of(maf), pattern);
+  } catch (const Error& e) {
+    AffineReport report;
+    report.scheme = scheme;
+    report.p = p;
+    report.q = q;
+    report.pattern = pattern;
+    report.violations.push_back(violation(CheckKind::kConstruction, e.what()));
+    return report;
+  }
+}
+
+std::string AffineReport::summary() const {
+  std::ostringstream os;
+  os << "affine proof: " << maf::scheme_name(scheme) << ' ' << p << 'x' << q
+     << ", pattern '" << pattern.spec() << "'\n";
+  os << "  proven support: " << maf::support_level_name(proven) << '\n';
+  if (counterexample.has_value())
+    os << "  counterexample: " << counterexample->str() << '\n';
+  for (const Violation& v : violations)
+    os << "  violation: " << v.message << '\n';
+  os << "result: "
+     << (ok ? (proven == maf::SupportLevel::kAligned
+                   ? "PROVEN (aligned anchors)"
+                   : "PROVEN (any anchor)")
+            : "REFUTED");
+  return os.str();
+}
+
 namespace {
 
 void prove_patterns(const maf::Maf& maf, ProverReport& report) {
@@ -327,6 +478,54 @@ void prove_patterns(const maf::Maf& maf, ProverReport& report) {
   }
 }
 
+// The brute-force analogue of prove_affine_support: the support level the
+// period-lattice sweep establishes for an affine pattern.
+maf::SupportLevel sweep_affine_support(const maf::Maf& maf,
+                                       const AffinePattern& pattern) {
+  const AffineVerdict any = sweep_conflict_free(maf, pattern,
+                                                AnchorClass::kAny);
+  if (any.ok()) return maf::SupportLevel::kAny;
+  if (!any.degenerate.empty()) return maf::SupportLevel::kNone;
+  const AffineVerdict aligned = sweep_conflict_free(maf, pattern,
+                                                    AnchorClass::kAligned);
+  return aligned.ok() ? maf::SupportLevel::kAligned
+                      : maf::SupportLevel::kNone;
+}
+
+// PMV008 + PMV009 for one configuration: validates the symbolic normal
+// form, then differentially checks the symbolic verdict for every pattern
+// of the canonical affine suite against the brute-force sweep.
+void prove_affine_suite(const maf::Maf& maf, ProverReport& report) {
+  const SymbolicMaf sym = SymbolicMaf::of(maf);
+  if (auto v = check_affine_form(sym, maf)) report.violations.push_back(*v);
+  for (const AffinePattern& pattern :
+       canonical_affine_suite(maf.p(), maf.q())) {
+    AffineProof proof;
+    proof.pattern = pattern;
+    AffineCounterexample cx;
+    proof.proven = prove_affine_support(sym, pattern, &cx);
+    if (proof.proven != maf::SupportLevel::kAny) proof.counterexample = cx;
+    proof.swept = sweep_affine_support(maf, pattern);
+    proof.ok = proof.proven == proof.swept;
+    for (const AnchorClass anchors :
+         {AnchorClass::kAny, AnchorClass::kAligned}) {
+      if (auto v = check_affine_differential(maf, sym, pattern, anchors)) {
+        proof.ok = false;
+        report.violations.push_back(*v);
+      }
+    }
+    if (proof.proven != proof.swept) {
+      std::ostringstream os;
+      os << "pattern '" << pattern.spec() << "': symbolic support "
+         << maf::support_level_name(proof.proven) << " != swept support "
+         << maf::support_level_name(proof.swept);
+      report.violations.push_back(
+          violation(CheckKind::kAffineDifferential, os.str()));
+    }
+    report.affine.push_back(std::move(proof));
+  }
+}
+
 }  // namespace
 
 ProverReport prove(const core::PolyMemConfig& config) {
@@ -343,6 +542,7 @@ ProverReport prove(const core::PolyMemConfig& config) {
     if (auto v = check_bank_range(model)) report.violations.push_back(*v);
     if (auto v = check_periodicity(model)) report.violations.push_back(*v);
     prove_patterns(maf, report);
+    prove_affine_suite(maf, report);
     const maf::AddressingFunction addressing(config.p, config.q,
                                              config.height, config.width);
     auto address = [&addressing](std::int64_t i, std::int64_t j) {
@@ -394,6 +594,12 @@ std::string ProverReport::summary() const {
        << maf::support_level_name(proof.proven) << " (oracle "
        << maf::support_level_name(proof.claimed) << ')'
        << (proof.advertised ? " [advertised]" : "") << '\n';
+  }
+  for (const AffineProof& proof : affine) {
+    os << "  " << (proof.ok ? "[PASS] " : "[FAIL] ") << "affine "
+       << proof.pattern.name << ": symbolic "
+       << maf::support_level_name(proof.proven) << " (swept "
+       << maf::support_level_name(proof.swept) << ')' << '\n';
   }
   for (const Violation& v : violations)
     os << "  violation: " << v.message << '\n';

@@ -22,6 +22,14 @@
 //                          the naive MAF/AGU math for its whole
 //                          (pattern, anchor-residue) class.
 //
+// On top of the lattice sweeps sits the *symbolic* layer
+// (verify/affine_prover.hpp): arbitrary affine patterns are proven
+// conflict-free algebraically, and every symbolic ingredient is itself
+// checked here — the extracted SymbolicMaf normal form against the
+// concrete bank function (PMV008), and every symbolic verdict against the
+// brute-force period-lattice sweep (PMV009). prove_affine_pattern() is
+// the one-stop entry the lint CLI uses for user-supplied specs.
+//
 // Checks operate on a black-box MafModel (a bank function plus claimed
 // periods), so tests can inject deliberately-corrupted mutants the prover
 // must reject; model_of() adapts the production Maf.
@@ -38,6 +46,8 @@
 #include "maf/conflict.hpp"
 #include "maf/maf.hpp"
 #include "maf/scheme.hpp"
+#include "verify/affine.hpp"
+#include "verify/affine_prover.hpp"
 
 namespace polymem::verify {
 
@@ -66,6 +76,10 @@ enum class CheckKind : std::uint8_t {
   kConflictFreedom,     ///< PMV004: two lanes of a pattern share a bank
   kAddressInjectivity,  ///< PMV005: (bank, addr) is not a bijection
   kTemplateAgreement,   ///< PMV006: plan-cache template != naive AGU math
+  kAffineConflict,      ///< PMV007: an affine pattern provably collides
+  kAffineForm,          ///< PMV008: symbolic MAF form != concrete banks
+  kAffineDifferential,  ///< PMV009: symbolic verdict != brute-force sweep
+  kAffineDegenerate,    ///< PMV010: affine pattern is ill-formed/aliasing
 };
 
 /// Stable diagnostic code ("PMV004") / short name ("conflict-freedom").
@@ -116,6 +130,67 @@ maf::SupportLevel prove_support(const MafModel& model,
                                 access::PatternKind pattern,
                                 std::string* counterexample = nullptr);
 
+/// Checks the extracted symbolic normal form (SymbolicMaf) against the
+/// concrete bank function over the full period window — the soundness
+/// foundation of every symbolic verdict. PMV008 on disagreement.
+std::optional<Violation> check_affine_form(const SymbolicMaf& sym,
+                                           const maf::Maf& maf);
+
+/// Differentially validates one symbolic verdict against the brute-force
+/// period-lattice sweep: both must agree on conflict-freedom, and a
+/// symbolic counterexample must replay to a real bank collision. PMV009
+/// on any disagreement. `sym` is a parameter (not derived from `maf`) so
+/// tests can inject corrupted forms the check must flag.
+std::optional<Violation> check_affine_differential(const maf::Maf& maf,
+                                                   const SymbolicMaf& sym,
+                                                   const AffinePattern& pattern,
+                                                   AnchorClass anchors);
+
+/// One symbolically-proven affine pattern inside a ProverReport: the
+/// symbolic support level, the brute-force reference level, and whether
+/// they agree (`ok`). A pattern the scheme legitimately cannot serve has
+/// proven == swept == kNone and ok == true — only *disagreement* is a
+/// violation.
+struct AffineProof {
+  AffinePattern pattern;
+  maf::SupportLevel proven = maf::SupportLevel::kNone;  ///< symbolic
+  maf::SupportLevel swept = maf::SupportLevel::kNone;   ///< brute force
+  std::optional<AffineCounterexample> counterexample;
+  bool ok = false;
+};
+
+/// Self-contained verdict for one user-supplied affine pattern under one
+/// configuration — the engine behind `polymem_lint --prove-affine`.
+/// Violations use PMV007 (proven conflict, with a replayable
+/// counterexample), PMV008/PMV009 (symbolic machinery unsound — never
+/// expected for shipped schemes) and PMV010 (degenerate pattern).
+/// ok == true means the pattern is admissible (kAny or kAligned).
+struct AffineReport {
+  maf::Scheme scheme = maf::Scheme::kReO;
+  unsigned p = 0;
+  unsigned q = 0;
+  AffinePattern pattern;
+  maf::SupportLevel proven = maf::SupportLevel::kNone;
+  std::optional<AffineCounterexample> counterexample;
+  std::vector<Violation> violations;
+  bool ok = false;
+
+  /// Multi-line human-readable report.
+  std::string summary() const;
+};
+
+/// Proves one affine pattern under (scheme, p, q): symbolic support level,
+/// PMV008 form validation, PMV009 differential validation of the verdict,
+/// PMV007/PMV010 admission violations.
+AffineReport prove_affine_pattern(maf::Scheme scheme, unsigned p, unsigned q,
+                                  const AffinePattern& pattern);
+
+/// Mutant-injectable overload: `sym` need not be the form extracted from
+/// `maf`, so tests can feed corrupted normal forms and assert that
+/// PMV008/PMV009 fire.
+AffineReport prove_affine_pattern(const maf::Maf& maf, const SymbolicMaf& sym,
+                                  const AffinePattern& pattern);
+
 /// Per-pattern proof outcome: the proven level, the capability oracle's
 /// claim (they must match) and whether the scheme's advertised family
 /// (paper Table I) includes the pattern (advertised patterns must prove at
@@ -138,6 +213,9 @@ struct ProverReport {
   bool ok = false;
   std::vector<Violation> violations;
   std::vector<PatternProof> patterns;
+  /// Symbolic-vs-sweep differential over the canonical affine suite
+  /// (affine_prover.hpp); any disagreement is also a PMV009 violation.
+  std::vector<AffineProof> affine;
 
   /// Multi-line human-readable report (one PASS/FAIL line per check).
   std::string summary() const;

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "maf/conflict.hpp"
+#include "verify/affine_prover.hpp"
 
 namespace polymem::verify {
 
@@ -112,12 +113,24 @@ Coord batch_anchor(const AccessBatch& batch, std::int64_t k, std::int64_t o) {
           batch.start.j + o * batch.outer_stride.j + k * batch.inner_stride.j};
 }
 
-/// The batch's element bounding rectangle. Anchors are affine in the
+/// The element extent of one access of the op relative to its anchor:
+/// the pattern extent for Table-I ops, the lane bounding box for affine
+/// ops. Expressed as inclusive offset bounds.
+AffinePattern::Box op_extent(const BatchOp& step, unsigned p, unsigned q) {
+  if (step.affine.has_value()) return step.affine->bounding_box();
+  const auto ext = access::pattern_extent(step.batch.kind, p, q);
+  AffinePattern::Box box;
+  box.min_j = ext.col_offset;
+  box.max_i = ext.rows - 1;
+  box.max_j = ext.col_offset + ext.cols - 1;
+  return box;
+}
+
+/// The op's element bounding rectangle. Anchors are affine in the
 /// (inner, outer) index box, so the extremes occur at the four corners.
-std::optional<Rect> batch_rect(const AccessBatch& batch, unsigned p,
-                               unsigned q) {
+std::optional<Rect> batch_rect(const BatchOp& step, unsigned p, unsigned q) {
+  const AccessBatch& batch = step.batch;
   if (batch.inner_count <= 0 || batch.outer_count <= 0) return std::nullopt;
-  const auto ext = access::pattern_extent(batch.kind, p, q);
   Rect r{batch.start, batch.start};
   for (int corner = 1; corner < 4; ++corner) {
     const Coord a = batch_anchor(batch,
@@ -128,17 +141,24 @@ std::optional<Rect> batch_rect(const AccessBatch& batch, unsigned p,
     r.hi.i = std::max(r.hi.i, a.i);
     r.hi.j = std::max(r.hi.j, a.j);
   }
-  r.lo.j += ext.col_offset;
-  r.hi.i += ext.rows - 1;
-  r.hi.j += ext.col_offset + ext.cols - 1;
+  const AffinePattern::Box box = op_extent(step, p, q);
+  r.lo.i += box.min_i;
+  r.lo.j += box.min_j;
+  r.hi.i += box.max_i;
+  r.hi.j += box.max_j;
   return r;
+}
+
+/// "row" for Table-I ops, "affine 'lanes ...'" for affine ops.
+std::string op_display(const BatchOp& step) {
+  if (!step.affine.has_value()) return access::pattern_name(step.batch.kind);
+  return "affine '" + step.affine->spec() + "'";
 }
 
 std::string op_prefix(std::int64_t op, const BatchOp& step) {
   std::ostringstream os;
-  os << "op " << op << " (" << dir_name(step.dir) << ' '
-     << access::pattern_name(step.batch.kind) << " at " << step.batch.start
-     << "): ";
+  os << "op " << op << " (" << dir_name(step.dir) << ' ' << op_display(step)
+     << " at " << step.batch.start << "): ";
   return os.str();
 }
 
@@ -149,12 +169,14 @@ class Linter {
   LintReport take() { return std::move(report_); }
 
   void add(LintKind kind, Severity severity, std::int64_t op,
-           const std::string& detail) {
+           const std::string& detail,
+           std::optional<AffineCounterexample> counterexample = std::nullopt) {
     Diagnostic d;
     d.kind = kind;
     d.severity = severity;
     d.op = op;
     d.message = std::string("[") + lint_code(kind) + "] " + detail;
+    d.counterexample = std::move(counterexample);
     report_.diagnostics.push_back(std::move(d));
   }
 
@@ -164,6 +186,7 @@ class Linter {
     try {
       config_.validate();
       maf_.emplace(config_.scheme, config_.p, config_.q);
+      sym_ = SymbolicMaf::of(*maf_);
       return true;
     } catch (const Error& e) {
       add(LintKind::kBadConfig, Severity::kError, -1, e.what());
@@ -186,6 +209,10 @@ class Linter {
           prefix + "batch moves no data");
       return;
     }
+    if (step.affine.has_value()) {
+      lint_affine_op(op, prefix, step);
+      return;
+    }
     const maf::SupportLevel level = maf::probe_support(*maf_, batch.kind);
     if (level == maf::SupportLevel::kNone) {
       std::ostringstream os;
@@ -200,14 +227,51 @@ class Linter {
     lint_bounds(op, prefix, batch);
   }
 
+  /// Admission of an arbitrary affine op: the symbolic prover replaces
+  /// the capability oracle. Proven-kAny patterns are admitted silently;
+  /// proven-kAligned patterns get the standard anchor/stride alignment
+  /// lint; refuted patterns are errors carrying the collision witness.
+  void lint_affine_op(std::int64_t op, const std::string& prefix,
+                      const BatchOp& step) {
+    const AffinePattern& pattern = *step.affine;
+    const AffineVerdict any =
+        prove_conflict_free(sym_, pattern, AnchorClass::kAny);
+    if (!any.degenerate.empty()) {
+      add(LintKind::kEmptyBatch, Severity::kError, op,
+          prefix + "affine pattern is degenerate: " + any.degenerate);
+      return;
+    }
+    const auto lanes = static_cast<std::int64_t>(config_.lanes());
+    if (pattern.count() != lanes) {
+      std::ostringstream os;
+      os << prefix << "affine pattern has " << pattern.count()
+         << " lanes; a " << config_.p << 'x' << config_.q
+         << " memory issues " << lanes << " lanes per access";
+      add(LintKind::kUnsupportedPattern, Severity::kError, op, os.str());
+    } else {
+      AffineCounterexample cx;
+      const maf::SupportLevel level = prove_affine_support(sym_, pattern, &cx);
+      if (level == maf::SupportLevel::kNone) {
+        std::ostringstream os;
+        os << prefix << "scheme " << maf::scheme_name(config_.scheme) << " ("
+           << config_.p << 'x' << config_.q
+           << ") cannot serve the affine pattern conflict-free: " << cx.str();
+        add(LintKind::kUnsupportedPattern, Severity::kError, op, os.str(), cx);
+      } else if (level == maf::SupportLevel::kAligned) {
+        lint_affine_alignment(op, prefix, step, cx);
+      }
+    }
+    lint_affine_bounds(op, prefix, step);
+  }
+
   void lint_hazards(const std::vector<BatchOp>& ops) {
     for (std::size_t w = 0; w < ops.size(); ++w) {
       if (ops[w].dir != BatchOp::Dir::kWrite) continue;
-      const auto wr = batch_rect(ops[w].batch, config_.p, config_.q);
+      const auto wr = batch_rect(ops[w], config_.p, config_.q);
       if (!wr.has_value()) continue;
       for (std::size_t r = w + 1; r < ops.size(); ++r) {
         if (ops[r].dir != BatchOp::Dir::kRead) continue;
-        const auto rr = batch_rect(ops[r].batch, config_.p, config_.q);
+        const auto rr = batch_rect(ops[r], config_.p, config_.q);
         if (!rr.has_value() || !wr->intersects(*rr)) continue;
         std::ostringstream os;
         os << "op " << r << " reads " << rect_str(*rr)
@@ -248,6 +312,65 @@ class Linter {
   }
 
  private:
+  /// PML004/PML005 for an affine op whose proof only covers aligned
+  /// anchors; `unaligned_cx` is the witness ruling out arbitrary anchors.
+  void lint_affine_alignment(std::int64_t op, const std::string& prefix,
+                             const BatchOp& step,
+                             const AffineCounterexample& unaligned_cx) {
+    const AccessBatch& batch = step.batch;
+    const auto p = static_cast<std::int64_t>(config_.p);
+    const auto q = static_cast<std::int64_t>(config_.q);
+    if (batch.start.i % p != 0 || batch.start.j % q != 0) {
+      std::ostringstream os;
+      os << prefix << "affine pattern is proven conflict-free only at " << p
+         << '/' << q << "-aligned anchors; start " << batch.start
+         << " is unaligned (unaligned witness: " << unaligned_cx.str() << ')';
+      add(LintKind::kUnalignedAnchor, Severity::kError, op, os.str(),
+          unaligned_cx);
+    }
+    const Coord strides[] = {batch.inner_stride, batch.outer_stride};
+    const std::int64_t counts[] = {batch.inner_count, batch.outer_count};
+    const char* names[] = {"inner", "outer"};
+    for (int s = 0; s < 2; ++s) {
+      if (counts[s] <= 1) continue;  // stride never applied
+      if (strides[s].i % p == 0 && strides[s].j % q == 0) continue;
+      std::ostringstream os;
+      os << prefix << names[s] << " stride " << strides[s] << " leaves the "
+         << p << '/' << q
+         << "-aligned anchor lattice required by the affine pattern";
+      add(LintKind::kMisalignedStride, Severity::kError, op, os.str(),
+          unaligned_cx);
+    }
+  }
+
+  /// PML006 for affine ops: corner anchors plus the lane bounding box
+  /// must stay inside the address space.
+  void lint_affine_bounds(std::int64_t op, const std::string& prefix,
+                          const BatchOp& step) {
+    const AffinePattern::Box box = step.affine->bounding_box();
+    const AccessBatch& batch = step.batch;
+    Coord reported[4];
+    int reported_count = 0;
+    for (int corner = 0; corner < 4; ++corner) {
+      const Coord a = batch_anchor(batch,
+                                   (corner & 1) ? batch.inner_count - 1 : 0,
+                                   (corner & 2) ? batch.outer_count - 1 : 0);
+      if (a.i + box.min_i >= 0 && a.i + box.max_i < config_.height &&
+          a.j + box.min_j >= 0 && a.j + box.max_j < config_.width)
+        continue;
+      bool seen = false;
+      for (int r = 0; r < reported_count; ++r) seen = seen || reported[r] == a;
+      if (seen) continue;
+      reported[reported_count++] = a;
+      std::ostringstream os;
+      os << prefix << "corner access at " << a << " (lane elements ["
+         << a.i + box.min_i << ".." << a.i + box.max_i << "]x["
+         << a.j + box.min_j << ".." << a.j + box.max_j << "]) leaves the "
+         << config_.height << 'x' << config_.width << " address space";
+      add(LintKind::kOutOfBounds, Severity::kError, op, os.str());
+    }
+  }
+
   void lint_alignment(std::int64_t op, const std::string& prefix,
                       const AccessBatch& batch) {
     const auto p = static_cast<std::int64_t>(config_.p);
@@ -335,13 +458,21 @@ class Linter {
          << " (elements " << el[first] << " and " << el[second]
          << ") both map to bank " << bank << "; worst bank serves " << worst
          << " of " << n << " lanes (" << worst << "-cycle serialization)";
-      add(LintKind::kBankConflict, Severity::kWarning, op, os.str());
+      AffineCounterexample cx;
+      cx.anchor = acc.anchor;
+      cx.lane_a = first;
+      cx.lane_b = second;
+      cx.elem_a = el[first];
+      cx.elem_b = el[second];
+      cx.bank = bank;
+      add(LintKind::kBankConflict, Severity::kWarning, op, os.str(), cx);
       return;
     }
   }
 
   core::PolyMemConfig config_;
   std::optional<maf::Maf> maf_;
+  SymbolicMaf sym_;
   LintReport report_;
 };
 

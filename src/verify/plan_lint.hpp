@@ -7,8 +7,11 @@
 // CI can gate on them:
 //
 //   PML001 bad-config          the configuration itself is invalid
-//   PML002 empty-batch         a batch moves no data (or negative counts)
-//   PML003 unsupported-pattern the scheme never serves the pattern
+//   PML002 empty-batch         a batch moves no data (or negative counts,
+//                              or a degenerate/aliasing affine pattern)
+//   PML003 unsupported-pattern the scheme never serves the pattern; for
+//                              affine ops, the symbolic prover refutes the
+//                              pattern (with a replayable counterexample)
 //   PML004 unaligned-anchor    aligned-only pattern, unaligned start
 //   PML005 misaligned-stride   aligned-only pattern, stride leaves the
 //                              aligned anchor lattice
@@ -20,16 +23,26 @@
 //   PML010 bank-imbalance      trace skewed onto few banks (schedule
 //                              length is lower-bounded by the worst bank)
 //
+// Batches are not limited to the six Table-I families: a BatchOp may carry
+// an arbitrary AffinePattern (verify/affine.hpp). Such ops are admitted
+// through the symbolic prover (verify/affine_prover.hpp) — proven
+// conflict-free patterns pass with no diagnostic at all, aligned-only
+// proofs get the same anchor/stride lint as the built-in aligned families,
+// and refuted patterns are rejected with a concrete collision witness in
+// Diagnostic::counterexample.
+//
 // Diagnostics never throw; a LintReport collects everything found.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/polymem.hpp"
 #include "sched/trace.hpp"
+#include "verify/affine.hpp"
 
 namespace polymem::verify {
 
@@ -61,13 +74,21 @@ struct Diagnostic {
   Severity severity = Severity::kError;
   std::string message;
   std::int64_t op = -1;
+  /// Structured, replayable collision witness for conflict findings
+  /// (PML003 on affine ops, PML004 aligned-only refutations, PML007).
+  std::optional<AffineCounterexample> counterexample;
 };
 
 /// One step of a batch program: a direction plus the batch descriptor.
+/// When `affine` is set, the op accesses that affine pattern instead of
+/// the Table-I family in `batch.kind`; the batch anchor walk (start,
+/// strides, counts) is unchanged, and admission goes through the symbolic
+/// prover rather than the capability oracle.
 struct BatchOp {
   enum class Dir : std::uint8_t { kRead, kWrite };
   Dir dir = Dir::kRead;
   core::AccessBatch batch;
+  std::optional<AffinePattern> affine;
 };
 
 const char* dir_name(BatchOp::Dir dir);

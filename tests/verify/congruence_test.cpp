@@ -1,0 +1,100 @@
+#include "verify/congruence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace polymem::verify {
+namespace {
+
+TEST(Egcd, BezoutIdentityHoldsIncludingNegatives) {
+  const std::int64_t values[] = {0, 1, 2, 3, 8, 12, 35, 240, -5, -18, -240};
+  for (std::int64_t a : values)
+    for (std::int64_t b : values) {
+      const Egcd e = egcd(a, b);
+      EXPECT_EQ(a * e.x + b * e.y, e.g) << a << ", " << b;
+      EXPECT_GE(e.g, 0);
+      if (a != 0) EXPECT_EQ(a % e.g, 0);
+      if (b != 0) EXPECT_EQ(b % e.g, 0);
+    }
+  EXPECT_EQ(egcd(12, 18).g, 6);
+  EXPECT_EQ(egcd(-12, 18).g, 6);
+  EXPECT_EQ(egcd(0, 7).g, 7);
+  EXPECT_EQ(egcd(0, 0).g, 0);
+}
+
+TEST(ResidueClassTest, ContainsAndFirstAtLeast) {
+  const ResidueClass c{3, 5};
+  EXPECT_TRUE(c.contains(3));
+  EXPECT_TRUE(c.contains(13));
+  EXPECT_TRUE(c.contains(-2));
+  EXPECT_FALSE(c.contains(4));
+  EXPECT_EQ(c.first_at_least(0), 3);
+  EXPECT_EQ(c.first_at_least(3), 3);
+  EXPECT_EQ(c.first_at_least(4), 8);
+  EXPECT_EQ(c.first_at_least(-10), -7);
+  const ResidueClass all{0, 1};  // all of Z
+  EXPECT_TRUE(all.contains(-41));
+  EXPECT_EQ(all.first_at_least(17), 17);
+}
+
+TEST(SolveCongruence, SolvableAndUnsolvableCases) {
+  // 3x = 6 (mod 9): x = 2 + 3Z.
+  auto s = solve_congruence(3, 6, 9);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, (ResidueClass{2, 3}));
+  // 4x = 2 (mod 8): gcd(4,8) = 4 does not divide 2.
+  EXPECT_FALSE(solve_congruence(4, 2, 8).has_value());
+  // 0x = 0 (mod m) is all of Z; 0x = b != 0 has no solution.
+  s = solve_congruence(0, 0, 6);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, (ResidueClass{0, 1}));
+  EXPECT_FALSE(solve_congruence(0, 5, 6).has_value());
+  // Coefficients are normalised mod m first: -1x = 3 (mod 7).
+  s = solve_congruence(-1, 3, 7);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->contains(4));  // -4 = 3 (mod 7)
+  // Every solution actually solves the congruence.
+  for (std::int64_t a = -6; a <= 6; ++a)
+    for (std::int64_t b = -6; b <= 6; ++b)
+      for (std::int64_t m = 1; m <= 8; ++m) {
+        const auto cls = solve_congruence(a, b, m);
+        for (std::int64_t x = -12; x <= 12; ++x) {
+          const bool solves = ((a * x - b) % m + m) % m == 0;
+          const bool member = cls.has_value() && cls->contains(x);
+          EXPECT_EQ(member, solves) << a << "x=" << b << " mod " << m
+                                    << " at x=" << x;
+        }
+      }
+}
+
+TEST(SolveCongruence, RejectsNonPositiveModulus) {
+  EXPECT_THROW(solve_congruence(1, 0, 0), Error);
+}
+
+TEST(IntersectResidueClasses, CrtAgreesWithEnumeration) {
+  // x = 2 (mod 3) and x = 3 (mod 5): x = 8 (mod 15).
+  auto c = intersect({2, 3}, {3, 5});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, (ResidueClass{8, 15}));
+  // Incompatible classes: x = 0 (mod 4) and x = 1 (mod 2).
+  EXPECT_FALSE(intersect({0, 4}, {1, 2}).has_value());
+  // Exhaustive check on small moduli.
+  for (std::int64_t m1 = 1; m1 <= 8; ++m1)
+    for (std::int64_t r1 = 0; r1 < m1; ++r1)
+      for (std::int64_t m2 = 1; m2 <= 8; ++m2)
+        for (std::int64_t r2 = 0; r2 < m2; ++r2) {
+          const ResidueClass a{r1, m1}, b{r2, m2};
+          const auto both = intersect(a, b);
+          for (std::int64_t x = -30; x <= 30; ++x) {
+            const bool in_both = a.contains(x) && b.contains(x);
+            const bool member = both.has_value() && both->contains(x);
+            EXPECT_EQ(member, in_both)
+                << r1 << "+" << m1 << "Z with " << r2 << "+" << m2 << "Z"
+                << " at " << x;
+          }
+        }
+}
+
+}  // namespace
+}  // namespace polymem::verify

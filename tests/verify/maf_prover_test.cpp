@@ -61,20 +61,27 @@ TEST(MafProver, CheckCodesAreStableAndDistinct) {
       CheckKind::kConstruction,        CheckKind::kBankRange,
       CheckKind::kPeriodicity,         CheckKind::kConflictFreedom,
       CheckKind::kAddressInjectivity,  CheckKind::kTemplateAgreement,
+      CheckKind::kAffineConflict,      CheckKind::kAffineForm,
+      CheckKind::kAffineDifferential,  CheckKind::kAffineDegenerate,
   };
   std::set<std::string> codes;
   for (CheckKind kind : kinds) {
     codes.insert(check_code(kind));
     EXPECT_NE(std::string(check_name(kind)), "");
   }
-  EXPECT_EQ(codes.size(), 6u);
+  EXPECT_EQ(codes.size(), 10u);
   EXPECT_STREQ(check_code(CheckKind::kConstruction), "PMV001");
   EXPECT_STREQ(check_code(CheckKind::kBankRange), "PMV002");
   EXPECT_STREQ(check_code(CheckKind::kPeriodicity), "PMV003");
   EXPECT_STREQ(check_code(CheckKind::kConflictFreedom), "PMV004");
   EXPECT_STREQ(check_code(CheckKind::kAddressInjectivity), "PMV005");
   EXPECT_STREQ(check_code(CheckKind::kTemplateAgreement), "PMV006");
+  EXPECT_STREQ(check_code(CheckKind::kAffineConflict), "PMV007");
+  EXPECT_STREQ(check_code(CheckKind::kAffineForm), "PMV008");
+  EXPECT_STREQ(check_code(CheckKind::kAffineDifferential), "PMV009");
+  EXPECT_STREQ(check_code(CheckKind::kAffineDegenerate), "PMV010");
   EXPECT_STREQ(check_name(CheckKind::kConflictFreedom), "conflict-freedom");
+  EXPECT_STREQ(check_name(CheckKind::kAffineConflict), "affine-conflict");
 }
 
 // ---- deliberately corrupted mutants the prover must reject ----
@@ -210,6 +217,97 @@ TEST(MafProver, ProveSupportReportsCounterexample) {
             SupportLevel::kNone);
   EXPECT_NE(counterexample.find("lanes"), std::string::npos);
   EXPECT_EQ(prove_support(model, PatternKind::kRect), SupportLevel::kAny);
+}
+
+// ---- symbolic affine layer (PMV007-PMV010) ----
+
+TEST(MafProver, FullProofCarriesAgreeingAffineSuite) {
+  for (Scheme scheme : maf::kAllSchemes) {
+    const ProverReport report = prove(scheme, 2, 4);
+    ASSERT_TRUE(report.ok) << report.summary();
+    ASSERT_FALSE(report.affine.empty());
+    for (const AffineProof& proof : report.affine) {
+      EXPECT_TRUE(proof.ok) << proof.pattern.spec();
+      EXPECT_EQ(proof.proven, proof.swept) << proof.pattern.spec();
+    }
+  }
+}
+
+TEST(MafProver, ProvableAffinePatternPasses) {
+  const AffineReport report = prove_affine_pattern(
+      Scheme::kReRo, 2, 4, AffinePattern::parse("lanes 1x8 ; i = 0 ; j = 3*v"));
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.proven, SupportLevel::kAny);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_NE(report.summary().find("PROVEN (any anchor)"), std::string::npos);
+}
+
+// Mutant 6 (PMV007): a stride-2 row folds lanes 0 and 4 onto one ReRo
+// bank — the symbolic refutation must carry a witness that replays to a
+// real bank collision on the production MAF.
+TEST(MafProverMutant, AffineConflictShipsReplayableWitness) {
+  const AffineReport report = prove_affine_pattern(
+      Scheme::kReRo, 2, 4, AffinePattern::parse("lanes 1x8 ; i = 0 ; j = 2*v"));
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.proven, SupportLevel::kNone);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.violations.front().check, CheckKind::kAffineConflict);
+  EXPECT_NE(report.violations.front().message.find("[PMV007]"),
+            std::string::npos);
+  ASSERT_TRUE(report.counterexample.has_value());
+  const AffineCounterexample& cx = *report.counterexample;
+  const maf::Maf maf(Scheme::kReRo, 2, 4);
+  EXPECT_FALSE(cx.elem_a.i == cx.elem_b.i && cx.elem_a.j == cx.elem_b.j);
+  EXPECT_EQ(maf.bank(cx.elem_a.i, cx.elem_a.j), cx.bank);
+  EXPECT_EQ(maf.bank(cx.elem_b.i, cx.elem_b.j), cx.bank);
+}
+
+// Mutant 7 (PMV008): a corrupted symbolic normal form must be caught by
+// the form check before any verdict built on it can be trusted.
+TEST(MafProverMutant, CorruptedSymbolicFormIsCaught) {
+  const maf::Maf reo(Scheme::kReO, 2, 4);
+  SymbolicMaf mutant = SymbolicMaf::of(reo);
+  mutant.forms.front().ci += 1;
+  const AffineReport report = prove_affine_pattern(
+      reo, mutant, AffinePattern::of(PatternKind::kRect, 2, 4));
+  EXPECT_FALSE(report.ok);
+  bool found = false;
+  for (const Violation& v : report.violations)
+    if (v.check == CheckKind::kAffineForm) {
+      found = true;
+      EXPECT_NE(v.message.find("[PMV008]"), std::string::npos);
+    }
+  EXPECT_TRUE(found) << report.summary();
+}
+
+// Mutant 8 (PMV009): feeding ReRo's symbolic form for a concrete ReO
+// makes the symbolic verdict (rows conflict-free) disagree with the
+// brute-force sweep — the differential check must refute it.
+TEST(MafProverMutant, SymbolicVsSweepDisagreementIsRefuted) {
+  const maf::Maf reo(Scheme::kReO, 2, 4);
+  const SymbolicMaf wrong = SymbolicMaf::of(maf::Maf(Scheme::kReRo, 2, 4));
+  const auto violation = check_affine_differential(
+      reo, wrong, AffinePattern::of(PatternKind::kRow, 2, 4),
+      AnchorClass::kAny);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->check, CheckKind::kAffineDifferential);
+  EXPECT_NE(violation->message.find("[PMV009]"), std::string::npos);
+}
+
+// Mutant 9 (PMV010): a pattern whose lane lattice touches an element
+// twice can never be conflict-free and must be rejected as degenerate,
+// not "refuted".
+TEST(MafProverMutant, AliasingAffinePatternIsDegenerate) {
+  const AffineReport report = prove_affine_pattern(
+      Scheme::kReO, 2, 4, AffinePattern::parse("lanes 2x4 ; i = 0 ; j = v"));
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.proven, SupportLevel::kNone);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.violations.front().check, CheckKind::kAffineDegenerate);
+  EXPECT_NE(report.violations.front().message.find("[PMV010]"),
+            std::string::npos);
+  EXPECT_NE(report.violations.front().message.find("alias"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "maf/maf.hpp"
+
 namespace polymem::verify {
 namespace {
 
@@ -211,6 +213,156 @@ TEST(PlanLint, BalancedTraceIsClean) {
   const auto trace = sched::AccessTrace::dense_block({0, 0}, 16, 16);
   const LintReport report = lint_trace(small_config(), trace);
   EXPECT_TRUE(report.diagnostics.empty()) << report.summary();
+}
+
+// ---- affine-op admission through the symbolic prover ----
+
+BatchOp affine_op(const std::string& spec, access::Coord start,
+                  access::Coord stride = {0, 0}, std::int64_t count = 1,
+                  BatchOp::Dir dir = BatchOp::Dir::kRead) {
+  BatchOp op;
+  op.dir = dir;
+  op.batch =
+      AccessBatch::strided(PatternKind::kRect, start, stride, count);
+  op.affine = AffinePattern::parse(spec);
+  return op;
+}
+
+TEST(PlanLintAffine, ProvenPatternIsAdmittedSilently) {
+  // A stride-3 row is proven conflict-free for ReRo at any anchor — no
+  // diagnostic at all, even at an unaligned anchor.
+  const std::vector<BatchOp> ops = {
+      affine_op("lanes 1x8 ; i = 0 ; j = 3*v", {3, 1}, {1, 0}, 4)};
+  const LintReport report = lint_program(small_config(), ops);
+  EXPECT_TRUE(report.diagnostics.empty()) << report.summary();
+}
+
+TEST(PlanLintAffine, RefutedPatternCarriesReplayableCounterexample) {
+  const std::vector<BatchOp> ops = {
+      affine_op("lanes 1x8 ; i = 0 ; j = 2*v", {0, 0})};
+  const LintReport report = lint_program(small_config(), ops);
+  EXPECT_FALSE(report.ok());
+  const Diagnostic& d = first_of(report, LintKind::kUnsupportedPattern);
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_NE(d.message.find("[PML003]"), std::string::npos);
+  EXPECT_NE(d.message.find("cannot serve"), std::string::npos);
+  ASSERT_TRUE(d.counterexample.has_value());
+  // The witness replays to a real bank collision on the production MAF.
+  const maf::Maf maf(Scheme::kReRo, 2, 4);
+  EXPECT_EQ(maf.bank(d.counterexample->elem_a), d.counterexample->bank);
+  EXPECT_EQ(maf.bank(d.counterexample->elem_b), d.counterexample->bank);
+}
+
+TEST(PlanLintAffine, AlignedOnlyProofGetsAnchorAndStrideLint) {
+  // RoCo serves rectangles only at aligned anchors: the affine rect is
+  // admitted, but an unaligned start is an error with the unaligned
+  // witness attached.
+  const std::string rect = "lanes 2x4 ; i = u ; j = v";
+  LintReport report = lint_program(small_config(Scheme::kRoCo),
+                                   {affine_op(rect, {1, 0})});
+  EXPECT_FALSE(report.ok());
+  {
+    const Diagnostic& d = first_of(report, LintKind::kUnalignedAnchor);
+    EXPECT_NE(d.message.find("[PML004]"), std::string::npos);
+    EXPECT_NE(d.message.find("affine"), std::string::npos);
+    EXPECT_TRUE(d.counterexample.has_value());
+  }
+  // Aligned start but a stride that leaves the aligned lattice.
+  report = lint_program(small_config(Scheme::kRoCo),
+                        {affine_op(rect, {0, 0}, {1, 0}, 4)});
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(first_of(report, LintKind::kMisalignedStride)
+                .message.find("[PML005]"),
+            std::string::npos);
+  // Aligned anchor walk: clean.
+  report = lint_program(small_config(Scheme::kRoCo),
+                        {affine_op(rect, {0, 0}, {2, 0}, 4)});
+  EXPECT_TRUE(report.diagnostics.empty()) << report.summary();
+}
+
+TEST(PlanLintAffine, DegeneratePatternIsRejected) {
+  // Lanes (0, v) and (1, v) alias the same elements.
+  const std::vector<BatchOp> ops = {
+      affine_op("lanes 2x4 ; i = 0 ; j = v", {0, 0})};
+  const LintReport report = lint_program(small_config(), ops);
+  EXPECT_FALSE(report.ok());
+  const Diagnostic& d = first_of(report, LintKind::kEmptyBatch);
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_NE(d.message.find("degenerate"), std::string::npos);
+}
+
+TEST(PlanLintAffine, LaneCountMustMatchMemoryLanes) {
+  const std::vector<BatchOp> ops = {
+      affine_op("lanes 1x4 ; i = 0 ; j = v", {0, 0})};
+  const LintReport report = lint_program(small_config(), ops);
+  EXPECT_FALSE(report.ok());
+  const Diagnostic& d = first_of(report, LintKind::kUnsupportedPattern);
+  EXPECT_NE(d.message.find("4 lanes"), std::string::npos);
+}
+
+TEST(PlanLintAffine, OutOfBoundsCornerIsFlagged) {
+  // Stride-3 row at column 48 reaches j = 48 + 21 = 69 in a 64-wide space.
+  const std::vector<BatchOp> ops = {
+      affine_op("lanes 1x8 ; i = 0 ; j = 3*v", {0, 48})};
+  const LintReport report = lint_program(small_config(), ops);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(first_of(report, LintKind::kOutOfBounds)
+                .message.find("[PML006]"),
+            std::string::npos);
+}
+
+TEST(PlanLintAffine, ReadAfterWriteHazardSeesAffineExtent) {
+  // The affine read's bounding box overlaps the earlier classic write, so
+  // the RAW hazard must fire even though no Table-I extent is involved.
+  std::vector<BatchOp> ops;
+  ops.push_back({BatchOp::Dir::kWrite,
+                 AccessBatch::strided(PatternKind::kRect, {0, 0}, {2, 0}, 8),
+                 std::nullopt});
+  ops.push_back(affine_op("lanes 1x8 ; i = 0 ; j = 3*v", {8, 0}));
+  const LintReport report = lint_program(small_config(), ops);
+  EXPECT_TRUE(report.ok());  // hazard is a warning
+  const Diagnostic& d = first_of(report, LintKind::kReadAfterWrite);
+  EXPECT_NE(d.message.find("[PML008]"), std::string::npos);
+  EXPECT_EQ(d.op, 1);
+  // Move the read clear of the write: no hazard.
+  ops[1].batch.start = {32, 0};
+  EXPECT_FALSE(
+      has_kind(lint_program(small_config(), ops), LintKind::kReadAfterWrite));
+}
+
+// ---- PML010 threshold boundary ----
+
+TEST(PlanLint, BankImbalanceFiresExactlyAtTwiceIdeal) {
+  // ReO 2x4: bank(i, j) = (i mod 2)*4 + (j mod 4). 16 elements over 8
+  // banks gives ideal = 2, so the warning threshold is worst >= 4.
+  std::vector<access::Coord> below;
+  for (std::int64_t k = 0; k < 3; ++k) below.push_back({0, 4 * k});  // bank 0
+  for (std::int64_t j = 1; j <= 3; ++j) {  // banks 1..3, two each
+    below.push_back({0, j});
+    below.push_back({0, j + 4});
+  }
+  for (std::int64_t j = 0; j <= 2; ++j) {  // banks 4..6, two each
+    below.push_back({1, j});
+    below.push_back({1, j + 4});
+  }
+  below.push_back({1, 3});  // bank 7
+  ASSERT_EQ(below.size(), 16u);
+  // worst = 3 < 2*ideal = 4: no warning.
+  EXPECT_FALSE(has_kind(
+      lint_trace(small_config(Scheme::kReO), sched::AccessTrace(
+                                                 std::vector(below))),
+      LintKind::kBankImbalance));
+
+  // Push bank 0 to exactly worst = 4 (swap the bank-7 element): fires.
+  std::vector<access::Coord> at = below;
+  at.back() = {0, 12};  // bank 0
+  const LintReport report =
+      lint_trace(small_config(Scheme::kReO), sched::AccessTrace(std::move(at)));
+  EXPECT_TRUE(report.ok());  // still a warning, not an error
+  const Diagnostic& d = first_of(report, LintKind::kBankImbalance);
+  EXPECT_NE(d.message.find("[PML010]"), std::string::npos);
+  EXPECT_NE(d.message.find("holds 4 of 16"), std::string::npos);
+  EXPECT_NE(d.message.find("balanced would be 2"), std::string::npos);
 }
 
 TEST(PlanLint, SummaryCountsErrorsAndWarnings) {

@@ -2,19 +2,33 @@
 // plans — drives verify/maf_prover and verify/plan_lint over a key=value
 // file and exits nonzero on violations (CI gate; see .github/workflows).
 //
-// Usage:   polymem_lint [--prove] <config-file>
+// Usage:   polymem_lint [--prove] [--format=text|json] <config-file>
+//          polymem_lint [--format=...] [--scheme S] [--p N] [--q N]
+//                       --prove-affine '<spec>' [config-file]
 //          polymem_lint --example        (prints a template and exits)
 //
 // The file sets the configuration (scheme, p, q, and either height/width
 // or capacity_kb) plus an optional batch program and traces:
 //
-//   opN    = <read|write> <pattern> at <i>,<j> [step <di>,<dj> x<count>]
-//                                              [outer <di>,<dj> x<count>]
-//   traceN = dense at <i>,<j> <rows>x<cols>
+//   opN     = <read|write> <pattern> at <i>,<j> [step <di>,<dj> x<count>]
+//                                               [outer <di>,<dj> x<count>]
+//   affineN = <read|write> { lanes <U>x<V> ; i = <expr> ; j = <expr> }
+//             at <i>,<j> [step ...] [outer ...]
+//   traceN  = dense at <i>,<j> <rows>x<cols>
+//
+// Affine ops are admitted through the symbolic conflict-freedom prover
+// (verify/affine_prover.hpp) instead of the Table-I capability oracle.
 //
 // --prove additionally runs the full static prover (conflict freedom over
 // the MAF period lattice, addressing injectivity, plan-template
-// agreement) for the configuration.
+// agreement, symbolic-vs-sweep differential) for the configuration.
+//
+// --prove-affine '<spec>' proves one affine pattern symbolically and
+// differentially validates the verdict against the brute-force sweep;
+// the scheme/p/q come from the config file or the --scheme/--p/--q flags.
+//
+// --format=json emits one machine-readable JSON document with stable
+// `code`/`severity` fields per diagnostic and structured counterexamples.
 //
 // Exit status: 0 clean, 1 lint errors or refuted proof, 2 usage/parse
 // errors.
@@ -22,6 +36,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
@@ -34,7 +49,10 @@ namespace {
 using polymem::ConfigFile;
 using polymem::core::AccessBatch;
 using polymem::core::PolyMemConfig;
+using polymem::verify::AffineCounterexample;
 using polymem::verify::BatchOp;
+using polymem::verify::Diagnostic;
+using polymem::verify::LintReport;
 
 constexpr const char* kExample =
     "# polymem_lint configuration: geometry + a batch program to check\n"
@@ -48,6 +66,10 @@ constexpr const char* kExample =
     "#                                         [outer <di>,<dj> x<count>]\n"
     "op1 = write rect at 0,0 step 0,4 x16 outer 2,0 x16\n"
     "op2 = read row at 32,0 step 1,0 x32\n"
+    "\n"
+    "# affineN = <read|write> { <affine spec> } at <i>,<j> [step ...]\n"
+    "# (admitted iff the symbolic prover shows the pattern conflict-free)\n"
+    "affine1 = read { lanes 1x8 ; i = 0 ; j = 3*v } at 0,0 step 1,0 x32\n"
     "\n"
     "# traceN = dense at <i>,<j> <rows>x<cols>\n"
     "trace1 = dense at 0,0 16x16\n";
@@ -84,37 +106,64 @@ std::int64_t parse_count(const std::string& key, const std::string& tok) {
   return n;
 }
 
-BatchOp parse_op(const std::string& key, const std::string& value) {
-  const auto tok = tokenize(value);
-  std::size_t t = 0;
+BatchOp::Dir parse_dir(const std::string& key, const std::string& value,
+                       const std::string& tok) {
+  if (tok == "read") return BatchOp::Dir::kRead;
+  if (tok == "write") return BatchOp::Dir::kWrite;
+  parse_fail(key, value, "op must start with read|write");
+}
+
+// Parses the shared op tail: "at <i>,<j> [step <di>,<dj> x<n>]
+// [outer <di>,<dj> x<n>]", starting at token `t`.
+void parse_op_tail(const std::string& key, const std::string& value,
+                   const std::vector<std::string>& tok, std::size_t t,
+                   AccessBatch& batch) {
   auto next = [&]() -> const std::string& {
     if (t >= tok.size()) parse_fail(key, value, "unexpected end of op");
     return tok[t++];
   };
-  BatchOp op;
-  const std::string dir = next();
-  if (dir == "read") {
-    op.dir = BatchOp::Dir::kRead;
-  } else if (dir == "write") {
-    op.dir = BatchOp::Dir::kWrite;
-  } else {
-    parse_fail(key, value, "op must start with read|write");
-  }
-  op.batch.kind = polymem::access::pattern_from_name(next());
   if (next() != "at") parse_fail(key, value, "expected 'at <i>,<j>'");
-  op.batch.start = parse_coord(key, next());
+  batch.start = parse_coord(key, next());
   while (t < tok.size()) {
     const std::string word = next();
     if (word == "step") {
-      op.batch.inner_stride = parse_coord(key, next());
-      op.batch.inner_count = parse_count(key, next());
+      batch.inner_stride = parse_coord(key, next());
+      batch.inner_count = parse_count(key, next());
     } else if (word == "outer") {
-      op.batch.outer_stride = parse_coord(key, next());
-      op.batch.outer_count = parse_count(key, next());
+      batch.outer_stride = parse_coord(key, next());
+      batch.outer_count = parse_count(key, next());
     } else {
       parse_fail(key, value, "unknown clause '" + word + "'");
     }
   }
+}
+
+BatchOp parse_op(const std::string& key, const std::string& value) {
+  const auto tok = tokenize(value);
+  if (tok.empty()) parse_fail(key, value, "empty op");
+  BatchOp op;
+  op.dir = parse_dir(key, value, tok[0]);
+  if (tok.size() < 2) parse_fail(key, value, "missing pattern");
+  op.batch.kind = polymem::access::pattern_from_name(tok[1]);
+  parse_op_tail(key, value, tok, 2, op.batch);
+  return op;
+}
+
+// affineN = <read|write> { <affine spec> } at <i>,<j> [step ...] — the
+// spec between the braces goes through AffinePattern::parse verbatim.
+BatchOp parse_affine_op(const std::string& key, const std::string& value) {
+  const auto open = value.find('{');
+  const auto close = value.find('}', open == std::string::npos ? 0 : open);
+  if (open == std::string::npos || close == std::string::npos)
+    parse_fail(key, value, "expected '{ <affine spec> }'");
+  BatchOp op;
+  const auto head = tokenize(value.substr(0, open));
+  if (head.size() != 1) parse_fail(key, value, "expected read|write before {");
+  op.dir = parse_dir(key, value, head[0]);
+  op.affine = polymem::verify::AffinePattern::parse(
+      value.substr(open + 1, close - open - 1));
+  const auto tok = tokenize(value.substr(close + 1));
+  parse_op_tail(key, value, tok, 0, op.batch);
   return op;
 }
 
@@ -152,65 +201,262 @@ PolyMemConfig parse_config(const ConfigFile& file) {
                                       q);
 }
 
+// --- JSON rendering ---------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::ostringstream os;
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+std::string json_counterexample(const AffineCounterexample& cx) {
+  std::ostringstream os;
+  os << "{\"anchor\": [" << cx.anchor.i << ", " << cx.anchor.j
+     << "], \"lane_a\": " << cx.lane_a << ", \"lane_b\": " << cx.lane_b
+     << ", \"elem_a\": [" << cx.elem_a.i << ", " << cx.elem_a.j
+     << "], \"elem_b\": [" << cx.elem_b.i << ", " << cx.elem_b.j
+     << "], \"bank\": " << cx.bank << '}';
+  return os.str();
+}
+
+std::string json_diagnostic(const char* source, const Diagnostic& d) {
+  std::ostringstream os;
+  os << "    {\"source\": \"" << json_escape(source) << "\", \"code\": \""
+     << polymem::verify::lint_code(d.kind) << "\", \"name\": \""
+     << polymem::verify::lint_name(d.kind) << "\", \"severity\": \""
+     << polymem::verify::severity_name(d.severity) << "\", \"op\": " << d.op
+     << ", \"message\": \"" << json_escape(d.message) << '"';
+  if (d.counterexample.has_value())
+    os << ", \"counterexample\": " << json_counterexample(*d.counterexample);
+  os << '}';
+  return os.str();
+}
+
+std::string json_violation(const polymem::verify::Violation& v) {
+  std::ostringstream os;
+  os << "    {\"code\": \"" << polymem::verify::check_code(v.check)
+     << "\", \"name\": \"" << polymem::verify::check_name(v.check)
+     << "\", \"severity\": \"error\", \"message\": \""
+     << json_escape(v.message) << "\"}";
+  return os.str();
+}
+
+void json_array(std::ostringstream& os, const char* key,
+                const std::vector<std::string>& items) {
+  os << "  \"" << key << "\": [";
+  for (std::size_t k = 0; k < items.size(); ++k)
+    os << (k == 0 ? "\n" : ",\n") << items[k];
+  os << (items.empty() ? "]" : "\n  ]");
+}
+
+// --- run modes --------------------------------------------------------
+
+struct Options {
+  bool prove = false;
+  bool json = false;
+  std::string path;
+  std::string affine_spec;  // --prove-affine
+  std::string scheme_flag;  // --scheme (prove-affine without a file)
+  std::int64_t p_flag = 0;  // --p
+  std::int64_t q_flag = 0;  // --q
+};
+
+int run_lint(const Options& opt) {
+  const auto file = ConfigFile::load(opt.path);
+  const PolyMemConfig cfg = parse_config(file);
+  std::vector<BatchOp> ops;
+  std::vector<std::pair<std::string, polymem::sched::AccessTrace>> traces;
+  for (const auto& [key, value] : file.entries()) {
+    if (key.rfind("affine", 0) == 0)
+      ops.push_back(parse_affine_op(key, value));
+    else if (key.rfind("op", 0) == 0)
+      ops.push_back(parse_op(key, value));
+    if (key.rfind("trace", 0) == 0)
+      traces.emplace_back(key, parse_trace(key, value));
+  }
+
+  bool clean = true;
+  const LintReport program = polymem::verify::lint_program(cfg, ops);
+  clean = clean && program.ok();
+  struct TraceResult {
+    std::string name;
+    std::int64_t size = 0;
+    LintReport report;
+  };
+  std::vector<TraceResult> trace_reports;
+  for (const auto& [name, trace] : traces) {
+    trace_reports.push_back(
+        {name, static_cast<std::int64_t>(trace.size()),
+         polymem::verify::lint_trace(cfg, trace)});
+    clean = clean && trace_reports.back().report.ok();
+  }
+  polymem::verify::ProverReport prover;
+  if (opt.prove) {
+    prover = polymem::verify::prove(cfg);
+    clean = clean && prover.ok;
+  }
+
+  if (opt.json) {
+    std::vector<std::string> diags;
+    for (const Diagnostic& d : program.diagnostics)
+      diags.push_back(json_diagnostic("program", d));
+    for (const TraceResult& t : trace_reports)
+      for (const Diagnostic& d : t.report.diagnostics)
+        diags.push_back(json_diagnostic(t.name.c_str(), d));
+    std::size_t errors = program.errors();
+    std::size_t warnings = program.warnings();
+    for (const TraceResult& t : trace_reports) {
+      errors += t.report.errors();
+      warnings += t.report.warnings();
+    }
+    std::ostringstream os;
+    os << "{\n  \"config\": {\"scheme\": \""
+       << polymem::maf::scheme_name(cfg.scheme) << "\", \"p\": " << cfg.p
+       << ", \"q\": " << cfg.q << ", \"height\": " << cfg.height
+       << ", \"width\": " << cfg.width << "},\n";
+    json_array(os, "diagnostics", diags);
+    os << ",\n";
+    if (opt.prove) {
+      std::vector<std::string> violations;
+      for (const auto& v : prover.violations)
+        violations.push_back(json_violation(v));
+      os << "  \"prove\": {\"ok\": " << (prover.ok ? "true" : "false")
+         << ", \"violations\": [";
+      for (std::size_t k = 0; k < violations.size(); ++k)
+        os << (k == 0 ? "\n" : ",\n") << "  " << violations[k];
+      os << (violations.empty() ? "]" : "\n  ]") << "},\n";
+    }
+    os << "  \"errors\": " << errors << ",\n  \"warnings\": " << warnings
+       << ",\n  \"ok\": " << (clean ? "true" : "false") << "\n}";
+    std::printf("%s\n", os.str().c_str());
+  } else {
+    std::printf("lint: %s scheme %s, %ux%u banks, %lld x %lld elements\n",
+                opt.path.c_str(), polymem::maf::scheme_name(cfg.scheme),
+                cfg.p, cfg.q, static_cast<long long>(cfg.height),
+                static_cast<long long>(cfg.width));
+    std::printf("program (%zu op(s)):\n%s\n", ops.size(),
+                program.summary().c_str());
+    for (const TraceResult& t : trace_reports) {
+      std::printf("%s (%lld element(s)):\n%s\n", t.name.c_str(),
+                  static_cast<long long>(t.size), t.report.summary().c_str());
+    }
+    if (opt.prove) std::printf("%s\n", prover.summary().c_str());
+  }
+  return clean ? 0 : 1;
+}
+
+int run_prove_affine(const Options& opt) {
+  polymem::maf::Scheme scheme = polymem::maf::Scheme::kReRo;
+  unsigned p = 2, q = 4;
+  if (!opt.path.empty()) {
+    const PolyMemConfig cfg = parse_config(ConfigFile::load(opt.path));
+    scheme = cfg.scheme;
+    p = cfg.p;
+    q = cfg.q;
+  }
+  if (!opt.scheme_flag.empty())
+    scheme = polymem::maf::scheme_from_name(opt.scheme_flag);
+  if (opt.p_flag > 0) p = static_cast<unsigned>(opt.p_flag);
+  if (opt.q_flag > 0) q = static_cast<unsigned>(opt.q_flag);
+
+  const auto pattern = polymem::verify::AffinePattern::parse(opt.affine_spec);
+  const auto report =
+      polymem::verify::prove_affine_pattern(scheme, p, q, pattern);
+
+  if (opt.json) {
+    std::vector<std::string> violations;
+    for (const auto& v : report.violations)
+      violations.push_back(json_violation(v));
+    std::ostringstream os;
+    os << "{\n  \"mode\": \"prove-affine\",\n  \"config\": {\"scheme\": \""
+       << polymem::maf::scheme_name(report.scheme)
+       << "\", \"p\": " << report.p << ", \"q\": " << report.q << "},\n"
+       << "  \"pattern\": \"" << json_escape(report.pattern.spec())
+       << "\",\n  \"proven\": \""
+       << polymem::maf::support_level_name(report.proven) << "\",\n";
+    if (report.counterexample.has_value())
+      os << "  \"counterexample\": "
+         << json_counterexample(*report.counterexample) << ",\n";
+    json_array(os, "violations", violations);
+    os << ",\n  \"ok\": " << (report.ok ? "true" : "false") << "\n}";
+    std::printf("%s\n", os.str().c_str());
+  } else {
+    std::printf("%s\n", report.summary().c_str());
+  }
+  return report.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool prove = false;
-  std::string path;
+  Options opt;
+  bool usage_error = false;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
+    auto flag_value = [&](const char* name) -> std::string {
+      if (++a >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", name);
+        usage_error = true;
+        return {};
+      }
+      return argv[a];
+    };
     if (arg == "--example") {
       std::fputs(kExample, stdout);
       return 0;
     }
     if (arg == "--prove") {
-      prove = true;
-    } else if (path.empty()) {
-      path = arg;
+      opt.prove = true;
+    } else if (arg == "--format=json") {
+      opt.json = true;
+    } else if (arg == "--format=text") {
+      opt.json = false;
+    } else if (arg == "--prove-affine") {
+      opt.affine_spec = flag_value("--prove-affine");
+    } else if (arg == "--scheme") {
+      opt.scheme_flag = flag_value("--scheme");
+    } else if (arg == "--p") {
+      opt.p_flag = std::atoll(flag_value("--p").c_str());
+    } else if (arg == "--q") {
+      opt.q_flag = std::atoll(flag_value("--q").c_str());
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error = true;
+      break;
+    } else if (opt.path.empty()) {
+      opt.path = arg;
     } else {
-      path.clear();
+      usage_error = true;
       break;
     }
   }
-  if (path.empty()) {
-    std::fprintf(stderr, "usage: %s [--prove] <config-file> | --example\n",
-                 argv[0]);
+  if (usage_error || (opt.path.empty() && opt.affine_spec.empty())) {
+    std::fprintf(stderr,
+                 "usage: %s [--prove] [--format=text|json] <config-file>\n"
+                 "       %s [--format=...] [--scheme S] [--p N] [--q N] "
+                 "--prove-affine '<spec>' [config-file]\n"
+                 "       %s --example\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
 
   try {
-    const auto file = ConfigFile::load(path);
-    const PolyMemConfig cfg = parse_config(file);
-    std::vector<BatchOp> ops;
-    std::vector<std::pair<std::string, polymem::sched::AccessTrace>> traces;
-    for (const auto& [key, value] : file.entries()) {
-      if (key.rfind("op", 0) == 0) ops.push_back(parse_op(key, value));
-      if (key.rfind("trace", 0) == 0)
-        traces.emplace_back(key, parse_trace(key, value));
-    }
-
-    bool clean = true;
-    std::printf("lint: %s scheme %s, %ux%u banks, %lld x %lld elements\n",
-                path.c_str(), polymem::maf::scheme_name(cfg.scheme), cfg.p,
-                cfg.q, static_cast<long long>(cfg.height),
-                static_cast<long long>(cfg.width));
-    const auto program = polymem::verify::lint_program(cfg, ops);
-    std::printf("program (%zu op(s)):\n%s\n", ops.size(),
-                program.summary().c_str());
-    clean = clean && program.ok();
-    for (const auto& [name, trace] : traces) {
-      const auto report = polymem::verify::lint_trace(cfg, trace);
-      std::printf("%s (%lld element(s)):\n%s\n", name.c_str(),
-                  static_cast<long long>(trace.size()),
-                  report.summary().c_str());
-      clean = clean && report.ok();
-    }
-    if (prove) {
-      const auto report = polymem::verify::prove(cfg);
-      std::printf("%s\n", report.summary().c_str());
-      clean = clean && report.ok;
-    }
-    return clean ? 0 : 1;
+    if (!opt.affine_spec.empty()) return run_prove_affine(opt);
+    return run_lint(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
