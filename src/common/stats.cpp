@@ -58,6 +58,69 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+Reservoir::Reservoir(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), state_(seed) {
+  POLYMEM_REQUIRE(capacity > 0, "reservoir capacity must be positive");
+  samples_.reserve(capacity);
+}
+
+std::uint64_t Reservoir::next_random() {
+  // splitmix64: the same constants as runtime::derive_seed, kept local so
+  // common/ stays dependency-free.
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void Reservoir::add(double x) {
+  ++count_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(x);
+    return;
+  }
+  // Replace a random slot with probability capacity/count: slot index
+  // uniform in [0, count); keep only when it lands inside the reservoir.
+  const std::uint64_t slot = next_random() % count_;
+  if (slot < capacity_) samples_[static_cast<std::size_t>(slot)] = x;
+}
+
+double Reservoir::percentile(double pct) const {
+  POLYMEM_REQUIRE(pct >= 0.0 && pct <= 100.0,
+                  "percentile must lie in [0, 100]");
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank =
+      pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Reservoir::Summary Reservoir::summary() const {
+  Summary s;
+  s.count = count_;
+  if (samples_.empty()) return s;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto at = [&](double pct) {
+    const double rank =
+        pct / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  };
+  s.min = sorted.front();
+  s.p50 = at(50.0);
+  s.p95 = at(95.0);
+  s.p99 = at(99.0);
+  s.max = sorted.back();
+  return s;
+}
+
 double mean_abs_error(const std::vector<double>& a,
                       const std::vector<double>& b) {
   POLYMEM_REQUIRE(a.size() == b.size() && !a.empty(),

@@ -59,6 +59,58 @@ class RunningStats {
   double m2_ = 0.0;
 };
 
+/// Fixed-capacity percentile reservoir (Vitter's algorithm R): add() every
+/// sample, keep a uniform random subset of at most `capacity`, and answer
+/// p50/p95/p99 queries over the retained set. While the stream fits the
+/// capacity the answer is exact; beyond it, each sample survives with
+/// probability capacity/count, so tail percentiles stay unbiased without
+/// storing millions of latency points. The replacement RNG is a seeded
+/// splitmix64 walk — deterministic run to run, like every generator in
+/// this library. Used by the service load generator (bench/bench_service)
+/// and the parallel-runtime bench for latency distributions.
+class Reservoir {
+ public:
+  explicit Reservoir(std::size_t capacity = 4096, std::uint64_t seed = 1);
+
+  void add(double x);
+
+  /// Samples offered / retained.
+  std::uint64_t count() const { return count_; }
+  std::size_t size() const { return samples_.size(); }
+
+  /// The pct-th percentile (pct in [0, 100]) of the retained samples by
+  /// linear interpolation; NaN when empty.
+  double percentile(double pct) const;
+
+  struct Summary {
+    std::uint64_t count = 0;
+    double min = 0, p50 = 0, p95 = 0, p99 = 0, max = 0;
+  };
+  /// min/p50/p95/p99/max in one sort of the retained set.
+  Summary summary() const;
+
+ private:
+  std::uint64_t next_random();
+
+  std::size_t capacity_;
+  std::uint64_t state_;
+  std::uint64_t count_ = 0;
+  std::vector<double> samples_;
+};
+
+/// High-water gauge: tracks the maximum value ever recorded (queue depth,
+/// in-flight population). Single-writer; readers take snapshots via max().
+class HighWater {
+ public:
+  void record(std::uint64_t value) {
+    if (value > max_) max_ = value;
+  }
+  std::uint64_t max() const { return max_; }
+
+ private:
+  std::uint64_t max_ = 0;
+};
+
 /// Mean absolute error between two equal-length series.
 double mean_abs_error(const std::vector<double>& a,
                       const std::vector<double>& b);

@@ -51,4 +51,59 @@ struct AccessBatch {
   friend bool operator==(const AccessBatch&, const AccessBatch&) = default;
 };
 
+/// Greedy run detector: folds a stream of parallel accesses into maximal
+/// constant-stride, same-pattern runs, each expressible as one strided
+/// AccessBatch. This is the batch-coalescing entry point of the service
+/// layer (src/service): a port queue feeds the accesses it pops in FIFO
+/// order, and every emitted run is compiled once and executed as a single
+/// gather/scatter — amortizing one ExecPlan over many requests.
+///
+/// Semantics: the first access opens a run; the second fixes the stride
+/// (any value, including zero); each later access must repeat the pattern
+/// kind and continue the arithmetic progression. try_add leaves the run
+/// untouched when the access does not extend it, so the caller can stop
+/// popping, take() the batch, and start the next run with the rejected
+/// access.
+class BatchCoalescer {
+ public:
+  bool empty() const { return len_ == 0; }
+  std::int64_t size() const { return len_; }
+
+  /// True when `access` joined (or opened) the pending run.
+  bool try_add(const access::ParallelAccess& access) {
+    if (len_ == 0) {
+      kind_ = access.kind;
+      start_ = access.anchor;
+      len_ = 1;
+      return true;
+    }
+    if (access.kind != kind_) return false;
+    if (len_ == 1) {
+      stride_ = {access.anchor.i - start_.i, access.anchor.j - start_.j};
+      next_ = {access.anchor.i + stride_.i, access.anchor.j + stride_.j};
+      len_ = 2;
+      return true;
+    }
+    if (access.anchor != next_) return false;
+    next_ = {next_.i + stride_.i, next_.j + stride_.j};
+    ++len_;
+    return true;
+  }
+
+  /// The pending run as a 1D strided batch; resets the coalescer.
+  AccessBatch take() {
+    const AccessBatch batch = AccessBatch::strided(
+        kind_, start_, len_ >= 2 ? stride_ : access::Coord{0, 0}, len_);
+    len_ = 0;
+    return batch;
+  }
+
+ private:
+  access::PatternKind kind_ = access::PatternKind::kRect;
+  access::Coord start_;
+  access::Coord stride_;
+  access::Coord next_;
+  std::int64_t len_ = 0;
+};
+
 }  // namespace polymem::core

@@ -1,10 +1,27 @@
 #include "core/exec_plan.hpp"
 
+#include <numeric>
+
 namespace polymem::core {
+
+namespace {
+
+/// Steps of `stride` until the anchor returns to the same residue class
+/// modulo the MAF's axis period (1 when the stride never moves the axis).
+std::int64_t axis_period(std::int64_t period, std::int64_t stride) {
+  if (stride == 0) return 1;
+  const std::int64_t magnitude = stride < 0 ? -stride : stride;
+  return period / std::gcd(period, magnitude);
+}
+
+}  // namespace
 
 ExecPlan::Tables& ExecPlan::acquire_table(const PlanTemplate* tmpl,
                                           BankArray& banks) {
   if (used_ == tables_.size()) tables_.emplace_back();
+  // Building into a slot below pool_size_ evicts the retained table that
+  // lived there; otherwise the pool grows by the new entry.
+  if (used_ >= pool_size_) pool_size_ = used_ + 1;
   Tables& t = tables_[used_++];
   t.tmpl = tmpl;
   const unsigned lanes = lanes_;
@@ -40,8 +57,31 @@ ExecPlan::Tables& ExecPlan::acquire_table(const PlanTemplate* tmpl,
   return t;
 }
 
+std::int32_t ExecPlan::resolve_table(const PlanTemplate* tmpl,
+                                     BankArray& banks) {
+  for (std::size_t m = 0; m < used_; ++m) {
+    if (tables_[m].tmpl == tmpl) return static_cast<std::int32_t>(m);
+  }
+  for (std::size_t m = used_; m < pool_size_; ++m) {
+    if (tables_[m].tmpl == tmpl) {
+      // Retained from an earlier compile: swap into the live prefix so
+      // tmpl_of_ stays dense — no pointer-table rebuild.
+      std::swap(tables_[used_], tables_[m]);
+      return static_cast<std::int32_t>(used_++);
+    }
+  }
+  if (used_ == kMaxTables) return -1;
+  acquire_table(tmpl, banks);
+  return static_cast<std::int32_t>(used_ - 1);
+}
+
 bool ExecPlan::compile(const AccessBatch& batch, PlanCache& cache,
                        BankArray& banks, unsigned lanes) {
+  if (pool_key_ != &banks || lanes_ != lanes ||
+      ports_ != banks.read_ports()) {
+    pool_size_ = 0;  // pointer tables belong to another memory; rebuild
+    pool_key_ = &banks;
+  }
   count_ = batch.count();
   lanes_ = lanes;
   ports_ = banks.read_ports();
@@ -51,31 +91,68 @@ bool ExecPlan::compile(const AccessBatch& batch, PlanCache& cache,
 
   PlanCache::Memo memo;
   std::int32_t last = -1;  // table index the previous access resolved to
-  std::int64_t t = 0;
+  const auto resolve = [&](std::int64_t t,
+                           const access::ParallelAccess& acc) -> bool {
+    std::int64_t delta = 0;
+    const PlanTemplate* tmpl = cache.lookup(acc, delta, memo);
+    if (tmpl == nullptr) return false;
+    if (last < 0 || tables_[static_cast<std::size_t>(last)].tmpl != tmpl) {
+      last = resolve_table(tmpl, banks);
+      if (last < 0) return false;
+    }
+    tmpl_of_[static_cast<std::size_t>(t)] = last;
+    delta_[static_cast<std::size_t>(t)] = delta;
+    return true;
+  };
+
   access::ParallelAccess acc{batch.kind, batch.start};
+  if (batch.outer_count == 1) {
+    // Single strided walk — the shape every coalesced service run takes.
+    // Anchors repeat their residue class every `period` steps (the MAF's
+    // axis periods divided by the stride), and within one class the
+    // per-anchor delta is affine in the block coordinates (see
+    // plan_cache.hpp), so after resolving one full period plus one
+    // access, the rest of the batch is a copy with a constant delta
+    // advance — no cache lookups. The caller already bounds-checked the
+    // whole batch (PolyMem::validate_batch corner check), so skipping
+    // lookup() skips only work, never a safety check.
+    const std::int64_t period =
+        axis_period(cache.period_i(), batch.inner_stride.i) *
+        axis_period(cache.period_j(), batch.inner_stride.j);
+    const std::int64_t head =
+        (period > 0 && period + 1 < count_) ? period + 1 : count_;
+    std::int64_t t = 0;
+    for (; t < head; ++t) {
+      if (!resolve(t, acc)) return false;
+      acc.anchor.i += batch.inner_stride.i;
+      acc.anchor.j += batch.inner_stride.j;
+    }
+    if (t < count_ &&
+        tmpl_of_[static_cast<std::size_t>(period)] == tmpl_of_[0]) {
+      const std::int64_t advance =
+          delta_[static_cast<std::size_t>(period)] - delta_[0];
+      for (; t < count_; ++t) {
+        const auto cur = static_cast<std::size_t>(t);
+        const auto prev = static_cast<std::size_t>(t - period);
+        tmpl_of_[cur] = tmpl_of_[prev];
+        delta_[cur] = delta_[prev] + advance;
+      }
+    } else {
+      for (; t < count_; ++t) {
+        if (!resolve(t, acc)) return false;
+        acc.anchor.i += batch.inner_stride.i;
+        acc.anchor.j += batch.inner_stride.j;
+      }
+    }
+    return used_ > 0 || count_ == 0;
+  }
+
+  std::int64_t t = 0;
   for (std::int64_t o = 0; o < batch.outer_count; ++o) {
     acc.anchor = {batch.start.i + o * batch.outer_stride.i,
                   batch.start.j + o * batch.outer_stride.j};
     for (std::int64_t k = 0; k < batch.inner_count; ++k) {
-      std::int64_t delta = 0;
-      const PlanTemplate* tmpl = cache.lookup(acc, delta, memo);
-      if (tmpl == nullptr) return false;
-      if (last < 0 || tables_[static_cast<std::size_t>(last)].tmpl != tmpl) {
-        last = -1;
-        for (std::size_t m = 0; m < used_; ++m) {
-          if (tables_[m].tmpl == tmpl) {
-            last = static_cast<std::int32_t>(m);
-            break;
-          }
-        }
-        if (last < 0) {
-          if (used_ == kMaxTables) return false;
-          acquire_table(tmpl, banks);
-          last = static_cast<std::int32_t>(used_ - 1);
-        }
-      }
-      tmpl_of_[static_cast<std::size_t>(t)] = last;
-      delta_[static_cast<std::size_t>(t)] = delta;
+      if (!resolve(t, acc)) return false;
       ++t;
       acc.anchor.i += batch.inner_stride.i;
       acc.anchor.j += batch.inner_stride.j;

@@ -94,11 +94,22 @@ class ExecPlan {
 
  private:
   Tables& acquire_table(const PlanTemplate* tmpl, BankArray& banks);
+  std::int32_t resolve_table(const PlanTemplate* tmpl, BankArray& banks);
 
   simd::AlignedVec<std::int32_t> tmpl_of_;
   simd::AlignedVec<std::int64_t> delta_;
-  std::vector<Tables> tables_;  // entries reused across recompiles
-  std::size_t used_ = 0;        // live prefix of tables_
+  // Table pool. [0, used_) is the current batch's tables in first-use
+  // order — the dense prefix tmpl_of_ indexes and uniform() relies on.
+  // [used_, pool_size_) retains tables built by earlier compiles of the
+  // same (banks, lanes) pairing: a drain loop recompiling run after run
+  // cycles through the same few residue classes, and rebuilding their
+  // pointer tables dominated recompile cost. Reuse swaps a retained
+  // table into the live prefix instead of rebuilding it; the pool is
+  // dropped whenever the bank storage, lane count or port count change.
+  std::vector<Tables> tables_;
+  std::size_t used_ = 0;
+  std::size_t pool_size_ = 0;
+  const void* pool_key_ = nullptr;  // BankArray the pool was built against
   std::int64_t count_ = 0;
   unsigned lanes_ = 0;
   unsigned ports_ = 0;

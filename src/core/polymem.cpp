@@ -290,6 +290,34 @@ void PolyMem::read_batch(const AccessBatch& batch, unsigned port,
   }
 }
 
+bool PolyMem::compile_batch(const AccessBatch& batch, ExecPlan& plan) {
+  validate_batch(batch);
+  if (batch.count() == 0 || !use_plan_cache_ || !plan_cache_.enabled())
+    return false;
+  return plan.compile(batch, plan_cache_, banks_, config_.lanes());
+}
+
+void PolyMem::read_compiled(const ExecPlan& plan, unsigned port,
+                            std::span<Word> out) {
+  POLYMEM_REQUIRE(port < config_.read_ports, "read port out of range");
+  POLYMEM_REQUIRE(
+      out.size() == static_cast<std::size_t>(plan.count()) * plan.lanes(),
+      "batch read buffer must provide count * lanes words");
+  exec_read(plan, port, 0, plan.count(), out.data());
+  banks_.add_bulk_reads(port, static_cast<std::uint64_t>(plan.count()));
+  parallel_reads_ += static_cast<std::uint64_t>(plan.count());
+}
+
+void PolyMem::write_compiled(const ExecPlan& plan,
+                             std::span<const Word> data) {
+  POLYMEM_REQUIRE(
+      data.size() == static_cast<std::size_t>(plan.count()) * plan.lanes(),
+      "batch write buffer must provide count * lanes words");
+  exec_write(plan, 0, plan.count(), data.data());
+  banks_.add_bulk_writes(static_cast<std::uint64_t>(plan.count()));
+  parallel_writes_ += static_cast<std::uint64_t>(plan.count());
+}
+
 void PolyMem::read_batch_mt(const AccessBatch& batch,
                             runtime::ThreadPool& pool, std::span<Word> out) {
   validate_batch(batch);

@@ -121,6 +121,24 @@ class PolyMem {
   void read_batch_mt(const AccessBatch& batch, runtime::ThreadPool& pool,
                      std::span<Word> out);
 
+  /// Service-drain entry points (src/service): compile a batch into a
+  /// *caller-owned* plan and execute it later. The service loop drains a
+  /// coalesced run per iteration, and the runs differ call to call, so
+  /// the 4-slot replay memo behind read_batch would thrash; a drain that
+  /// owns one ExecPlan instead recompiles it in place — ExecPlan reuses
+  /// its capacity, so steady-state recompiles allocate nothing. Returns
+  /// false (plan unusable; serve the batch per access instead) when the
+  /// plan cache cannot supply a template for every access. The plan's
+  /// pointer tables stay valid for this PolyMem's lifetime but belong to
+  /// this PolyMem only.
+  bool compile_batch(const AccessBatch& batch, ExecPlan& plan);
+
+  /// Executes a plan compiled by compile_batch on this PolyMem: the whole
+  /// batch as one gather on read port `port` / one scatter, with the same
+  /// bulk counter accounting as read_batch / write_batch.
+  void read_compiled(const ExecPlan& plan, unsigned port, std::span<Word> out);
+  void write_compiled(const ExecPlan& plan, std::span<const Word> data);
+
   /// Fused copy: per element t, reads `from.access(t)` and writes the data
   /// to `to.access(t)` in the same cycle (read-before-write, like
   /// read_write) — the STREAM-Copy inner loop without the host round trip.

@@ -31,6 +31,13 @@ ThreadPool& ThreadPool::hardware() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Design rule 3: a pool of size 0 degrades to serial execution. Without
+  // workers a queued task would never run (and wait_idle would block
+  // forever), so run it on the caller right away.
+  if (workers_.empty()) {
+    task();
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     POLYMEM_REQUIRE(!stop_, "submit on a stopped ThreadPool");

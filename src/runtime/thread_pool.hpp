@@ -60,7 +60,8 @@ class ThreadPool {
 
   /// Enqueues one task. Tasks must not throw (parallel_for wraps user
   /// callables and routes their exceptions; raw submit is for internal
-  /// and test use).
+  /// and test use). On a pool of size 0 the task runs inline on the
+  /// calling thread (design rule 3: no workers degrades to serial).
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished (test/teardown aid;

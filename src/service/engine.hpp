@@ -1,0 +1,237 @@
+// ServiceEngine — the concurrent request engine over one PolyMem.
+//
+// Clients submit (tenant, access, payload) requests into bounded per-port
+// queues (service/port_queue.hpp); one drain loop — a long-running task
+// on the shared runtime::ThreadPool — serves them:
+//
+//   submit -> enqueue -> coalesce -> compiled drain -> in-flight -> complete
+//
+//  - *Coalesce.* Each drain pops the longest constant-stride FIFO prefix
+//    of one port (round-robin across ports = cycle order) and compiles it
+//    into the engine's own ExecPlan (PolyMem::compile_batch), so one
+//    compiled gather/scatter serves the whole run — the 8.7-8.9 ns/access
+//    SIMD path (BENCH_core.json) amortized over many requests instead of
+//    idling between synchronous read_batch calls. Runs of one request,
+//    and runs the plan cache cannot serve, fall back to the per-access
+//    plan-template path (read_into); results are identical either way.
+//  - *In-flight tracking.* Executed runs enter a cycle-ordered
+//    std::multimap keyed by modeled completion cycle (issue cycle +
+//    config read_latency, + a miss penalty when a tile-cached engine
+//    faulted), the mgsim ParallelMemory idiom. Completions retire in
+//    cycle order; each request's listener fires exactly once. One map
+//    node and one recycled data buffer per *run*, not per request, so
+//    the steady-state drain allocates nothing.
+//  - *Admission control.* Bounded queues shed with Status::kOverloaded
+//    instead of growing without bound; malformed requests are rejected
+//    synchronously with Status::kRejected; submits after stop() return
+//    Status::kShutdown.
+//
+// Two backing modes share the engine:
+//  - *direct*: requests address PolyMem coordinates of a caller-owned
+//    memory — the in-core engine the 1-port/multi-port benches use;
+//  - *tile-cached*: requests address matrix coordinates of a TileCache's
+//    LMem-resident matrix; the drain faults tiles in (counting misses
+//    into the completion latency) and translates anchors to cache
+//    frames. Coalesced runs are constrained to one tile so the whole
+//    run translates with a single offset. This is the per-shard engine
+//    of service/sharded.hpp.
+//
+// Threading: any number of submitters; exactly one drain thread, which
+// is the only thread to touch the PolyMem (and TileCache) — the same
+// single-consumer contract as TileCache itself. Listeners run on the
+// drain thread; they may submit (the drain holds no queue lock while
+// delivering) but must not call the manual pumps.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cache/tile_cache.hpp"
+#include "core/exec_plan.hpp"
+#include "core/polymem.hpp"
+#include "maf/conflict.hpp"
+#include "runtime/thread_pool.hpp"
+#include "service/port_queue.hpp"
+#include "service/request.hpp"
+
+namespace polymem::service {
+
+struct EngineOptions {
+  /// Submit queues; queue `port` reads through PolyMem replica
+  /// `port % read_ports`, so tenants hashed to different queues use
+  /// independent read ports.
+  unsigned ports = 1;
+  /// Per-port queue bound; try_push sheds with kOverloaded beyond it.
+  std::size_t queue_bound = 256;
+  /// Longest run one drain serves (and one ExecPlan compile amortizes).
+  std::size_t max_coalesce = 64;
+  /// Extra cycles the drain clock stalls when a tile-cached drain
+  /// faulted the run's tile in (the synchronous DRAM refill; it delays
+  /// this run's completion and every later issue).
+  std::uint64_t miss_penalty_cycles = 64;
+};
+
+struct EngineStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;      ///< kOverloaded submissions (all ports)
+  std::uint64_t rejected = 0;  ///< kRejected submissions
+  std::uint64_t completed_reads = 0;
+  std::uint64_t completed_writes = 0;
+  std::uint64_t shutdown_completions = 0;
+  std::uint64_t drained_runs = 0;       ///< batches executed
+  std::uint64_t drained_requests = 0;   ///< requests inside those batches
+  std::uint64_t compiled_runs = 0;      ///< runs served by one ExecPlan
+  std::uint64_t compiled_requests = 0;  ///< requests inside compiled runs
+  std::uint64_t fallback_accesses = 0;  ///< per-access path (incl. singletons)
+  std::uint64_t tile_misses = 0;        ///< tile-cached mode only
+  std::uint64_t max_queue_depth = 0;    ///< high water over all ports
+  std::uint64_t max_in_flight = 0;      ///< requests awaiting completion
+  std::uint64_t cycles = 0;             ///< modeled clock at snapshot
+
+  /// Requests per drained batch — the coalescing amortization factor.
+  double mean_run_length() const {
+    return drained_runs == 0 ? 0.0
+                             : static_cast<double>(drained_requests) /
+                                   static_cast<double>(drained_runs);
+  }
+  EngineStats& operator+=(const EngineStats& other);
+};
+
+class ServiceEngine {
+ public:
+  /// Direct engine: requests address `mem`'s PolyMem coordinates. The
+  /// engine is the memory's only user while running.
+  explicit ServiceEngine(core::PolyMem& mem, EngineOptions options = {});
+
+  /// Tile-cached engine: requests address matrix coordinates of
+  /// `cache`'s LMem matrix; every access must fit inside one tile.
+  /// Requires the cache's write policy to be write-back (the drain marks
+  /// frames dirty; call the cache's flush() when LMem must be current)
+  /// and takes over as the cache's single consumer.
+  explicit ServiceEngine(cache::TileCache& cache, EngineOptions options = {});
+
+  /// Stops the drain if running, then completes anything still queued
+  /// or in flight (executed requests with kOk, never-executed ones with
+  /// kShutdown) — listeners always hear exactly one completion.
+  ~ServiceEngine();
+
+  ServiceEngine(const ServiceEngine&) = delete;
+  ServiceEngine& operator=(const ServiceEngine&) = delete;
+
+  /// Validates and enqueues on `port`. Returns kAccepted (id written to
+  /// `id_out` when non-null), kOverloaded (typed shedding: queue full,
+  /// request untouched — retry later), kRejected (malformed; see
+  /// request.hpp) or kShutdown (stop() already called).
+  Status submit(unsigned port, Request&& request, RequestId* id_out = nullptr);
+
+  /// Launches the drain loop as one long-running task on `pool`
+  /// (requires at least one worker thread; the loop would otherwise run
+  /// inline forever).
+  void start(runtime::ThreadPool& pool);
+
+  /// Graceful shutdown: stops admission, serves every accepted request,
+  /// retires all completions, then returns once the drain task exited.
+  void stop();
+
+  bool started() const { return started_.load(std::memory_order_acquire); }
+
+  /// Manual pumps for deterministic tests (engine must not be started):
+  /// drain_once serves one run or retires due completions, returning
+  /// false only when fully idle; run_until_idle pumps to quiescence.
+  bool drain_once();
+  void run_until_idle();
+
+  const EngineOptions& options() const { return options_; }
+  unsigned ports() const { return static_cast<unsigned>(queues_.size()); }
+  core::PolyMem& polymem() { return *mem_; }
+  cache::TileCache* tile_cache() { return cache_; }
+
+  /// Point-in-time statistics; exact once the engine is stopped or idle.
+  EngineStats stats() const;
+
+ private:
+  /// One request of an executed run, waiting in the in-flight map.
+  struct Pending {
+    RequestId id = 0;
+    std::uint64_t tag = 0;
+    Tenant tenant = 0;
+    Op op = Op::kRead;
+    CompletionListener* listener = nullptr;
+    std::uint64_t submit_cycle = 0;
+    std::uint64_t sequence = 0;
+  };
+  /// One executed run: its requests plus (reads) the gathered data; both
+  /// vectors recycle through batch_pool_, so steady state allocates
+  /// nothing.
+  struct PendingBatch {
+    std::vector<Pending> requests;
+    std::vector<Word> data;
+  };
+
+  void init_queues();
+  Status validate(const Request& request) const;
+  bool service_once();
+  void execute_run(unsigned queue_port, const core::AccessBatch& batch);
+  bool retire_due();
+  void retire_all();
+  void shutdown_sweep();
+  void drain_loop();
+  bool any_queued() const;
+  PendingBatch take_batch_buffer();
+
+  core::PolyMem* mem_;
+  cache::TileCache* cache_ = nullptr;
+  std::int64_t tile_rows_ = 0;
+  std::int64_t tile_cols_ = 0;
+  EngineOptions options_;
+  std::array<maf::SupportLevel, std::size(access::kAllPatterns)> support_{};
+  std::vector<std::unique_ptr<PortQueue>> queues_;
+
+  // Drain-side state (single consumer).
+  core::ExecPlan plan_;
+  std::vector<PendingRequest> run_;
+  std::vector<Word> write_staging_;
+  std::multimap<std::uint64_t, PendingBatch> in_flight_;
+  std::vector<PendingBatch> batch_pool_;
+  unsigned round_robin_ = 0;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t in_flight_requests_ = 0;
+
+  // Shared clock / identity / admission.
+  std::atomic<std::uint64_t> cycle_{0};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> drain_idle_{false};
+
+  // Lifecycle handshake with the pool task.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable exit_cv_;
+  bool work_signal_ = false;
+  bool stop_requested_ = false;
+  bool exited_ = false;
+  std::atomic<bool> started_{false};
+  bool stopped_ = false;
+
+  // Statistics (relaxed atomics: drain-owned writers, any-thread reads).
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_reads_{0};
+  std::atomic<std::uint64_t> completed_writes_{0};
+  std::atomic<std::uint64_t> shutdown_completions_{0};
+  std::atomic<std::uint64_t> drained_runs_{0};
+  std::atomic<std::uint64_t> drained_requests_{0};
+  std::atomic<std::uint64_t> compiled_runs_{0};
+  std::atomic<std::uint64_t> compiled_requests_{0};
+  std::atomic<std::uint64_t> fallback_accesses_{0};
+  std::atomic<std::uint64_t> tile_misses_{0};
+  std::atomic<std::uint64_t> max_in_flight_{0};
+};
+
+}  // namespace polymem::service

@@ -1,0 +1,82 @@
+#include "service/sharded.hpp"
+
+#include "common/error.hpp"
+#include "core/frame_pool.hpp"
+
+namespace polymem::service {
+
+ShardedService::ShardedService(maxsim::LMem& lmem,
+                               const maxsim::LMemMatrix& matrix,
+                               ShardedOptions options)
+    : options_(options) {
+  POLYMEM_REQUIRE(options.shards >= 1, "sharded service needs >= 1 shard");
+  options_.shard_config.validate();
+  shards_.reserve(options.shards);
+  for (unsigned s = 0; s < options.shards; ++s) {
+    Shard shard;
+    shard.mem = std::make_unique<core::PolyMem>(options_.shard_config);
+    core::FramePool frames =
+        core::FramePool::default_tiling(options_.shard_config);
+    cache::CacheOptions cache_options;
+    cache_options.eviction = options_.eviction;
+    cache_options.write_policy = cache::WritePolicy::kWriteBack;
+    cache_options.prefetch_pool = nullptr;  // the drain is the prefetcher
+    cache_options.clock_hz = options_.clock_hz;
+    shard.cache = std::make_unique<cache::TileCache>(
+        lmem, *shard.mem, matrix, frames, cache_options);
+    shard.engine =
+        std::make_unique<ServiceEngine>(*shard.cache, options_.engine);
+    shards_.push_back(std::move(shard));
+  }
+  tile_rows_ = shards_.front().cache->frames().tile_rows();
+  tile_cols_ = shards_.front().cache->frames().tile_cols();
+  POLYMEM_REQUIRE(matrix.rows >= 1 && matrix.cols >= 1,
+                  "sharded service needs a non-empty matrix");
+}
+
+ShardedService::~ShardedService() { stop(); }
+
+unsigned ShardedService::shard_of(access::Coord anchor) const {
+  const auto ti = static_cast<std::uint64_t>(anchor.i / tile_rows_);
+  const auto tj = static_cast<std::uint64_t>(anchor.j / tile_cols_);
+  // splitmix64 over the tile coordinate: hot neighbouring tiles spread
+  // over shards instead of striping with the grid shape.
+  const std::uint64_t h = runtime::derive_seed(ti * 0x100000001b3ull, tj);
+  return static_cast<unsigned>(h % shards_.size());
+}
+
+unsigned ShardedService::port_of(Tenant tenant) const {
+  const std::uint64_t h = runtime::derive_seed(0x7e4a7c159e3779b9ull, tenant);
+  return static_cast<unsigned>(h % options_.engine.ports);
+}
+
+Status ShardedService::submit(Request&& request, RequestId* id_out) {
+  if (request.where.anchor.i < 0 || request.where.anchor.j < 0) {
+    return Status::kRejected;  // tile routing needs a non-negative anchor
+  }
+  const unsigned shard = shard_of(request.where.anchor);
+  const unsigned port = port_of(request.tenant);
+  return shards_[shard].engine->submit(port, std::move(request), id_out);
+}
+
+void ShardedService::start(runtime::ThreadPool& pool) {
+  POLYMEM_REQUIRE(pool.size() >= shards_.size(),
+                  "sharded service needs one pool worker per shard");
+  for (Shard& shard : shards_) shard.engine->start(pool);
+}
+
+void ShardedService::stop() {
+  for (Shard& shard : shards_) shard.engine->stop();
+}
+
+void ShardedService::flush() {
+  for (Shard& shard : shards_) shard.cache->flush();
+}
+
+EngineStats ShardedService::stats() const {
+  EngineStats total;
+  for (const Shard& shard : shards_) total += shard.engine->stats();
+  return total;
+}
+
+}  // namespace polymem::service

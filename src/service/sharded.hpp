@@ -1,0 +1,112 @@
+// ShardedService — multi-tenant PolyMem-as-a-service over a shared LMem.
+//
+// One PolyMem (plus its drain thread) caps the service at a single
+// consumer's throughput and at the on-chip capacity. ShardedService
+// scales both ways: a large row-major LMem matrix is served by `shards`
+// independent PolyMem instances, each with its own TileCache over the
+// *shared* board memory (LMem is internally synchronized) and its own
+// ServiceEngine drain. Tiles are disjoint across shards — a tile-hash
+// routes every request to the one shard owning its anchor tile — so
+// shards never need coherence traffic, per-port FIFO still orders one
+// client's write->read on the same data, and the drains scale across the
+// thread pool's workers.
+//
+// Routing:
+//  - shard  = hash(anchor tile)  — derive_seed keyed splitmix64, so hot
+//    tiles spread over shards regardless of the tile grid's shape;
+//  - port   = hash(tenant)       — tenants land on stable per-shard
+//    queues, keeping each tenant's scan runs contiguous (coalescible)
+//    instead of interleaved with other tenants'.
+//
+// Writes go through the shard's write-back TileCache; flush() publishes
+// every shard's dirty tiles to LMem (engines must be idle or stopped).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/tile_cache.hpp"
+#include "core/polymem.hpp"
+#include "maxsim/dma.hpp"
+#include "maxsim/lmem.hpp"
+#include "runtime/thread_pool.hpp"
+#include "service/engine.hpp"
+
+namespace polymem::service {
+
+struct ShardedOptions {
+  /// Independent PolyMem+TileCache+drain instances (>= 1).
+  unsigned shards = 2;
+  /// Per-shard engine geometry (ports, queue bound, coalesce window).
+  EngineOptions engine = {};
+  /// Geometry of each shard's PolyMem (validated; every shard is a
+  /// replica of this configuration, tiled by FramePool::default_tiling).
+  core::PolyMemConfig shard_config;
+  cache::EvictionKind eviction = cache::EvictionKind::kLru;
+  /// Clock for the caches' DRAM-overlap accounting.
+  double clock_hz = 120e6;
+};
+
+class ShardedService {
+ public:
+  /// Serves `matrix` (resident in `lmem`) through `options.shards`
+  /// engines. The matrix must be at least one tile tall and wide; both
+  /// must outlive the service.
+  ShardedService(maxsim::LMem& lmem, const maxsim::LMemMatrix& matrix,
+                 ShardedOptions options);
+
+  /// Stops every engine (completing or shedding everything submitted),
+  /// but does NOT flush — call flush() first when LMem must be current.
+  ~ShardedService();
+
+  ShardedService(const ShardedService&) = delete;
+  ShardedService& operator=(const ShardedService&) = delete;
+
+  /// Routes by anchor tile (shard) and tenant (port) and submits; same
+  /// contract as ServiceEngine::submit. The request addresses matrix
+  /// coordinates and must fit inside one tile.
+  Status submit(Request&& request, RequestId* id_out = nullptr);
+
+  /// Launches one drain per shard (requires pool.size() >= shards(), so
+  /// every drain can make progress concurrently).
+  void start(runtime::ThreadPool& pool);
+
+  /// Graceful shutdown of every shard's engine.
+  void stop();
+
+  /// Writes every shard's dirty tiles back to LMem. Engines must be
+  /// stopped or idle (the flush runs on the caller's thread).
+  void flush();
+
+  unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
+  unsigned ports() const { return options_.engine.ports; }
+  std::int64_t tile_rows() const { return tile_rows_; }
+  std::int64_t tile_cols() const { return tile_cols_; }
+
+  unsigned shard_of(access::Coord anchor) const;
+  unsigned port_of(Tenant tenant) const;
+
+  ServiceEngine& engine(unsigned shard) { return *shards_[shard].engine; }
+  cache::TileCache& tile_cache(unsigned shard) {
+    return *shards_[shard].cache;
+  }
+
+  /// Sum of every shard's engine stats (high-water fields are maxed,
+  /// cycles summed — see EngineStats::operator+=).
+  EngineStats stats() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<core::PolyMem> mem;
+    std::unique_ptr<cache::TileCache> cache;
+    std::unique_ptr<ServiceEngine> engine;
+  };
+
+  ShardedOptions options_;
+  std::int64_t tile_rows_ = 0;
+  std::int64_t tile_cols_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace polymem::service

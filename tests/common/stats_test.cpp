@@ -96,6 +96,73 @@ TEST(CacheCounters, Accumulate) {
   EXPECT_EQ(b, b);
 }
 
+TEST(Reservoir, ExactPercentilesBelowCapacity) {
+  Reservoir r(256);
+  // 0..99 inserted in a scrambled order: percentiles are exact.
+  for (int k = 0; k < 100; ++k) r.add((k * 37) % 100);
+  EXPECT_EQ(r.count(), 100u);
+  EXPECT_EQ(r.size(), 100u);
+  EXPECT_DOUBLE_EQ(r.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.percentile(100), 99.0);
+  EXPECT_NEAR(r.percentile(50), 49.5, 1e-12);
+  EXPECT_NEAR(r.percentile(95), 94.05, 1e-12);  // 0.95 * 99
+  EXPECT_NEAR(r.percentile(99), 98.01, 1e-12);  // 0.99 * 99
+  const auto s = r.summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 99.0);
+  EXPECT_NEAR(s.p50, 49.5, 1e-12);
+  EXPECT_NEAR(s.p95, 94.05, 1e-12);
+  EXPECT_NEAR(s.p99, 98.01, 1e-12);
+}
+
+TEST(Reservoir, EmptyYieldsNaN) {
+  Reservoir r(16);
+  EXPECT_TRUE(std::isnan(r.percentile(50)));
+  EXPECT_EQ(r.summary().count, 0u);
+}
+
+TEST(Reservoir, RequiresValidArguments) {
+  EXPECT_THROW(Reservoir(0), InvalidArgument);
+  Reservoir r(4);
+  r.add(1.0);
+  EXPECT_THROW(r.percentile(-1), InvalidArgument);
+  EXPECT_THROW(r.percentile(101), InvalidArgument);
+}
+
+TEST(Reservoir, SamplingKeepsCapacityAndApproximatesTheDistribution) {
+  // 100k uniform values into 512 slots: the retained set stays at
+  // capacity and the median lands near the true median.
+  Reservoir r(512, /*seed=*/7);
+  for (int k = 0; k < 100'000; ++k) r.add(k % 1000);
+  EXPECT_EQ(r.count(), 100'000u);
+  EXPECT_EQ(r.size(), 512u);
+  EXPECT_NEAR(r.percentile(50), 500.0, 100.0);
+  EXPECT_GE(r.percentile(99), r.percentile(50));
+}
+
+TEST(Reservoir, DeterministicForSameSeed) {
+  auto run = [] {
+    Reservoir r(64, 42);
+    for (int k = 0; k < 5000; ++k) r.add(k * 13 % 977);
+    return r.summary();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p95, b.p95);
+  EXPECT_EQ(a.p99, b.p99);
+}
+
+TEST(HighWater, TracksTheMaximum) {
+  HighWater hw;
+  EXPECT_EQ(hw.max(), 0u);
+  hw.record(3);
+  hw.record(7);
+  hw.record(5);
+  EXPECT_EQ(hw.max(), 7u);
+}
+
 TEST(ErrorMetrics, Pearson) {
   // Perfect positive and negative correlation.
   EXPECT_NEAR(pearson({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);

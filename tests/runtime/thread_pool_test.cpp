@@ -89,6 +89,17 @@ TEST(ThreadPool, UnevenWorkStillCompletes) {
   EXPECT_EQ(done.load(), 256);
 }
 
+TEST(ThreadPool, ZeroWorkerSubmitRunsInline) {
+  // Design rule 3: a pool of size 0 degrades to serial execution — the
+  // task runs on the calling thread before submit returns (it used to
+  // queue forever with no worker to claim it).
+  ThreadPool pool(0);
+  bool ran = false;
+  pool.submit([&] { ran = true; });
+  EXPECT_TRUE(ran);
+  pool.wait_idle();  // and wait_idle no longer deadlocks
+}
+
 TEST(ThreadPool, SubmitAndWaitIdle) {
   ThreadPool pool(2);
   std::atomic<int> ran{0};

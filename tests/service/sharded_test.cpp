@@ -1,0 +1,198 @@
+// ShardedService: multi-tenant routing over several PolyMem shards
+// caching one shared LMem matrix. Engines are pumped manually where
+// determinism matters; hammer_mt_test.cpp covers the started drains.
+#include "service/sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace polymem::service {
+namespace {
+
+using access::Coord;
+using access::ParallelAccess;
+using access::PatternKind;
+
+core::PolyMemConfig shard_cfg() {
+  core::PolyMemConfig c;
+  c.scheme = maf::Scheme::kReRo;
+  c.p = 2;
+  c.q = 4;
+  c.height = 16;
+  c.width = 32;
+  c.read_ports = 2;
+  return c;
+}
+
+maxsim::LMemMatrix make_matrix(maxsim::LMem& lmem, std::int64_t rows,
+                               std::int64_t cols) {
+  maxsim::LMemMatrix m{128, rows, cols, cols};
+  std::vector<hw::Word> row(static_cast<std::size_t>(cols));
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      row[static_cast<std::size_t>(j)] = static_cast<hw::Word>(i * 1000 + j);
+    }
+    lmem.write(m.word_addr(i, 0), row);
+  }
+  return m;
+}
+
+ShardedOptions options(unsigned shards = 2, unsigned ports = 2) {
+  ShardedOptions o;
+  o.shards = shards;
+  o.engine.ports = ports;
+  o.engine.queue_bound = 1024;
+  o.shard_config = shard_cfg();
+  return o;
+}
+
+struct Recorder : CompletionListener {
+  struct Entry {
+    Completion meta;
+    std::vector<Word> data;
+  };
+  std::vector<Entry> entries;
+  void on_complete(const Completion& completion) override {
+    entries.push_back(
+        {completion, {completion.data.begin(), completion.data.end()}});
+  }
+};
+
+void pump_all(ShardedService& service) {
+  for (unsigned s = 0; s < service.shards(); ++s) {
+    service.engine(s).run_until_idle();
+  }
+}
+
+TEST(ShardedService, ReadsFromManyTenantsMatchTheHostMirror) {
+  maxsim::LMem lmem(1 << 22);
+  const auto matrix = make_matrix(lmem, 128, 128);
+  ShardedService service(lmem, matrix, options(/*shards=*/3));
+  Recorder rec;
+
+  // Every tenant scans a few rows of its own tile; anchors stay in-tile.
+  std::map<std::uint64_t, Coord> trace;
+  std::uint64_t tag = 0;
+  for (Tenant tenant = 0; tenant < 6; ++tenant) {
+    const std::int64_t ti = tenant % 4;
+    for (std::int64_t r = 0; r < service.tile_rows(); ++r) {
+      const Coord anchor{ti * service.tile_rows() + r,
+                         (tenant % 2) * service.tile_cols() + 8};
+      Request req;
+      req.tenant = tenant;
+      req.op = Op::kRead;
+      req.where = {PatternKind::kRow, anchor};
+      req.tag = tag;
+      req.listener = &rec;
+      trace[tag] = anchor;
+      ASSERT_EQ(service.submit(std::move(req)), Status::kAccepted);
+      ++tag;
+    }
+  }
+  pump_all(service);
+
+  ASSERT_EQ(rec.entries.size(), trace.size());
+  for (const auto& e : rec.entries) {
+    const Coord anchor = trace.at(e.meta.tag);
+    ASSERT_EQ(e.data.size(), 8u);
+    for (unsigned k = 0; k < 8; ++k) {
+      EXPECT_EQ(e.data[k],
+                static_cast<hw::Word>(anchor.i * 1000 + anchor.j + k))
+          << "tag " << e.meta.tag;
+    }
+  }
+  const EngineStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, trace.size());
+  EXPECT_EQ(stats.completed_reads, trace.size());
+}
+
+TEST(ShardedService, RoutingIsStableAndTileDisjoint) {
+  maxsim::LMem lmem(1 << 22);
+  const auto matrix = make_matrix(lmem, 128, 128);
+  ShardedService service(lmem, matrix, options(/*shards=*/4));
+
+  std::set<unsigned> shards_used;
+  for (std::int64_t ti = 0; ti < 128 / service.tile_rows(); ++ti) {
+    for (std::int64_t tj = 0; tj < 128 / service.tile_cols(); ++tj) {
+      const Coord a{ti * service.tile_rows(), tj * service.tile_cols()};
+      const unsigned shard = service.shard_of(a);
+      EXPECT_EQ(shard, service.shard_of(a));  // stable
+      // Every anchor inside the tile routes to the same shard.
+      EXPECT_EQ(shard, service.shard_of({a.i + service.tile_rows() - 1,
+                                         a.j + service.tile_cols() - 1}));
+      shards_used.insert(shard);
+    }
+  }
+  // The hash spreads 32 tiles over all 4 shards.
+  EXPECT_EQ(shards_used.size(), 4u);
+}
+
+TEST(ShardedService, WriteThenReadSameTenantSameTileIsOrdered) {
+  maxsim::LMem lmem(1 << 22);
+  const auto matrix = make_matrix(lmem, 128, 128);
+  ShardedService service(lmem, matrix, options());
+  Recorder rec;
+
+  const Coord anchor{33, 40};
+  std::vector<Word> payload(8);
+  for (std::size_t k = 0; k < payload.size(); ++k) {
+    payload[k] = 0xFACE00 + static_cast<Word>(k);
+  }
+  Request write;
+  write.tenant = 7;
+  write.op = Op::kWrite;
+  write.where = {PatternKind::kRow, anchor};
+  write.tag = 0;
+  write.listener = &rec;
+  write.payload = payload;
+  ASSERT_EQ(service.submit(std::move(write)), Status::kAccepted);
+
+  Request read;
+  read.tenant = 7;  // same tenant + same tile => same shard, same port
+  read.op = Op::kRead;
+  read.where = {PatternKind::kRow, anchor};
+  read.tag = 1;
+  read.listener = &rec;
+  ASSERT_EQ(service.submit(std::move(read)), Status::kAccepted);
+
+  pump_all(service);
+  ASSERT_EQ(rec.entries.size(), 2u);
+  EXPECT_EQ(rec.entries[1].meta.op, Op::kRead);
+  EXPECT_EQ(rec.entries[1].data, payload);
+
+  // flush publishes the dirty tile to the shared LMem.
+  std::vector<hw::Word> lmem_row(8);
+  lmem.read(matrix.word_addr(anchor.i, anchor.j), lmem_row);
+  EXPECT_NE(lmem_row, payload);
+  service.flush();
+  lmem.read(matrix.word_addr(anchor.i, anchor.j), lmem_row);
+  EXPECT_EQ(lmem_row, payload);
+}
+
+TEST(ShardedService, RejectsNegativeAnchorsBeforeRouting) {
+  maxsim::LMem lmem(1 << 22);
+  const auto matrix = make_matrix(lmem, 128, 128);
+  ShardedService service(lmem, matrix, options());
+  Recorder rec;
+  Request req;
+  req.op = Op::kRead;
+  req.where = {PatternKind::kRow, {-1, 0}};
+  req.listener = &rec;
+  EXPECT_EQ(service.submit(std::move(req)), Status::kRejected);
+}
+
+TEST(ShardedService, StartRequiresOneWorkerPerShard) {
+  maxsim::LMem lmem(1 << 22);
+  const auto matrix = make_matrix(lmem, 128, 128);
+  ShardedService service(lmem, matrix, options(/*shards=*/3));
+  runtime::ThreadPool pool(2);
+  EXPECT_THROW(service.start(pool), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace polymem::service

@@ -5,8 +5,10 @@
 // read_batch_mt), and emits machine-readable JSON (BENCH_parallel.json)
 // committed at the repo root.
 //
-// Like bench_core this runner is dependency-free (plain chrono, median of
-// repeated trials, fixed workloads). Both comparisons cross-check results
+// Like bench_core this runner is dependency-free (plain chrono, fixed
+// workloads). Trial wall times feed the common/stats Reservoir, so the
+// read comparison reports a p95 tail next to the median instead of wall
+// time alone. Both comparisons cross-check results
 // before timing counts: the sweep checksums must match the serial sweep
 // and the MT read output must be bit-identical to the serial read, so a
 // determinism regression fails the benchmark rather than skewing it.
@@ -28,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/units.hpp"
 #include "core/polymem.hpp"
 #include "dse/explorer.hpp"
@@ -38,21 +41,29 @@ namespace {
 using namespace polymem;
 using Clock = std::chrono::steady_clock;
 
-constexpr int kTrials = 5;
+constexpr int kTrials = 5;        // slow sweeps: median only
+constexpr int kReadTrials = 31;   // fast reads: enough for a p95 tail
 
+/// Times `trials` runs (after one warm-up) and summarizes the per-trial
+/// wall-time distribution in milliseconds through the common/stats
+/// Reservoir — the same percentile machinery the service load generator
+/// uses for request latency.
 template <typename Fn>
-double median_ms(Fn&& run) {
-  std::vector<double> trials;
+Reservoir::Summary trial_summary(Fn&& run, int trials) {
+  Reservoir res(static_cast<std::size_t>(trials), /*seed=*/7);
   run();  // warm-up
-  for (int t = 0; t < kTrials; ++t) {
+  for (int t = 0; t < trials; ++t) {
     const auto start = Clock::now();
     run();
     const auto stop = Clock::now();
-    trials.push_back(
-        std::chrono::duration<double, std::milli>(stop - start).count());
+    res.add(std::chrono::duration<double, std::milli>(stop - start).count());
   }
-  std::sort(trials.begin(), trials.end());
-  return trials[trials.size() / 2];
+  return res.summary();
+}
+
+template <typename Fn>
+double median_ms(Fn&& run) {
+  return trial_summary(run, kTrials).p50;
 }
 
 struct SweepResult {
@@ -84,7 +95,8 @@ SweepResult bench_sweep(unsigned threads) {
 
 struct ReadResult {
   unsigned ports;
-  double serial_ns, mt_ns, speedup;
+  double serial_ns, mt_ns, speedup;      // per access, from the p50 trial
+  double serial_p95_ns, mt_p95_ns;       // per access, p95 trial tail
   double serial_gbps, mt_gbps;  // aggregate bandwidth over the batch
   bool bit_identical;
 };
@@ -113,19 +125,23 @@ ReadResult bench_read(unsigned ports, unsigned threads) {
   mem.read_batch_mt(batch, pool, parallel);
   const bool identical = serial == parallel;
 
-  const double serial_ms = median_ms([&] { mem.read_batch(batch, 0, serial); });
-  const double mt_ms =
-      median_ms([&] { mem.read_batch_mt(batch, pool, parallel); });
+  const auto serial_trials = trial_summary(
+      [&] { mem.read_batch(batch, 0, serial); }, kReadTrials);
+  const auto mt_trials = trial_summary(
+      [&] { mem.read_batch_mt(batch, pool, parallel); }, kReadTrials);
 
   const double bytes =
       static_cast<double>(serial.size()) * sizeof(core::Word);
+  const double per_access = 1e6 / static_cast<double>(accesses);
   ReadResult r{};
   r.ports = ports;
-  r.serial_ns = serial_ms * 1e6 / static_cast<double>(accesses);
-  r.mt_ns = mt_ms * 1e6 / static_cast<double>(accesses);
+  r.serial_ns = serial_trials.p50 * per_access;
+  r.mt_ns = mt_trials.p50 * per_access;
+  r.serial_p95_ns = serial_trials.p95 * per_access;
+  r.mt_p95_ns = mt_trials.p95 * per_access;
   r.speedup = r.serial_ns / r.mt_ns;
-  r.serial_gbps = bytes / (serial_ms * 1e-3) / 1e9;
-  r.mt_gbps = bytes / (mt_ms * 1e-3) / 1e9;
+  r.serial_gbps = bytes / (serial_trials.p50 * 1e-3) / 1e9;
+  r.mt_gbps = bytes / (mt_trials.p50 * 1e-3) / 1e9;
   r.bit_identical = identical;
   return r;
 }
@@ -139,7 +155,7 @@ void write_json(const std::string& path, unsigned threads,
   os << "{\n  \"benchmark\": \"polymem_parallel_runtime\",\n"
      << "  \"hardware_threads\": " << runtime::ThreadPool::hardware_threads()
      << ",\n  \"threads\": " << threads << ",\n  \"trials\": " << kTrials
-     << ",\n"
+     << ",\n  \"read_trials\": " << kReadTrials << ",\n"
      << "  \"dse_sweep\": {\"points\": 90, \"validate\": true,\n"
      << "    \"serial_ms\": " << sweep.serial_ms
      << ", \"parallel_ms\": " << sweep.parallel_ms
@@ -154,6 +170,8 @@ void write_json(const std::string& path, unsigned threads,
        << "     \"serial_ns_per_access\": " << r.serial_ns
        << ", \"mt_ns_per_access\": " << r.mt_ns
        << ", \"speedup\": " << r.speedup << ",\n"
+       << "     \"serial_p95_ns_per_access\": " << r.serial_p95_ns
+       << ", \"mt_p95_ns_per_access\": " << r.mt_p95_ns << ",\n"
        << "     \"serial_gb_per_s\": " << r.serial_gbps
        << ", \"mt_gb_per_s\": " << r.mt_gbps << ", \"bit_identical\": "
        << (r.bit_identical ? "true" : "false") << "}"
@@ -185,8 +203,9 @@ int main(int argc, char** argv) {
     reads.push_back(bench_read(ports, threads));
     const ReadResult& r = reads.back();
     std::cout << "batched read ReRo 2x4 " << r.ports << "P: serial "
-              << r.serial_ns << " ns/access (" << r.serial_gbps
-              << " GB/s), mt " << r.mt_ns << " ns/access (" << r.mt_gbps
+              << r.serial_ns << " ns/access (p95 " << r.serial_p95_ns
+              << ", " << r.serial_gbps << " GB/s), mt " << r.mt_ns
+              << " ns/access (p95 " << r.mt_p95_ns << ", " << r.mt_gbps
               << " GB/s, " << r.speedup << "x), "
               << (r.bit_identical ? "bit-identical" : "OUTPUT DIVERGES")
               << "\n";

@@ -18,6 +18,7 @@
 #include "core/frame_pool.hpp"
 #include "dse/explorer.hpp"
 #include "maf/conflict.hpp"
+#include "service/engine.hpp"
 #include "synth/fmax_model.hpp"
 #include "synth/resource_model.hpp"
 #include "verify/maf_prover.hpp"
@@ -33,7 +34,11 @@ constexpr const char* kExample =
     "read_ports = 1\n"
     "# clock_mhz = 120        # optional: override the model's estimate\n"
     "# cache_tile_rows = 16   # optional: software-cache tile geometry\n"
-    "# cache_tile_cols = 64   #   (defaults to row panels, up to 4 frames)\n";
+    "# cache_tile_cols = 64   #   (defaults to row panels, up to 4 frames)\n"
+    "# service_ports = 2      # optional: request-engine submit queues\n"
+    "# service_queue_bound = 256   # per-port admission bound\n"
+    "# service_shards = 2     # multi-tenant shard count\n"
+    "# service_max_coalesce = 64   # longest run one drain serves\n";
 
 }  // namespace
 
@@ -132,6 +137,32 @@ int main(int argc, char** argv) {
     std::printf("  out-of-core: matrices up to board DRAM; %d-deep "
                 "residency, LRU/FIFO eviction, async prefetch\n",
                 frames.frames());
+
+    // Service layer (src/service): the request-engine geometry this
+    // configuration would be served through, defaults from
+    // EngineOptions unless the config overrides them.
+    service::EngineOptions engine_defaults;
+    const auto svc_ports = static_cast<unsigned>(
+        file.get_int_or("service_ports", engine_defaults.ports));
+    const auto svc_bound = static_cast<std::uint64_t>(file.get_int_or(
+        "service_queue_bound",
+        static_cast<std::int64_t>(engine_defaults.queue_bound)));
+    const auto svc_shards =
+        static_cast<unsigned>(file.get_int_or("service_shards", 2));
+    const auto svc_coalesce = static_cast<std::uint64_t>(file.get_int_or(
+        "service_max_coalesce",
+        static_cast<std::int64_t>(engine_defaults.max_coalesce)));
+    std::printf("\nservice layer (src/service, request engine):\n");
+    std::printf("  submit ports   : %u bounded queues, %llu requests each\n",
+                svc_ports, static_cast<unsigned long long>(svc_bound));
+    std::printf("  coalesce window: up to %llu requests per compiled run\n",
+                static_cast<unsigned long long>(svc_coalesce));
+    std::printf("  multi-tenant   : %u shards (tile-hash routed; each a "
+                "replica of this configuration over shared LMem)\n",
+                svc_shards);
+    std::printf("  admission      : typed shedding (kOverloaded) beyond "
+                "%llu queued; in-flight retires in cycle order\n",
+                static_cast<unsigned long long>(svc_bound));
 
     const double port_bw = bandwidth_bytes_per_s(cfg.lanes(), 64, mhz * 1e6);
     std::printf("\nbandwidth at %.0f MHz:\n", mhz);
