@@ -1,0 +1,71 @@
+// FFT-style transpose-and-twiddle stage on two polymorphic memories.
+//
+// Computes dst(r, c) = src(c, r) * w[(r * c) mod n] for an n x n matrix
+// of doubles — the data-reordering core of a four-step FFT, where a
+// transpose and a twiddle-factor multiply land between the two batched
+// sub-FFT passes. Two PolyMems carry the stage:
+//
+//  * a 2n x n ReTr data memory (source rows [0, n), destination rows
+//    [n, 2n)) read as p x q rectangles and written back as q x p
+//    transposed rectangles — the rect/trect multiview only ReTr serves
+//    conflict-free;
+//  * an n-row ReRo twiddle ROM holding each tile's p*q factors along a
+//    MAIN DIAGONAL. Tile t lives at anchor (L*(t mod n/L), t / (n/L))
+//    with L = p*q, so consecutive tiles pack diagonally with unaligned
+//    column anchors — exercising ReRo's any-anchor diagonal support and
+//    the strided-diagonal batch path end to end.
+//
+// The ROM sits in its own memory, so its reads overlap the data
+// memory's traffic; reported cycles count only data-memory accesses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "apps/app_report.hpp"
+#include "core/polymem.hpp"
+#include "sched/trace_io.hpp"
+
+namespace polymem::apps {
+
+class FftTwiddleApp {
+ public:
+  /// n must be a multiple of p*q (tiles cover the matrix exactly and
+  /// each tile's twiddles form one full diagonal access).
+  explicit FftTwiddleApp(std::int64_t n, unsigned p = 2, unsigned q = 4);
+
+  core::PolyMem& memory() { return mem_; }
+  core::PolyMem& rom() { return rom_; }
+  std::int64_t n() const { return n_; }
+
+  /// The twiddle factor applied at destination element (r, c).
+  double twiddle(std::int64_t r, std::int64_t c) const;
+
+  /// Records the data-memory batches / the ROM's diagonal batch
+  /// (nullptr disables either).
+  void set_recorders(sched::TraceRecorder* data, sched::TraceRecorder* rom) {
+    data_recorder_ = data;
+    rom_recorder_ = rom;
+  }
+  sched::TraceRecorder make_data_recorder(std::uint64_t seed = 42) const;
+  sched::TraceRecorder make_rom_recorder(std::uint64_t seed = 42) const;
+
+  /// Loads the source matrix (row-major, n*n doubles).
+  void load(std::span<const double> src);
+
+  /// Runs the stage; verification compares the destination band against
+  /// src(c, r) * twiddle(r, c) computed on the host.
+  AppReport run();
+
+  /// dst(r, c) after run().
+  double dst_at(std::int64_t r, std::int64_t c) const;
+
+ private:
+  std::int64_t n_;
+  core::PolyMem mem_;
+  core::PolyMem rom_;
+  sched::TraceRecorder* data_recorder_ = nullptr;
+  sched::TraceRecorder* rom_recorder_ = nullptr;
+};
+
+}  // namespace polymem::apps

@@ -1,0 +1,74 @@
+// Histogram scatter-add — the suite's deliberate conflict provoker.
+//
+// Bins live out-of-core as a sub-binned matrix: bin b owns the L = p*q
+// sub-bin column at (L * (b / cols), b % cols), and each sample
+// increments one lane of its bin's column (read column, bump one
+// sub-bin, write it back) through a CachedMatrix. Column anchors land
+// on arbitrary columns, and the 1-wide blocks can never take the
+// batched row path — on a row-oriented scheme (the ReRo default) every
+// update runs the SCALAR FALLBACK, one PolyMem access per element, the
+// honest cost of a scheme mismatch the cache layer promises.
+//
+// The app also lints the parallel formulation it *wants* — strided
+// column batches hammering the hottest bins — against its scheme, and
+// lints the recorded trace's bank load. On ReRo that provokes the
+// diagnostics this app exists to exercise: PML003 unsupported-pattern
+// errors, PML008 read-after-write hazards on the repeated hot anchor,
+// and a PML010 bank-imbalance warning from the skewed sample stream.
+// Replaying the same recorded trace on a column-capable scheme (RoCo)
+// services it batched — polymorphism rescuing the same access stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "apps/app_report.hpp"
+#include "cache/cached_matrix.hpp"
+#include "sched/trace_io.hpp"
+#include "verify/plan_lint.hpp"
+
+namespace polymem::apps {
+
+class HistogramScatterApp {
+ public:
+  /// n_bins must be a multiple of cols (bins pack into full block rows).
+  explicit HistogramScatterApp(std::int64_t n_bins, std::int64_t cols,
+                               maf::Scheme scheme = maf::Scheme::kReRo,
+                               unsigned p = 2, unsigned q = 4);
+
+  std::int64_t n_bins() const { return n_bins_; }
+  std::int64_t sub_bins() const { return lanes_; }
+
+  /// Bins-matrix geometry (rows = L * n_bins / cols).
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+  /// Records every column update the kernel issues (nullptr disables).
+  void set_recorder(sched::TraceRecorder* recorder) { recorder_ = recorder; }
+  /// A recorder matching the bins-matrix address space.
+  sched::TraceRecorder make_recorder(std::uint64_t seed = 42) const;
+
+  /// Scatters `samples` Zipf-skewed samples; verification flushes the
+  /// cache and compares LMem against a host histogram.
+  AppReport run(std::int64_t samples, std::uint64_t seed = 1);
+
+  /// Sum of bin b's sub-bins after run() (reads through the cache).
+  std::uint64_t bin_total(std::int64_t b);
+
+  /// Diagnostics provoked by run(): the hot-bin column program linted
+  /// against this scheme, plus the recorded trace's bank-load lint.
+  const verify::LintReport& lint_report() const { return lint_; }
+
+  cache::CacheStats stats() const { return cached_->stats(); }
+
+ private:
+  std::int64_t n_bins_, cols_, lanes_, rows_;
+  core::PolyMemConfig chip_cfg_;
+  std::unique_ptr<maxsim::LMem> lmem_;
+  std::unique_ptr<core::PolyMem> chip_;
+  std::unique_ptr<cache::CachedMatrix> cached_;
+  verify::LintReport lint_;
+  sched::TraceRecorder* recorder_ = nullptr;
+};
+
+}  // namespace polymem::apps

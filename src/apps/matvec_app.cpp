@@ -34,6 +34,11 @@ MatVecApp::MatVecApp(std::int64_t n, unsigned p, unsigned q,
                      unsigned read_latency)
     : n_(n), mem_(make_config(n, p, q, read_latency)) {}
 
+sched::TraceRecorder MatVecApp::make_recorder(std::uint64_t seed) const {
+  return {mem_.config().p, mem_.config().q, mem_.config().height,
+          mem_.config().width, seed};
+}
+
 void MatVecApp::load_matrix(std::span<const double> values) {
   POLYMEM_REQUIRE(values.size() == static_cast<std::size_t>(n_ * n_),
                   "matrix must be n*n doubles");
@@ -66,6 +71,8 @@ AppReport MatVecApp::run(std::span<const double> x, std::span<double> y) {
     if (issued < total) {
       const std::int64_t row = issued / segments_per_row;
       const std::int64_t seg = issued % segments_per_row;
+      if (recorder_)
+        recorder_->read({PatternKind::kRow, {row, seg * lanes}});
       const bool ok =
           mem_.issue_read(0, {PatternKind::kRow, {row, seg * lanes}},
                           static_cast<std::uint64_t>(issued));

@@ -13,6 +13,7 @@
 #include "apps/app_report.hpp"
 #include "core/cycle_polymem.hpp"
 #include "core/layout.hpp"
+#include "sched/trace_io.hpp"
 
 namespace polymem::apps {
 
@@ -33,9 +34,15 @@ class MatVecApp {
   /// compares against the host dot products.
   AppReport run(std::span<const double> x, std::span<double> y);
 
+  /// Records every access the kernel issues (nullptr disables).
+  void set_recorder(sched::TraceRecorder* recorder) { recorder_ = recorder; }
+  /// A recorder matching this app's geometry and address space.
+  sched::TraceRecorder make_recorder(std::uint64_t seed = 42) const;
+
  private:
   std::int64_t n_;
   core::CyclePolyMem mem_;
+  sched::TraceRecorder* recorder_ = nullptr;
 };
 
 }  // namespace polymem::apps

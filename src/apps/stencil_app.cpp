@@ -38,6 +38,11 @@ core::PolyMemConfig make_config(std::int64_t n, unsigned read_latency) {
 StencilApp::StencilApp(std::int64_t n, unsigned read_latency)
     : n_(n), mem_(make_config(n, read_latency)) {}
 
+sched::TraceRecorder StencilApp::make_recorder(std::uint64_t seed) const {
+  return {mem_.config().p, mem_.config().q, mem_.config().height,
+          mem_.config().width, seed};
+}
+
 void StencilApp::load_grid(std::span<const double> values) {
   POLYMEM_REQUIRE(values.size() == static_cast<std::size_t>(n_ * n_),
                   "grid must be n*n doubles");
@@ -91,6 +96,7 @@ AppReport StencilApp::run() {
       const Coord g = kGather[issued % kReadsPerTile];
       const Coord anchor{tiles[t].anchor.i - 1 + g.i,
                          tiles[t].anchor.j - 1 + g.j};
+      if (recorder_) recorder_->read({PatternKind::kRect, anchor});
       const bool ok = mem_.issue_read(0, {PatternKind::kRect, anchor},
                                       static_cast<std::uint64_t>(issued));
       POLYMEM_ASSERT(ok);
@@ -122,6 +128,9 @@ AppReport StencilApp::run() {
                 core::pack_double(sum / 9.0);
           }
         }
+        if (recorder_)
+          recorder_->write(
+              {PatternKind::kRect, {n_ + tile.anchor.i, tile.anchor.j}});
         const bool ok = mem_.issue_write(
             {PatternKind::kRect, {n_ + tile.anchor.i, tile.anchor.j}},
             out_tile);

@@ -16,6 +16,7 @@
 #include "apps/app_report.hpp"
 #include "core/cycle_polymem.hpp"
 #include "core/layout.hpp"
+#include "sched/trace_io.hpp"
 
 namespace polymem::apps {
 
@@ -37,11 +38,17 @@ class StencilApp {
 
   double output(std::int64_t i, std::int64_t j) const;
 
+  /// Records every access the kernel issues (nullptr disables).
+  void set_recorder(sched::TraceRecorder* recorder) { recorder_ = recorder; }
+  /// A recorder matching this app's geometry and address space.
+  sched::TraceRecorder make_recorder(std::uint64_t seed = 42) const;
+
  private:
   double host_reference(std::int64_t i, std::int64_t j) const;
 
   std::int64_t n_;
   core::CyclePolyMem mem_;
+  sched::TraceRecorder* recorder_ = nullptr;
 };
 
 }  // namespace polymem::apps

@@ -1,0 +1,60 @@
+// Tiled dense GEMM on the batched PolyMem engine (rectangle family).
+//
+// C = A * B for n x n matrices of doubles, all three resident in one
+// PolyMem (A rows [0,n), B rows [n,2n), C rows [2n,3n)). The kernel
+// walks C in p x q output tiles; per tile it reads A's p-row k-panel as
+// one strided batch of p x q rectangles and B's j-column k-panel as
+// another (q consecutive B rows arrive as q/p stacked rectangles), then
+// writes the finished tile with a single rectangle access. Every anchor
+// sits on the (p, q)-aligned lattice, so the kernel runs unchanged on
+// ALL five schemes — including RoCo, whose rectangles are aligned-only —
+// which is exactly the polymorphic-memory claim the app suite exists to
+// exercise.
+//
+// The app runs on the functional memory through the batched/compiled
+// engine; reported cycles model one parallel access per cycle (the
+// steady-state throughput of the pipelined hardware).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "apps/app_report.hpp"
+#include "core/polymem.hpp"
+#include "sched/trace_io.hpp"
+
+namespace polymem::apps {
+
+class TiledGemmApp {
+ public:
+  /// n must be a multiple of q; q must be a multiple of p (the B panel
+  /// is q rows fetched as q/p rectangles).
+  explicit TiledGemmApp(std::int64_t n,
+                        maf::Scheme scheme = maf::Scheme::kReO,
+                        unsigned p = 2, unsigned q = 4);
+
+  core::PolyMem& memory() { return mem_; }
+  std::int64_t n() const { return n_; }
+
+  /// Records every batch the kernel issues (nullptr disables).
+  void set_recorder(sched::TraceRecorder* recorder) { recorder_ = recorder; }
+  /// A recorder matching this app's geometry and address space.
+  sched::TraceRecorder make_recorder(std::uint64_t seed = 42) const;
+
+  /// Loads A and B (row-major, n*n doubles each).
+  void load(std::span<const double> a, std::span<const double> b);
+
+  /// Runs the multiply; verification compares C against a host GEMM
+  /// computed in the same accumulation order.
+  AppReport run();
+
+  /// C(i, j) after run().
+  double c_at(std::int64_t i, std::int64_t j) const;
+
+ private:
+  std::int64_t n_;
+  core::PolyMem mem_;
+  sched::TraceRecorder* recorder_ = nullptr;
+};
+
+}  // namespace polymem::apps

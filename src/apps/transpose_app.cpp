@@ -32,6 +32,11 @@ TransposeApp::TransposeApp(std::int64_t n, unsigned p, unsigned q,
                            unsigned read_latency)
     : n_(n), mem_(make_config(n, p, q, read_latency)) {}
 
+sched::TraceRecorder TransposeApp::make_recorder(std::uint64_t seed) const {
+  return {mem_.config().p, mem_.config().q, mem_.config().height,
+          mem_.config().width, seed};
+}
+
 void TransposeApp::load_source(std::span<const hw::Word> values) {
   POLYMEM_REQUIRE(values.size() == static_cast<std::size_t>(n_ * n_),
                   "source must be n*n words");
@@ -61,6 +66,7 @@ AppReport TransposeApp::run() {
   std::vector<hw::Word> trect(lanes);
   while (written < anchors.size()) {
     if (next < anchors.size()) {
+      if (recorder_) recorder_->read({PatternKind::kRect, anchors[next]});
       const bool ok =
           mem_.issue_read(0, {PatternKind::kRect, anchors[next]},
                           static_cast<std::uint64_t>(next));
@@ -79,6 +85,8 @@ AppReport TransposeApp::run() {
         for (std::int64_t v = 0; v < q; ++v)
           trect[static_cast<std::size_t>(v * p + u)] =
               resp->data[static_cast<std::size_t>(u * q + v)];
+      if (recorder_)
+        recorder_->write({PatternKind::kTRect, {n_ + a.j, a.i}});
       const bool ok = mem_.issue_write(
           {PatternKind::kTRect, {n_ + a.j, a.i}}, trect);
       POLYMEM_ASSERT(ok);

@@ -1,0 +1,84 @@
+// Trace-replay harness: executes a RecordedTrace against an arbitrary
+// scheme x cache x port configuration, differentially verified.
+//
+// A trace pins the lane geometry, address space and canonical-data seed
+// (sched/trace_io.hpp); this module supplies everything else. Two
+// backends serve the ops:
+//
+//  - *direct*: a PolyMem of the chosen scheme. Ops the scheme serves
+//    conflict-free run through the batched engine (read_batch /
+//    write_batch, ports round-robined); unsupported or unaligned ops
+//    fall back to scalar host accesses — counted, so the report shows
+//    what the scheme could not serve, and the replay still completes on
+//    every scheme.
+//  - *through_cache*: a CachedMatrix over LMem (the out-of-core path),
+//    where rectangle-family ops map to block accesses and diagonal ops
+//    exercise the scalar-fallback path of the software cache.
+//
+// Verification is threefold, against the same canonical data model the
+// recorder used: every read is compared word-for-word with a host-memory
+// mirror, every op's FNV-1a checksum is compared with the recorded one,
+// and the final memory image is compared with the mirror. Any divergence
+// is a counted failure — ReplayReport::verified() is the differential
+// oracle the CLI and CI gate on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cached_matrix.hpp"
+#include "maf/scheme.hpp"
+#include "sched/trace_io.hpp"
+#include "verify/plan_lint.hpp"
+
+namespace polymem::replay {
+
+struct ReplayOptions {
+  maf::Scheme scheme = maf::Scheme::kReRo;
+  unsigned read_ports = 1;
+  /// Route through CachedMatrix over LMem instead of a resident PolyMem.
+  bool through_cache = false;
+  cache::WritePolicy write_policy = cache::WritePolicy::kWriteBack;
+  /// Compare computed checksums against the ones recorded in the trace
+  /// (off replays traces without `sum` fields silently).
+  bool verify_checksums = true;
+};
+
+struct ReplayReport {
+  maf::Scheme scheme = maf::Scheme::kReRo;
+  bool through_cache = false;
+
+  std::int64_t ops = 0;
+  std::int64_t reads = 0, writes = 0;       ///< parallel accesses by dir
+  std::int64_t batched_accesses = 0;        ///< served by the batched engine
+  std::int64_t fallback_accesses = 0;       ///< served element-by-element
+
+  std::int64_t checksums_checked = 0;
+  std::int64_t checksum_mismatches = 0;
+  std::int64_t data_mismatches = 0;         ///< read words != host mirror
+  bool final_image_ok = false;              ///< end-state memory == mirror
+
+  /// Populated in through_cache mode.
+  cache::CacheStats cache_stats;
+
+  bool verified() const {
+    return checksum_mismatches == 0 && data_mismatches == 0 &&
+           final_image_ok;
+  }
+  std::string summary() const;
+};
+
+/// Replays the trace; throws polymem::Error on structurally impossible
+/// input (out-of-bounds ops, empty space). Divergence does not throw —
+/// it is counted in the report.
+ReplayReport replay(const sched::RecordedTrace& trace,
+                    const ReplayOptions& options = {});
+
+/// Re-lints a replayed trace with no access to the original program:
+/// every op as a BatchOp program (support/alignment/bounds/conflict/RAW
+/// analysis) plus the flattened element trace (out-of-bounds, bank
+/// imbalance) under the chosen scheme.
+verify::LintReport relint(const sched::RecordedTrace& trace,
+                          maf::Scheme scheme);
+
+}  // namespace polymem::replay

@@ -47,6 +47,35 @@ std::vector<Coord> AccessTrace::out_of_bounds(std::int64_t height,
   return outside;
 }
 
+AccessTrace AccessTrace::from_accesses(
+    std::span<const access::ParallelAccess> accesses, unsigned p,
+    unsigned q) {
+  POLYMEM_REQUIRE(p >= 1 && q >= 1, "bank geometry must be at least 1x1");
+  std::vector<Coord> el;
+  std::vector<Coord> lanes;
+  AccessTrace trace;
+  trace.origin_p_ = p;
+  trace.origin_q_ = q;
+  trace.origins_.reserve(accesses.size());
+  for (const access::ParallelAccess& a : accesses) {
+    access::expand_into(a, p, q, lanes);
+    el.insert(el.end(), lanes.begin(), lanes.end());
+    trace.origins_.push_back(
+        {a, a.anchor.i % p == 0 && a.anchor.j % q == 0});
+  }
+  std::sort(el.begin(), el.end());
+  el.erase(std::unique(el.begin(), el.end()), el.end());
+  trace.elements_ = std::move(el);
+  return trace;
+}
+
+bool AccessTrace::origins_aligned() const {
+  POLYMEM_REQUIRE(has_origins(), "trace carries no provenance");
+  for (const TraceOrigin& o : origins_)
+    if (!o.aligned) return false;
+  return true;
+}
+
 AccessTrace AccessTrace::dense_block(Coord origin, std::int64_t rows,
                                      std::int64_t cols) {
   POLYMEM_REQUIRE(rows >= 1 && cols >= 1, "block must be non-empty");

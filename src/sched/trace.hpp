@@ -5,15 +5,33 @@
 // the set of distinct 2D elements one kernel iteration reads. Generators
 // cover the workload classes the paper motivates (dense blocks for
 // matrix/multimedia kernels, stencils for scientific simulation, sparse
-// sets for graph-like irregularity).
+// sets for graph-like irregularity). Traces recorded from parallel
+// accesses additionally carry per-access provenance (pattern kind,
+// anchor, alignment — see TraceOrigin), so a replayed trace can be
+// re-linted without the program that produced it.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "access/coord.hpp"
+#include "access/pattern.hpp"
 
 namespace polymem::sched {
+
+/// Provenance of one recorded parallel access: the originating pattern
+/// kind and anchor, plus whether the anchor sat on the aligned
+/// (i % p == 0, j % q == 0) lattice at recording time. A trace carrying
+/// origins can be re-linted without the original program: aligned-only
+/// schemes accept exactly the aligned anchors, so alignment is part of
+/// the recorded fact, not something to re-derive.
+struct TraceOrigin {
+  access::ParallelAccess access;
+  bool aligned = false;
+
+  friend bool operator==(const TraceOrigin&, const TraceOrigin&) = default;
+};
 
 class AccessTrace {
  public:
@@ -37,6 +55,26 @@ class AccessTrace {
   std::vector<access::Coord> out_of_bounds(std::int64_t height,
                                            std::int64_t width) const;
 
+  /// Builds a trace from parallel accesses expanded at bank geometry
+  /// (p, q), recording each access's pattern kind and anchor alignment
+  /// as provenance (the raw-tuple constructor above records none).
+  static AccessTrace from_accesses(
+      std::span<const access::ParallelAccess> accesses, unsigned p,
+      unsigned q);
+
+  /// Recorded provenance, in recording order (empty for raw-tuple and
+  /// generator traces — those never saw a pattern).
+  const std::vector<TraceOrigin>& origins() const { return origins_; }
+  bool has_origins() const { return !origins_.empty(); }
+
+  /// Bank geometry the origins were recorded at (0 without provenance).
+  unsigned origin_p() const { return origin_p_; }
+  unsigned origin_q() const { return origin_q_; }
+
+  /// True when every recorded origin anchor is (p, q)-aligned. Requires
+  /// provenance.
+  bool origins_aligned() const;
+
   /// Generators.
   static AccessTrace dense_block(access::Coord origin, std::int64_t rows,
                                  std::int64_t cols);
@@ -56,6 +94,9 @@ class AccessTrace {
 
  private:
   std::vector<access::Coord> elements_;
+  std::vector<TraceOrigin> origins_;
+  unsigned origin_p_ = 0;
+  unsigned origin_q_ = 0;
 };
 
 }  // namespace polymem::sched

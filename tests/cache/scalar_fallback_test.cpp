@@ -1,0 +1,227 @@
+// CachedMatrix scalar-fallback coverage: when the scheme or the block
+// shape refuses the batched row path (narrow columns, a row-incapable
+// scheme), every access must route through the per-element fallback —
+// bit-identical data at an honest one-access-per-element cost. The
+// hammer variant is the TSan gate target: threads race fallback-heavy
+// caches over disjoint regions of one shared LMem.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "cache/cached_matrix.hpp"
+#include "common/rng.hpp"
+
+namespace polymem::cache {
+namespace {
+
+core::PolyMemConfig pm_cfg(maf::Scheme scheme) {
+  core::PolyMemConfig c;
+  c.scheme = scheme;
+  c.p = 2;
+  c.q = 4;
+  c.height = 16;
+  c.width = 32;
+  return c;
+}
+
+// Fills the LMem matrix with a deterministic pattern and returns the
+// host mirror the cache results are checked against.
+std::vector<hw::Word> seed_matrix(maxsim::LMem& lmem,
+                                  const maxsim::LMemMatrix& m,
+                                  std::uint64_t salt) {
+  std::vector<hw::Word> mirror(static_cast<std::size_t>(m.rows * m.cols));
+  for (std::size_t k = 0; k < mirror.size(); ++k)
+    mirror[k] = static_cast<hw::Word>((k + salt) * 2654435761u);
+  for (std::int64_t i = 0; i < m.rows; ++i)
+    lmem.write(m.word_addr(i, 0),
+               std::span<const hw::Word>(mirror).subspan(
+                   static_cast<std::size_t>(i * m.cols),
+                   static_cast<std::size_t>(m.cols)));
+  return mirror;
+}
+
+TEST(ScalarFallback, OneWideColumnBlocksCostOneAccessPerElement) {
+  maxsim::LMem lmem(1 << 22);
+  core::PolyMem mem(pm_cfg(maf::Scheme::kReRo));
+  const maxsim::LMemMatrix m{0, 32, 32, 32};
+  const std::vector<hw::Word> mirror = seed_matrix(lmem, m, 1);
+  CachedMatrix cached(lmem, mem, m,
+                      core::FramePool::whole_space(mem.config(), 8, 32));
+
+  // 8x1 column blocks can never be served by the batched row path even
+  // on a row-capable scheme: sub_cols == 1 is not lane-aligned.
+  std::vector<hw::Word> col(8);
+  std::uint64_t elements = 0;
+  for (std::int64_t j = 0; j < m.cols; ++j) {
+    cached.read_block(8, j, 8, 1, col);
+    elements += 8;
+    for (std::int64_t r = 0; r < 8; ++r)
+      ASSERT_EQ(col[static_cast<std::size_t>(r)],
+                mirror[static_cast<std::size_t>((8 + r) * m.cols + j)])
+          << "col " << j << " row " << r;
+  }
+  // Refills are billed separately (dma.polymem_cycles); the kernel side
+  // is exactly one PolyMem access per touched element.
+  EXPECT_EQ(cached.stats().kernel_accesses, elements);
+}
+
+TEST(ScalarFallback, RowIncapableSchemeFallsBackOnFullRows) {
+  maxsim::LMem lmem(1 << 22);
+  // ReCo serves columns and diagonals, not rows: even a perfectly
+  // lane-aligned full-width row read is a provoked conflict and must
+  // take the scalar path.
+  core::PolyMem mem(pm_cfg(maf::Scheme::kReCo));
+  const maxsim::LMemMatrix m{0, 16, 32, 32};
+  const std::vector<hw::Word> mirror = seed_matrix(lmem, m, 2);
+  CachedMatrix cached(lmem, mem, m,
+                      core::FramePool::whole_space(mem.config(), 8, 32));
+
+  std::vector<hw::Word> row(static_cast<std::size_t>(m.cols));
+  for (std::int64_t i = 0; i < m.rows; ++i) {
+    cached.read_row(i, 0, row);
+    for (std::int64_t j = 0; j < m.cols; ++j)
+      ASSERT_EQ(row[static_cast<std::size_t>(j)],
+                mirror[static_cast<std::size_t>(i * m.cols + j)]);
+  }
+  EXPECT_EQ(cached.stats().kernel_accesses,
+            static_cast<std::uint64_t>(m.rows * m.cols));
+}
+
+TEST(ScalarFallback, FallbackAndBatchedPathsAgreeBitForBit) {
+  maxsim::LMem lmem(1 << 22);
+  const maxsim::LMemMatrix m{0, 16, 32, 32};
+  const std::vector<hw::Word> mirror = seed_matrix(lmem, m, 3);
+
+  // Same LMem bytes read through a batched row-capable scheme and a
+  // scalar-fallback scheme: the polymorphic layouts differ, the words
+  // delivered must not.
+  std::vector<hw::Word> batched(static_cast<std::size_t>(m.rows * m.cols));
+  std::vector<hw::Word> fallback(batched.size());
+  {
+    core::PolyMem mem(pm_cfg(maf::Scheme::kReRo));
+    CachedMatrix cached(lmem, mem, m,
+                        core::FramePool::whole_space(mem.config(), 8, 32));
+    cached.read_block(0, 0, m.rows, m.cols, batched);
+    // Full-width rows on ReRo ride the parallel engine: lanes elements
+    // per access, not one.
+    EXPECT_EQ(cached.stats().kernel_accesses,
+              static_cast<std::uint64_t>(m.rows * m.cols) /
+                  pm_cfg(maf::Scheme::kReRo).lanes());
+  }
+  {
+    core::PolyMem mem(pm_cfg(maf::Scheme::kReCo));
+    CachedMatrix cached(lmem, mem, m,
+                        core::FramePool::whole_space(mem.config(), 8, 32));
+    cached.read_block(0, 0, m.rows, m.cols, fallback);
+    EXPECT_EQ(cached.stats().kernel_accesses,
+              static_cast<std::uint64_t>(m.rows * m.cols));
+  }
+  EXPECT_EQ(batched, fallback);
+  EXPECT_EQ(batched, mirror);
+}
+
+TEST(ScalarFallback, DirtyFallbackWritesSurviveEviction) {
+  maxsim::LMem lmem(1 << 22);
+  core::PolyMem mem(pm_cfg(maf::Scheme::kReRo));
+  // 64 rows cached through 16-row frames: column sweeps keep evicting
+  // dirty tiles written through the scalar path.
+  const maxsim::LMemMatrix m{0, 64, 32, 32};
+  std::vector<hw::Word> mirror = seed_matrix(lmem, m, 4);
+  CachedMatrix cached(lmem, mem, m,
+                      core::FramePool::whole_space(mem.config(), 8, 32));
+
+  Rng rng(4242);
+  std::vector<hw::Word> col(8);
+  for (int round = 0; round < 200; ++round) {
+    const std::int64_t i = 8 * rng.uniform(0, m.rows / 8 - 1);
+    const std::int64_t j = rng.uniform(0, m.cols - 1);
+    cached.read_block(i, j, 8, 1, col);
+    for (std::int64_t r = 0; r < 8; ++r) {
+      col[static_cast<std::size_t>(r)] += 0x9e3779b9u;
+      mirror[static_cast<std::size_t>((i + r) * m.cols + j)] =
+          col[static_cast<std::size_t>(r)];
+    }
+    cached.write_block(i, j, 8, 1, col);
+  }
+  cached.flush();
+
+  std::vector<hw::Word> row(static_cast<std::size_t>(m.cols));
+  for (std::int64_t i = 0; i < m.rows; ++i) {
+    lmem.read(m.word_addr(i, 0), row);
+    for (std::int64_t j = 0; j < m.cols; ++j)
+      ASSERT_EQ(row[static_cast<std::size_t>(j)],
+                mirror[static_cast<std::size_t>(i * m.cols + j)])
+          << "row " << i << " col " << j;
+  }
+}
+
+TEST(ScalarFallbackHammer, DisjointRegionsRaceOverOneLMem) {
+  // The TSan gate variant: four threads, each with a private PolyMem +
+  // CachedMatrix over its own quarter of a shared LMem, hammer the
+  // scalar-fallback path (1-wide column RMW) with periodic flushes and
+  // invalidations. Disjoint regions means the only shared state is the
+  // LMem itself — exactly what the DMA layer must keep race-free.
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kRows = 32, kCols = 32;
+  maxsim::LMem lmem(1 << 22);
+
+  std::vector<maxsim::LMemMatrix> regions;
+  std::vector<std::vector<hw::Word>> mirrors;
+  for (int t = 0; t < kThreads; ++t) {
+    const maxsim::LMemMatrix m{static_cast<std::uint64_t>(t) * kRows * kCols,
+                               kRows, kCols, kCols};
+    regions.push_back(m);
+    mirrors.push_back(seed_matrix(lmem, m, 100 + static_cast<std::uint64_t>(t)));
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &lmem, &regions, &mirrors] {
+      core::PolyMem mem(pm_cfg(maf::Scheme::kReRo));
+      CachedMatrix cached(lmem, mem, regions[static_cast<std::size_t>(t)],
+                          core::FramePool::whole_space(mem.config(), 8, 32));
+      std::vector<hw::Word>& mirror = mirrors[static_cast<std::size_t>(t)];
+      Rng rng(static_cast<std::uint64_t>(9000 + t));
+      std::vector<hw::Word> col(8);
+      for (int round = 0; round < 300; ++round) {
+        const std::int64_t i = 8 * rng.uniform(0, kRows / 8 - 1);
+        const std::int64_t j = rng.uniform(0, kCols - 1);
+        cached.read_block(i, j, 8, 1, col);
+        for (std::int64_t r = 0; r < 8; ++r) {
+          ASSERT_EQ(col[static_cast<std::size_t>(r)],
+                    mirror[static_cast<std::size_t>((i + r) * kCols + j)])
+              << "thread " << t << " round " << round;
+          col[static_cast<std::size_t>(r)] ^= rng.bits() | 1u;
+          mirror[static_cast<std::size_t>((i + r) * kCols + j)] =
+              col[static_cast<std::size_t>(r)];
+        }
+        cached.write_block(i, j, 8, 1, col);
+        if (round % 50 == 49) {
+          cached.flush();
+          cached.cache().invalidate();
+        }
+      }
+      cached.flush();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  std::vector<hw::Word> row(static_cast<std::size_t>(kCols));
+  for (int t = 0; t < kThreads; ++t) {
+    const maxsim::LMemMatrix& m = regions[static_cast<std::size_t>(t)];
+    for (std::int64_t i = 0; i < m.rows; ++i) {
+      lmem.read(m.word_addr(i, 0), row);
+      for (std::int64_t j = 0; j < m.cols; ++j)
+        ASSERT_EQ(row[static_cast<std::size_t>(j)],
+                  mirrors[static_cast<std::size_t>(t)]
+                         [static_cast<std::size_t>(i * m.cols + j)])
+            << "thread " << t << " row " << i << " col " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace polymem::cache

@@ -1,0 +1,217 @@
+// polymem_replay: replays a recorded access trace against any scheme x
+// cache x port configuration and verifies it bit-for-bit against the
+// canonical host-memory oracle (src/replay). The trace carries only
+// addresses — the harness supplies the memory, so one recording checks
+// every polymorphic configuration.
+//
+// Usage:   polymem_replay [options] <trace-file>
+//          polymem_replay --example       (prints a sample trace)
+//
+// Options:
+//   --scheme <S|all>   scheme to replay under (ReO|ReRo|ReCo|RoCo|ReTr,
+//                      default ReRo; `all` replays every scheme)
+//   --ports <N>        read ports to round-robin batched reads over
+//   --cache            route through the CachedMatrix/LMem software cache
+//   --write-through    write-through instead of write-back (with --cache)
+//   --no-checksums     skip recorded-checksum comparison
+//   --lint             additionally re-lint the trace (support, bounds,
+//                      conflicts, RAW hazards, bank imbalance); lint
+//                      ERRORS fail the run, warnings do not
+//   --format=text|json output format (default text)
+//
+// Exit status: 0 verified, 1 divergence or lint errors, 2 usage/parse
+// errors.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "replay/replay.hpp"
+
+namespace {
+
+using polymem::maf::Scheme;
+using polymem::replay::ReplayOptions;
+using polymem::replay::ReplayReport;
+using polymem::sched::RecordedTrace;
+
+constexpr const char* kExample =
+    "# polymem_replay sample trace: 2x4 lanes over a 16x16 space.\n"
+    "# One tuple per line: dir pattern @ anchor [xCOUNT] [step di,dj]\n"
+    "#                     [sum <16 hex digits>]\n"
+    "polymem-trace v1\n"
+    "geometry 2x4 space 16x16 seed 42\n"
+    "R row @ 0,0 x16 step 1,0\n"
+    "W rect @ 4,8\n"
+    "R rect @ 4,8\n"
+    "R mdiag @ 0,0 x2 step 8,8\n";
+
+void usage(std::ostream& out) {
+  out << "usage: polymem_replay [--scheme S|all] [--ports N] [--cache]\n"
+         "                      [--write-through] [--no-checksums] [--lint]\n"
+         "                      [--format=text|json] <trace-file>\n"
+         "       polymem_replay --example\n";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void print_json(std::ostream& out, const std::vector<ReplayReport>& reports,
+                const std::vector<polymem::verify::LintReport>& lints,
+                bool ok) {
+  out << "{\n  \"ok\": " << (ok ? "true" : "false") << ",\n  \"runs\": [\n";
+  for (std::size_t k = 0; k < reports.size(); ++k) {
+    const ReplayReport& r = reports[k];
+    out << "    {\n"
+        << "      \"scheme\": \"" << polymem::maf::scheme_name(r.scheme)
+        << "\",\n"
+        << "      \"through_cache\": " << (r.through_cache ? "true" : "false")
+        << ",\n"
+        << "      \"ops\": " << r.ops << ",\n"
+        << "      \"reads\": " << r.reads << ",\n"
+        << "      \"writes\": " << r.writes << ",\n"
+        << "      \"batched_accesses\": " << r.batched_accesses << ",\n"
+        << "      \"fallback_accesses\": " << r.fallback_accesses << ",\n"
+        << "      \"checksums_checked\": " << r.checksums_checked << ",\n"
+        << "      \"checksum_mismatches\": " << r.checksum_mismatches << ",\n"
+        << "      \"data_mismatches\": " << r.data_mismatches << ",\n"
+        << "      \"final_image_ok\": " << (r.final_image_ok ? "true" : "false")
+        << ",\n"
+        << "      \"verified\": " << (r.verified() ? "true" : "false");
+    if (k < lints.size()) {
+      out << ",\n      \"lint\": {\"errors\": " << lints[k].errors()
+          << ", \"warnings\": " << lints[k].warnings()
+          << ", \"diagnostics\": [";
+      for (std::size_t d = 0; d < lints[k].diagnostics.size(); ++d) {
+        if (d) out << ", ";
+        out << "\"" << json_escape(lints[k].diagnostics[d].message) << "\"";
+      }
+      out << "]}";
+    }
+    out << "\n    }" << (k + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scheme_arg = "ReRo";
+  std::string format = "text";
+  std::string path;
+  ReplayOptions base;
+  bool lint = false;
+  bool example = false;
+
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    auto next = [&]() -> std::string {
+      if (k + 1 >= argc) {
+        usage(std::cerr);
+        std::exit(2);
+      }
+      return argv[++k];
+    };
+    if (arg == "--example") {
+      example = true;
+    } else if (arg == "--scheme") {
+      scheme_arg = next();
+    } else if (arg == "--ports") {
+      base.read_ports = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--cache") {
+      base.through_cache = true;
+    } else if (arg == "--write-through") {
+      base.write_policy = polymem::cache::WritePolicy::kWriteThrough;
+    } else if (arg == "--no-checksums") {
+      base.verify_checksums = false;
+    } else if (arg == "--lint") {
+      lint = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      usage(std::cerr);
+      return 2;
+    }
+  }
+  if (example) {
+    std::cout << kExample;
+    return 0;
+  }
+  if (path.empty() || (format != "text" && format != "json")) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    const RecordedTrace trace = polymem::sched::parse_trace_file(path);
+
+    std::vector<Scheme> schemes;
+    if (scheme_arg == "all") {
+      schemes.assign(std::begin(polymem::maf::kAllSchemes),
+                     std::end(polymem::maf::kAllSchemes));
+    } else {
+      schemes.push_back(polymem::maf::scheme_from_name(scheme_arg));
+    }
+
+    std::vector<ReplayReport> reports;
+    std::vector<polymem::verify::LintReport> lints;
+    bool ok = true;
+    for (Scheme scheme : schemes) {
+      ReplayOptions options = base;
+      options.scheme = scheme;
+      reports.push_back(polymem::replay::replay(trace, options));
+      ok = ok && reports.back().verified();
+      if (lint) {
+        lints.push_back(polymem::replay::relint(trace, scheme));
+        ok = ok && lints.back().ok();
+      }
+    }
+
+    if (format == "json") {
+      print_json(std::cout, reports, lints, ok);
+    } else {
+      std::cout << path << ": " << trace.ops.size() << " ops, "
+                << trace.accesses() << " accesses over " << trace.height
+                << "x" << trace.width << " (geometry " << trace.p << "x"
+                << trace.q << ", seed " << trace.seed << ")\n";
+      for (std::size_t k = 0; k < reports.size(); ++k) {
+        std::cout << reports[k].summary() << "\n";
+        if (k < lints.size() && !lints[k].diagnostics.empty()) {
+          const std::string s = lints[k].summary();
+          std::cout << s;
+          if (s.empty() || s.back() != '\n') std::cout << "\n";
+        }
+      }
+      std::cout << (ok ? "REPLAY OK" : "REPLAY FAILED") << "\n";
+    }
+    return ok ? 0 : 1;
+  } catch (const polymem::sched::TraceParseError& e) {
+    std::cerr << path << ":" << e.line() << ": " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "polymem_replay: " << e.what() << "\n";
+    return 2;
+  }
+}
