@@ -3,9 +3,16 @@
 //
 // Closed-loop clients hammer the PolyMem-as-a-service engine
 // (src/service) with Zipf-skewed scan bursts: each client repeatedly
-// picks a popular anchor, then walks 16-32 consecutive rows — the
-// streaming shape the per-port coalescer turns into one compiled
-// ExecPlan gather per run. Four configurations over the SAME trace:
+// picks a popular anchor, then walks consecutive rows — the streaming
+// shape the per-port coalescer turns into one compiled ExecPlan
+// gather/scatter per run. A quarter of the bursts are WRITES: reads
+// draw from a shared read-only region (so the serial replay stays a
+// valid oracle under concurrency), writes land in each client's
+// private row band (per-client FIFO makes the final image
+// deterministic), and every write's payload is derived from its
+// request tag — so both the completed reads and the end-state memory
+// are differentially verifiable. Four configurations over the SAME
+// trace:
 //
 //  1. serial_baseline — no service at all: one synchronous read_into
 //     per request on a plain PolyMem (the ~95 ns/access plan-template
@@ -71,8 +78,20 @@ namespace {
 using namespace polymem;
 
 constexpr double kZipfSkew = 0.9;
-constexpr std::int64_t kBurstMin = 16;
-constexpr std::int64_t kBurstMax = 32;
+constexpr std::int64_t kBurstMin = 8;
+constexpr std::int64_t kBurstMax = 16;
+/// Fraction of bursts that are writes (both trace generators).
+constexpr double kWriteFraction = 0.25;
+/// Salt for tag-derived write payloads (recomputable anywhere).
+constexpr std::uint64_t kPayloadSalt = 0x77aa55;
+
+std::vector<hw::Word> write_payload(std::uint64_t tag, unsigned lanes) {
+  std::vector<hw::Word> p(lanes);
+  for (unsigned l = 0; l < lanes; ++l) {
+    p[l] = runtime::derive_seed(kPayloadSalt + tag, l);
+  }
+  return p;
+}
 
 core::PolyMemConfig pm_cfg() {
   core::PolyMemConfig c;
@@ -110,6 +129,7 @@ class Zipf {
 struct TraceEntry {
   access::ParallelAccess where;
   service::Tenant tenant = 0;
+  service::Op op = service::Op::kRead;
 };
 
 struct Trace {
@@ -117,28 +137,53 @@ struct Trace {
   /// Per-client [begin, end) into entries; clients submit their chunk
   /// in order, so per-port FIFO keeps each burst contiguous.
   std::vector<std::pair<std::size_t, std::size_t>> client_ranges;
+  unsigned lanes = 0;  ///< payload width for write requests
+
+  std::size_t reads() const {
+    std::size_t n = 0;
+    for (const auto& e : entries) n += e.op == service::Op::kRead;
+    return n;
+  }
+  std::size_t writes() const { return entries.size() - reads(); }
 };
 
 /// Direct-mode trace: Zipf-popular column anchors, bursts walking
 /// kBurstMin..kBurstMax consecutive rows (stride {1,0} — coalescible).
+/// Read bursts draw from the shared top half of the space; write bursts
+/// land in the client's private band of the bottom half, so reads stay
+/// serial-oracle-checkable and the final image is order-independent
+/// across clients.
 Trace make_direct_trace(const core::PolyMemConfig& cfg, unsigned clients,
                         std::size_t per_client, std::uint64_t seed) {
   const auto lanes = static_cast<std::int64_t>(cfg.lanes());
   const Zipf zipf(static_cast<std::size_t>(cfg.width / lanes), kZipfSkew);
+  const std::int64_t read_rows = cfg.height / 2;
+  const std::int64_t band = (cfg.height - read_rows) / clients;
   Trace t;
+  t.lanes = cfg.lanes();
   t.entries.reserve(clients * per_client);
   for (unsigned c = 0; c < clients; ++c) {
     Rng rng(runtime::derive_seed(seed, c));
     const std::size_t begin = t.entries.size();
     std::size_t quota = per_client;
     while (quota > 0) {
-      const auto len = std::min<std::int64_t>(
-          static_cast<std::int64_t>(quota), rng.uniform(kBurstMin, kBurstMax));
+      const bool is_write = band > 0 && rng.uniform01() < kWriteFraction;
       const std::int64_t j0 = static_cast<std::int64_t>(zipf(rng)) * lanes;
-      const std::int64_t i0 = rng.uniform(0, cfg.height - len);
+      std::int64_t len = 0, i0 = 0;
+      if (is_write) {
+        len = std::min<std::int64_t>(static_cast<std::int64_t>(quota),
+                                     rng.uniform(1, band));
+        i0 = read_rows + c * band + rng.uniform(0, band - len);
+      } else {
+        len = std::min<std::int64_t>(
+            static_cast<std::int64_t>(quota),
+            rng.uniform(kBurstMin, std::min(kBurstMax, read_rows)));
+        i0 = rng.uniform(0, read_rows - len);
+      }
+      const auto op = is_write ? service::Op::kWrite : service::Op::kRead;
       for (std::int64_t r = 0; r < len; ++r) {
         t.entries.push_back(
-            {{access::PatternKind::kRow, {i0 + r, j0}}, c});
+            {{access::PatternKind::kRow, {i0 + r, j0}}, c, op});
       }
       quota -= static_cast<std::size_t>(len);
     }
@@ -148,24 +193,40 @@ Trace make_direct_trace(const core::PolyMemConfig& cfg, unsigned clients,
 }
 
 /// Sharded-mode trace in matrix coordinates: Zipf-popular tiles, bursts
-/// confined to the anchor tile (the engine's coalescing unit).
+/// confined to the anchor tile (the engine's coalescing unit). Reads
+/// draw from the top half of the tile grid; each tenant's writes go to
+/// one private tile in the bottom half.
 Trace make_tiled_trace(std::int64_t rows, std::int64_t cols,
                        std::int64_t tile_rows, std::int64_t tile_cols,
                        std::int64_t lanes, unsigned clients,
                        std::size_t per_client, std::uint64_t seed) {
   const std::int64_t tiles_i = rows / tile_rows;
   const std::int64_t tiles_j = cols / tile_cols;
-  const Zipf zipf(static_cast<std::size_t>(tiles_i * tiles_j), kZipfSkew);
+  const std::int64_t read_tiles_i = tiles_i / 2;
+  const std::int64_t write_tiles =
+      (tiles_i - read_tiles_i) * tiles_j;  // bottom half, tenant-private
+  const Zipf zipf(static_cast<std::size_t>(read_tiles_i * tiles_j),
+                  kZipfSkew);
   Trace t;
+  t.lanes = static_cast<unsigned>(lanes);
   t.entries.reserve(clients * per_client);
   for (unsigned c = 0; c < clients; ++c) {
     Rng rng(runtime::derive_seed(seed, c));
     const std::size_t begin = t.entries.size();
     std::size_t quota = per_client;
     while (quota > 0) {
-      const auto tile = static_cast<std::int64_t>(zipf(rng));
-      const std::int64_t ti = tile / tiles_j;
-      const std::int64_t tj = tile % tiles_j;
+      const bool is_write =
+          write_tiles >= clients && rng.uniform01() < kWriteFraction;
+      std::int64_t ti = 0, tj = 0;
+      if (is_write) {
+        const std::int64_t mine = c % write_tiles;
+        ti = read_tiles_i + mine / tiles_j;
+        tj = mine % tiles_j;
+      } else {
+        const auto tile = static_cast<std::int64_t>(zipf(rng));
+        ti = tile / tiles_j;
+        tj = tile % tiles_j;
+      }
       const auto len = std::min<std::int64_t>(
           static_cast<std::int64_t>(quota),
           rng.uniform(std::min<std::int64_t>(4, tile_rows), tile_rows));
@@ -173,9 +234,10 @@ Trace make_tiled_trace(std::int64_t rows, std::int64_t cols,
           ti * tile_rows + rng.uniform(0, tile_rows - len);
       const std::int64_t j0 =
           tj * tile_cols + rng.uniform(0, tile_cols / lanes - 1) * lanes;
+      const auto op = is_write ? service::Op::kWrite : service::Op::kRead;
       for (std::int64_t r = 0; r < len; ++r) {
         t.entries.push_back(
-            {{access::PatternKind::kRow, {i0 + r, j0}}, c});
+            {{access::PatternKind::kRow, {i0 + r, j0}}, c, op});
       }
       quota -= static_cast<std::size_t>(len);
     }
@@ -255,19 +317,64 @@ struct SerialRun {
   std::vector<hw::Word> data;  ///< the oracle's reference results
 };
 
-/// The baseline the service must beat: one synchronous read_into per
-/// request, in trace order, on one thread.
+/// The baseline the service must beat: one synchronous read/write per
+/// request, in trace order, on one thread. Read slots for write entries
+/// stay zero on both sides of the oracle.
 SerialRun run_serial(core::PolyMem& mem, const Trace& trace) {
   const unsigned lanes = mem.lanes();
   SerialRun r;
   r.data.resize(trace.entries.size() * lanes);
   const auto t0 = std::chrono::steady_clock::now();
   for (std::size_t k = 0; k < trace.entries.size(); ++k) {
-    mem.read_into(trace.entries[k].where, 0,
-                  std::span<hw::Word>(r.data).subspan(k * lanes, lanes));
+    const auto& e = trace.entries[k];
+    if (e.op == service::Op::kWrite) {
+      mem.write(e.where, write_payload(k, lanes));
+    } else {
+      mem.read_into(e.where, 0,
+                    std::span<hw::Word>(r.data).subspan(k * lanes, lanes));
+    }
   }
   r.wall_s = seconds_since(t0);
   return r;
+}
+
+/// Host image of the matrix after the trace's writes: the fill replayed
+/// into an array, then every write applied in trace order. Write
+/// regions are client-private and payloads are tag-derived, so whatever
+/// cross-client interleave an engine picks converges to this image.
+std::vector<hw::Word> expected_image(std::int64_t rows, std::int64_t cols,
+                                     const Trace& trace, std::uint64_t seed,
+                                     const std::vector<hw::Word>* fill) {
+  std::vector<hw::Word> img;
+  if (fill) {
+    img = *fill;
+  } else {
+    img.resize(static_cast<std::size_t>(rows * cols));
+    Rng rng(seed);
+    for (auto& w : img) w = rng.bits();
+  }
+  for (std::size_t k = 0; k < trace.entries.size(); ++k) {
+    const auto& e = trace.entries[k];
+    if (e.op != service::Op::kWrite) continue;
+    const auto payload = write_payload(k, trace.lanes);
+    const auto base =
+        static_cast<std::size_t>(e.where.anchor.i * cols + e.where.anchor.j);
+    std::copy(payload.begin(), payload.end(),
+              img.begin() + static_cast<std::ptrdiff_t>(base));
+  }
+  return img;
+}
+
+bool image_matches(const core::PolyMem& mem,
+                   const std::vector<hw::Word>& img) {
+  const auto& c = mem.config();
+  for (std::int64_t i = 0; i < c.height; ++i) {
+    for (std::int64_t j = 0; j < c.width; ++j) {
+      if (mem.load({i, j}) != img[static_cast<std::size_t>(i * c.width + j)])
+        return false;
+    }
+  }
+  return true;
 }
 
 /// The saturated-drain phase: only the pump is timed, so drain_s is
@@ -286,15 +393,20 @@ struct LoadResult {
   std::uint64_t retries = 0;   ///< kOverloaded submissions retried
   bool verified = true;
   SatResult sat;  ///< the same trace replayed through a saturated drain
+  std::size_t trace_reads = 0;   ///< run_sharded only (private trace)
+  std::size_t trace_writes = 0;
 };
 
 service::Request make_request(const Trace& trace, std::size_t k,
                               service::CompletionListener& listener) {
   service::Request req;
   req.tenant = trace.entries[k].tenant;
-  req.op = service::Op::kRead;
+  req.op = trace.entries[k].op;
   req.where = trace.entries[k].where;
   req.tag = k;
+  if (req.op == service::Op::kWrite) {
+    req.payload = write_payload(k, trace.lanes);
+  }
   req.listener = &listener;
   return req;
 }
@@ -374,10 +486,12 @@ Reservoir::Summary summarize_latency(const std::vector<std::uint64_t>& lat) {
   return res.summary();
 }
 
-/// One direct-mode engine run over `trace`; results verified against
-/// the serial replay.
+/// One direct-mode engine run over `trace`; completed reads verified
+/// against the serial replay, the end-state matrix against the host
+/// write image.
 LoadResult run_engine(const Trace& trace, unsigned ports,
                       const std::vector<hw::Word>& reference,
+                      const std::vector<hw::Word>& final_image,
                       std::uint64_t fill_seed) {
   core::PolyMem mem(pm_cfg());
   fill_polymem(mem, fill_seed);
@@ -408,7 +522,7 @@ LoadResult run_engine(const Trace& trace, unsigned ports,
   r.latency = summarize_latency(listener.latency());
   r.retries = retries.load();
   r.verified = failures.load() == 0 && listener.not_ok() == 0 &&
-               listener.data() == reference;
+               listener.data() == reference && image_matches(mem, final_image);
 
   // Saturated-drain phase: a fresh engine (manual pumps, never started)
   // over a fresh memory, fed the same trace.
@@ -426,14 +540,28 @@ LoadResult run_engine(const Trace& trace, unsigned ports,
   r.sat.stats = sat_engine.stats();
   r.sat.verified = r.sat.verified && sat_listener.not_ok() == 0 &&
                    sat_listener.completed() == trace.entries.size() &&
-                   sat_listener.data() == reference;
+                   sat_listener.data() == reference &&
+                   image_matches(sat_mem, final_image);
   return r;
+}
+
+bool lmem_matches(maxsim::LMem& lmem, const maxsim::LMemMatrix& m,
+                  const std::vector<hw::Word>& mirror) {
+  std::vector<hw::Word> row(static_cast<std::size_t>(m.cols));
+  for (std::int64_t i = 0; i < m.rows; ++i) {
+    lmem.read(m.word_addr(i, 0), row);
+    if (!std::equal(row.begin(), row.end(),
+                    mirror.begin() + static_cast<std::ptrdiff_t>(i * m.cols)))
+      return false;
+  }
+  return true;
 }
 
 bool verify_against_mirror(const SlotListener& listener, const Trace& trace,
                            const std::vector<hw::Word>& mirror,
                            std::int64_t cols, std::int64_t lanes) {
   for (std::size_t k = 0; k < trace.entries.size(); ++k) {
+    if (trace.entries[k].op != service::Op::kRead) continue;
     const auto anchor = trace.entries[k].where.anchor;
     for (std::int64_t l = 0; l < lanes; ++l) {
       const auto got =
@@ -469,6 +597,10 @@ LoadResult run_sharded(const maxsim::LMemMatrix& shape, unsigned shards,
   const Trace trace =
       make_tiled_trace(shape.rows, shape.cols, svc.tile_rows(),
                        svc.tile_cols(), lanes, clients, per_client, seed + 1);
+  // Fold the trace's writes into the mirror: reads never touch the
+  // write tiles, so one image serves both the read oracle and the
+  // end-state LMem check.
+  mirror = expected_image(shape.rows, shape.cols, trace, seed, &mirror);
   runtime::ThreadPool pool(shards);
   SlotListener listener(trace.entries.size(),
                         static_cast<unsigned>(lanes));
@@ -487,12 +619,16 @@ LoadResult run_sharded(const maxsim::LMemMatrix& shape, unsigned shards,
   LoadResult r;
   r.wall_s = seconds_since(t0);
   svc.stop();
+  svc.flush();  // publish dirty write tiles so the LMem check sees them
   r.stats = svc.stats();
   r.latency = summarize_latency(listener.latency());
   r.retries = retries.load();
+  r.trace_reads = trace.reads();
+  r.trace_writes = trace.writes();
   r.verified = failures.load() == 0 && listener.not_ok() == 0 &&
                verify_against_mirror(listener, trace, mirror, shape.cols,
-                                     lanes);
+                                     lanes) &&
+               lmem_matches(lmem, shape, mirror);
 
   // Saturated-drain phase: a second (never-started) service over the
   // same LMem matrix, every shard pumped from the caller's thread.
@@ -512,10 +648,12 @@ LoadResult run_sharded(const maxsim::LMemMatrix& shape, unsigned shards,
         }
       });
   r.sat.stats = sat_svc.stats();
+  sat_svc.flush();
   r.sat.verified = r.sat.verified && sat_listener.not_ok() == 0 &&
                    sat_listener.completed() == trace.entries.size() &&
                    verify_against_mirror(sat_listener, trace, mirror,
-                                         shape.cols, lanes);
+                                         shape.cols, lanes) &&
+                   lmem_matches(lmem, shape, mirror);
   return r;
 }
 
@@ -550,8 +688,12 @@ void emit_config(std::ostream& out, const std::string& name,
       << ",\n     \"max_queue_depth\": " << r.stats.max_queue_depth
       << ", \"max_in_flight\": " << r.stats.max_in_flight
       << ", \"tile_misses\": " << r.stats.tile_misses
-      << ", \"modeled_cycles\": " << r.stats.cycles << ",\n"
-      << "     \"saturated_drain\": {\"verified\": "
+      << ", \"modeled_cycles\": " << r.stats.cycles << ",\n";
+  if (r.trace_reads + r.trace_writes > 0) {
+    out << "     \"trace_reads\": " << r.trace_reads
+        << ", \"trace_writes\": " << r.trace_writes << ",\n";
+  }
+  out << "     \"saturated_drain\": {\"verified\": "
       << (r.sat.verified ? "true" : "false")
       << ", \"drain_ms\": " << fmt(r.sat.drain_s * 1e3)
       << ", \"accesses_per_sec\": " << fmt(n / r.sat.drain_s)
@@ -583,14 +725,19 @@ int main(int argc, char** argv) {
   const Trace trace = make_direct_trace(cfg, kClients, per_client, kSeed);
   const std::size_t n = trace.entries.size();
 
-  // Serial baseline doubles as the differential oracle's reference.
+  // Serial baseline doubles as the differential oracle's reference —
+  // for the completed reads and, via the host write image, for the
+  // end-state matrix.
   core::PolyMem serial_mem(pm_cfg());
   fill_polymem(serial_mem, kSeed);
   const SerialRun serial = run_serial(serial_mem, trace);
+  const std::vector<hw::Word> final_image =
+      expected_image(cfg.height, cfg.width, trace, kSeed, nullptr);
 
-  const LoadResult one_port = run_engine(trace, 1, serial.data, kSeed);
+  const LoadResult one_port =
+      run_engine(trace, 1, serial.data, final_image, kSeed);
   const LoadResult multi_port =
-      run_engine(trace, kClients, serial.data, kSeed);
+      run_engine(trace, kClients, serial.data, final_image, kSeed);
 
   const maxsim::LMemMatrix matrix{0, 256, 256, 256};
   const LoadResult sharded =
@@ -611,6 +758,8 @@ int main(int argc, char** argv) {
       << ", \"width\": " << cfg.width << ", \"lanes\": " << cfg.lanes()
       << ", \"read_ports\": " << cfg.read_ports << "},\n"
       << "  \"trace\": {\"requests\": " << n << ", \"clients\": " << kClients
+      << ", \"reads\": " << trace.reads() << ", \"writes\": " << trace.writes()
+      << ", \"write_burst_fraction\": " << fmt(kWriteFraction)
       << ", \"burst_rows\": \"" << kBurstMin << ".." << kBurstMax
       << "\", \"zipf_skew\": " << fmt(kZipfSkew) << "},\n"
       << "  \"serial_baseline\": {\"requests\": " << n

@@ -1,0 +1,145 @@
+#include "adapt/policy.hpp"
+
+#include "common/error.hpp"
+#include "dse/explorer.hpp"
+#include "maf/maf.hpp"
+
+namespace polymem::adapt {
+
+namespace {
+
+std::size_t scheme_index(maf::Scheme scheme) {
+  return static_cast<std::size_t>(scheme);
+}
+
+}  // namespace
+
+MigrationPolicy::MigrationPolicy(unsigned p, unsigned q, std::int64_t cells,
+                                 PolicyOptions opts)
+    : p_(p), q_(q), cells_(cells), opts_(opts) {
+  POLYMEM_REQUIRE(p > 0 && q > 0, "policy: bank geometry must be nonzero");
+  POLYMEM_REQUIRE(cells >= 0, "policy: negative cell count");
+  POLYMEM_REQUIRE(opts_.min_improvement >= 0 && opts_.min_improvement < 1,
+                  "policy: min_improvement must be in [0, 1)");
+  POLYMEM_REQUIRE(opts_.persistence >= 1, "policy: persistence must be >= 1");
+  POLYMEM_REQUIRE(opts_.payback_windows > 0,
+                  "policy: payback_windows must be positive");
+  for (maf::Scheme scheme : maf::kAllSchemes) {
+    SchemeInfo& info = schemes_[scheme_index(scheme)];
+    try {
+      const maf::Maf maf(scheme, p, q);
+      info.available = true;
+      for (access::PatternKind kind : access::kAllPatterns) {
+        info.support[static_cast<std::size_t>(kind)] =
+            maf::probe_support(maf, kind);
+      }
+      const auto coverage = dse::DseExplorer::affine_coverage(scheme, p, q);
+      info.affine_served = coverage.served;
+      info.affine_any = coverage.any;
+    } catch (const Unsupported&) {
+      // No MAF at this geometry (e.g. a ReTr shape outside the verified
+      // skewing family): the scheme simply never wins.
+      info.available = false;
+    }
+  }
+}
+
+maf::SupportLevel MigrationPolicy::support(maf::Scheme scheme,
+                                           access::PatternKind kind) const {
+  const SchemeInfo& info = schemes_[scheme_index(scheme)];
+  if (!info.available) return maf::SupportLevel::kNone;
+  return info.support[static_cast<std::size_t>(kind)];
+}
+
+double MigrationPolicy::window_cost(maf::Scheme scheme,
+                                    const WindowProfile& window) const {
+  const double fallback = lanes();
+  double cost = 0;
+  for (access::PatternKind kind : access::kAllPatterns) {
+    const KindCounts& counts = window.of(kind);
+    const std::int64_t total = counts.total();
+    if (total == 0) continue;
+    switch (support(scheme, kind)) {
+      case maf::SupportLevel::kAny:
+        cost += static_cast<double>(total);
+        break;
+      case maf::SupportLevel::kAligned:
+        cost += static_cast<double>(counts.aligned) +
+                static_cast<double>(total - counts.aligned) * fallback;
+        break;
+      case maf::SupportLevel::kNone:
+        cost += static_cast<double>(total) * fallback;
+        break;
+    }
+  }
+  return cost;
+}
+
+std::vector<SchemeScore> MigrationPolicy::score(
+    const WindowProfile& window) const {
+  std::vector<SchemeScore> out;
+  out.reserve(std::size(maf::kAllSchemes));
+  for (maf::Scheme scheme : maf::kAllSchemes) {
+    const SchemeInfo& info = schemes_[scheme_index(scheme)];
+    SchemeScore entry;
+    entry.scheme = scheme;
+    entry.available = info.available;
+    if (info.available) {
+      entry.cost = window_cost(scheme, window);
+      entry.affine_served = info.affine_served;
+      entry.affine_any = info.affine_any;
+      entry.score = entry.cost - opts_.affine_weight *
+                                     (info.affine_served + info.affine_any);
+    }
+    out.push_back(entry);
+  }
+  return out;
+}
+
+double MigrationPolicy::migration_cost_accesses() const {
+  return 2.0 * static_cast<double>(cells_) / static_cast<double>(lanes());
+}
+
+std::optional<maf::Scheme> MigrationPolicy::decide(
+    maf::Scheme current, const WindowProfile& window) {
+  if (window.accesses == 0) return std::nullopt;
+  const std::vector<SchemeScore> scores = score(window);
+
+  const SchemeScore* best = nullptr;
+  for (const SchemeScore& entry : scores) {
+    if (!entry.available) continue;
+    if (best == nullptr || entry.score < best->score) best = &entry;
+  }
+  if (best == nullptr || best->scheme == current) {
+    candidate_.reset();
+    streak_ = 0;
+    return std::nullopt;
+  }
+
+  const double current_cost = window_cost(current, window);
+  const double gain = current_cost - best->cost;
+  const bool improves =
+      best->cost <= (1.0 - opts_.min_improvement) * current_cost && gain > 0;
+  if (!improves || gain * opts_.payback_windows <= migration_cost_accesses()) {
+    candidate_.reset();
+    streak_ = 0;
+    return std::nullopt;
+  }
+
+  if (candidate_ != best->scheme) {
+    candidate_ = best->scheme;
+    streak_ = 1;
+  } else {
+    ++streak_;
+  }
+  if (streak_ < opts_.persistence) return std::nullopt;
+  reset();
+  return best->scheme;
+}
+
+void MigrationPolicy::reset() {
+  candidate_.reset();
+  streak_ = 0;
+}
+
+}  // namespace polymem::adapt

@@ -1,0 +1,79 @@
+#include "adapt/profiler.hpp"
+
+#include "common/error.hpp"
+
+namespace polymem::adapt {
+
+bool run_aligned(unsigned p, unsigned q, access::Coord anchor,
+                 access::Coord stride) {
+  const auto sp = static_cast<std::int64_t>(p);
+  const auto sq = static_cast<std::int64_t>(q);
+  // Floored-safe: anchors are in-space (non-negative) in practice, but the
+  // MAFs are defined for negative coordinates too, so use remainder == 0
+  // which is sign-agnostic for divisibility.
+  return anchor.i % sp == 0 && anchor.j % sq == 0 && stride.i % sp == 0 &&
+         stride.j % sq == 0;
+}
+
+access::PatternKind WindowProfile::dominant() const {
+  access::PatternKind best = access::kAllPatterns[0];
+  std::int64_t best_count = -1;
+  for (access::PatternKind kind : access::kAllPatterns) {
+    const std::int64_t n = of(kind).total();
+    if (n > best_count) {
+      best = kind;
+      best_count = n;
+    }
+  }
+  return best;
+}
+
+AccessProfiler::AccessProfiler(unsigned p, unsigned q, ProfilerOptions opts)
+    : p_(p), q_(q), opts_(opts) {
+  POLYMEM_REQUIRE(p > 0 && q > 0, "profiler: bank geometry must be nonzero");
+  POLYMEM_REQUIRE(opts_.window > 0, "profiler: window must be positive");
+  POLYMEM_REQUIRE(opts_.sample_period > 0,
+                  "profiler: sample_period must be positive");
+}
+
+void AccessProfiler::observe_run(bool is_write, access::PatternKind kind,
+                                 access::Coord anchor, access::Coord stride,
+                                 std::int64_t count) {
+  if (count <= 0) return;
+  observed_total_ += count;
+  in_window_ += count;
+  const bool sampled = run_index_++ % opts_.sample_period == 0;
+  if (sampled) {
+    const std::int64_t scaled = count * opts_.sample_period;
+    KindCounts& k = cur_.kinds[static_cast<std::size_t>(kind)];
+    (is_write ? k.writes : k.reads) += scaled;
+    (is_write ? cur_.writes : cur_.reads) += scaled;
+    cur_.accesses += scaled;
+    if (run_aligned(p_, q_, anchor, stride)) k.aligned += scaled;
+  }
+  if (in_window_ >= opts_.window) seal();
+}
+
+WindowProfile AccessProfiler::take_window() {
+  POLYMEM_REQUIRE(ready_, "profiler: no sealed window to take");
+  ready_ = false;
+  return sealed_;
+}
+
+void AccessProfiler::reset() {
+  cur_ = WindowProfile{};
+  sealed_ = WindowProfile{};
+  ready_ = false;
+  in_window_ = 0;
+  run_index_ = 0;
+}
+
+void AccessProfiler::seal() {
+  cur_.sequence = sealed_count_++;
+  sealed_ = cur_;
+  ready_ = true;
+  cur_ = WindowProfile{};
+  in_window_ = 0;
+}
+
+}  // namespace polymem::adapt

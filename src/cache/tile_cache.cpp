@@ -239,8 +239,38 @@ void TileCache::note_kernel_accesses(std::uint64_t accesses,
 }
 
 void TileCache::flush() {
+  // Burst-friendly order (Ferry et al., PAPERS.md): write back in
+  // ascending LMem address, i.e. (ti, tj) lexicographic — consecutive
+  // tiles of a row band land in consecutive DRAM regions, so the burst
+  // stream stays monotone instead of hopping with frame-table order.
+  std::vector<int> dirty;
   for (int f = 0; f < frames_.frames(); ++f)
-    if (frame_table_[static_cast<std::size_t>(f)].dirty) write_back(f);
+    if (frame_table_[static_cast<std::size_t>(f)].dirty) dirty.push_back(f);
+  std::sort(dirty.begin(), dirty.end(), [this](int a, int b) {
+    const Frame& fa = frame_table_[static_cast<std::size_t>(a)];
+    const Frame& fb = frame_table_[static_cast<std::size_t>(b)];
+    return tile_key(fa.ti, fa.tj) < tile_key(fb.ti, fb.tj);
+  });
+  std::int64_t prev_key = -2;
+  for (int f : dirty) {
+    const Frame& slot = frame_table_[static_cast<std::size_t>(f)];
+    const std::int64_t key = tile_key(slot.ti, slot.tj);
+    if (key != prev_key + 1) ++stats_.dma.cache.flush_runs;
+    prev_key = key;
+    write_back(f);
+  }
+}
+
+void TileCache::migrate(core::PolyMem& polymem) {
+  POLYMEM_REQUIRE(
+      polymem.config().height >= frames_.origin().i + frames_.region_rows() &&
+          polymem.config().width >= frames_.origin().j + frames_.region_cols(),
+      "migrated PolyMem too small for the frame pool");
+  flush();        // ordered write-back: LMem becomes the only truth
+  invalidate();   // drop residency; tiles refill from LMem on demand
+  mem_ = &polymem;
+  dma_.retarget(polymem);
+  ++stats_.dma.cache.relayouts;
 }
 
 void TileCache::invalidate() {

@@ -140,7 +140,17 @@ class TileCache {
   void note_kernel_accesses(std::uint64_t accesses, std::uint64_t words);
 
   /// Writes every dirty tile back to LMem (no-op under write-through).
+  /// Dirty tiles go back in ascending LMem address order — consecutive
+  /// tiles coalesce into long contiguous DRAM burst runs
+  /// (counters().flush_runs counts the runs; 1 == perfectly contiguous).
   void flush();
+
+  /// Tile re-layout on scheme migration: flushes (ordered), drops all
+  /// residency and re-points the cache (and its DMA engine) at `polymem`,
+  /// which must cover the frame pool's region. Tiles refill lazily from
+  /// LMem under the new scheme; counters().relayouts counts these. The
+  /// new PolyMem must outlive the cache.
+  void migrate(core::PolyMem& polymem);
 
   /// Drops all residency without writing anything back.
   void invalidate();

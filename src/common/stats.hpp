@@ -27,6 +27,14 @@ struct CacheCounters {
   std::uint64_t prefetch_issued = 0;
   std::uint64_t prefetch_useful = 0;
   std::uint64_t prefetch_dropped = 0;
+  /// Contiguous ascending-LMem-address write-back runs issued by flush():
+  /// a flush of N dirty tiles in perfect layout order counts 1; unordered
+  /// it would count up to N. The burst-friendliness measure of the DMA
+  /// path (Ferry et al., PAPERS.md).
+  std::uint64_t flush_runs = 0;
+  /// Tile re-layouts: the cache was re-pointed at a migrated PolyMem
+  /// (adaptive layout engine) and repopulates on demand.
+  std::uint64_t relayouts = 0;
 
   /// hits / (hits + misses); 0 when no accesses happened.
   double hit_rate() const;

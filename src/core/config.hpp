@@ -48,6 +48,16 @@ struct PolyMemConfig {
     return (height / p) * (width / q);
   }
 
+  /// The same geometry under a different access scheme — the *polymorphic*
+  /// step the adaptive layout engine (src/adapt) takes at migration time:
+  /// capacity, lanes, ports and shape are invariants of a migration, only
+  /// the MAF changes.
+  PolyMemConfig with_scheme(maf::Scheme new_scheme) const {
+    PolyMemConfig out = *this;
+    out.scheme = new_scheme;
+    return out;
+  }
+
   /// Derives a configuration with the given logical capacity and a
   /// near-square height x width shape. Capacity, p and q must be powers of
   /// two (as all the paper's design points are).

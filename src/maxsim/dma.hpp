@@ -90,6 +90,12 @@ class DmaEngine {
   void set_batched(bool batched) { batched_ = batched; }
   bool batched() const { return batched_; }
 
+  /// Points the engine at a different PolyMem (same LMem). The adaptive
+  /// layout engine swaps the on-chip memory under a live cache at
+  /// migration cutover; transfer shapes re-derive from the new scheme on
+  /// the next call.
+  void retarget(core::PolyMem& polymem) { mem_ = &polymem; }
+
  private:
   void check_tile(const LMemMatrix& m, std::int64_t tile_i,
                   std::int64_t tile_j, std::int64_t rows,

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "adapt/adaptive_matrix.hpp"
 #include "common/error.hpp"
 #include "core/polymem.hpp"
 #include "maxsim/lmem.hpp"
@@ -212,6 +213,84 @@ ReplayReport replay_direct(const RecordedTrace& trace,
   return report;
 }
 
+ReplayReport replay_adaptive(const RecordedTrace& trace,
+                             const ReplayOptions& opts) {
+  const core::PolyMemConfig cfg = direct_config(trace, opts);
+
+  adapt::AdaptiveOptions aopts;
+  aopts.pool = nullptr;  // inline migrations: deterministic replay
+  aopts.verify_migrations = true;
+  aopts.profiler.window =
+      opts.adaptive_window > 0
+          ? opts.adaptive_window
+          : std::clamp<std::int64_t>(trace.accesses() / 6, 64, 4096);
+  adapt::AdaptiveMatrix mat(cfg, aopts);
+
+  {
+    std::vector<std::uint64_t> init(
+        static_cast<std::size_t>(cfg.height * cfg.width), 0);
+    for (std::int64_t i = 0; i < trace.height; ++i)
+      for (std::int64_t j = 0; j < trace.width; ++j)
+        init[static_cast<std::size_t>(i * cfg.width + j)] =
+            sched::canonical_cell(trace.seed, trace.width, {i, j});
+    mat.fill_rect({0, 0}, cfg.height, cfg.width, init);
+  }
+
+  Mirror mirror(trace);
+  ReplayReport report;
+  report.scheme = opts.scheme;
+  report.adaptive = true;
+  OpData data;
+  const auto lanes = static_cast<std::int64_t>(trace.p) * trace.q;
+
+  for (std::size_t k = 0; k < trace.ops.size(); ++k) {
+    const TraceOp& op = trace.ops[k];
+    const auto op_index = static_cast<std::int64_t>(k);
+    ++report.ops;
+    (op.dir == TraceOp::Dir::kRead ? report.reads : report.writes) +=
+        op.count;
+
+    // Bounds-check against the unpadded trace space before the engine
+    // sees the op (the engine's own checks run on the padded space).
+    for (std::int64_t t = 0; t < op.count; ++t) mirror.expand(op, t, op_index);
+
+    // The adaptive engine decides batched vs fallback internally, per its
+    // *current* scheme; both paths produce canonical lane order.
+    data.words.resize(static_cast<std::size_t>(op.count * lanes));
+    if (op.dir == TraceOp::Dir::kRead) {
+      mat.read_batch(op.batch(), data.words);
+      check_read(data.words, mirror, op, op_index, report);
+    } else {
+      data.fill_write(trace, op, op_index);
+      mat.write_batch(op.batch(), data.words);
+      apply_write(data.words, mirror, op, op_index);
+    }
+    check_checksum(data.words, op, opts, report);
+  }
+
+  const adapt::AdaptiveStats astats = mat.stats();
+  report.batched_accesses = static_cast<std::int64_t>(astats.batched_accesses);
+  report.fallback_accesses =
+      static_cast<std::int64_t>(astats.fallback_accesses);
+  report.final_scheme = astats.scheme;
+  report.migrations = static_cast<std::int64_t>(astats.migrations_completed);
+  report.migrations_aborted =
+      static_cast<std::int64_t>(astats.migrations_aborted);
+  report.migration_mismatches =
+      static_cast<std::int64_t>(astats.mismatched_words);
+  report.forwarded_words = static_cast<std::int64_t>(astats.forwarded_words);
+
+  std::vector<std::uint64_t> image(
+      static_cast<std::size_t>(trace.height * trace.width));
+  for (std::int64_t i = 0; i < trace.height; ++i)
+    mat.dump_rect({i, 0}, 1, trace.width,
+                  std::span<std::uint64_t>(image).subspan(
+                      static_cast<std::size_t>(i * trace.width),
+                      static_cast<std::size_t>(trace.width)));
+  report.final_image_ok = image == mirror.cells();
+  return report;
+}
+
 ReplayReport replay_cached(const RecordedTrace& trace,
                            const ReplayOptions& opts) {
   // The on-chip memory is deliberately smaller than the trace space
@@ -324,20 +403,27 @@ ReplayReport replay_cached(const RecordedTrace& trace,
 
 std::string ReplayReport::summary() const {
   std::ostringstream out;
-  out << maf::scheme_name(scheme) << (through_cache ? " cached" : " direct")
+  out << maf::scheme_name(scheme)
+      << (adaptive ? " adaptive" : (through_cache ? " cached" : " direct"))
       << ": " << ops << " ops (" << reads << "R/" << writes << "W), "
       << batched_accesses + fallback_accesses << " accesses ("
       << batched_accesses << " batched, " << fallback_accesses
-      << " fallback), checksums "
-      << checksums_checked - checksum_mismatches << "/" << checksums_checked
-      << " ok, " << data_mismatches << " data mismatches, image "
-      << (final_image_ok ? "ok" : "DIVERGED");
+      << " fallback), ";
+  if (adaptive)
+    out << migrations << " migrations (" << migrations_aborted
+        << " aborted) -> " << maf::scheme_name(final_scheme) << ", ";
+  out << "checksums " << checksums_checked - checksum_mismatches << "/"
+      << checksums_checked << " ok, " << data_mismatches
+      << " data mismatches, image " << (final_image_ok ? "ok" : "DIVERGED");
   return out.str();
 }
 
 ReplayReport replay(const RecordedTrace& trace, const ReplayOptions& opts) {
   POLYMEM_REQUIRE(trace.height >= 1 && trace.width >= 1,
                   "trace has an empty address space");
+  POLYMEM_REQUIRE(!(opts.adaptive && opts.through_cache),
+                  "adaptive replay does not route through the cache");
+  if (opts.adaptive) return replay_adaptive(trace, opts);
   return opts.through_cache ? replay_cached(trace, opts)
                             : replay_direct(trace, opts);
 }

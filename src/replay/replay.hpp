@@ -2,7 +2,7 @@
 // scheme x cache x port configuration, differentially verified.
 //
 // A trace pins the lane geometry, address space and canonical-data seed
-// (sched/trace_io.hpp); this module supplies everything else. Two
+// (sched/trace_io.hpp); this module supplies everything else. Three
 // backends serve the ops:
 //
 //  - *direct*: a PolyMem of the chosen scheme. Ops the scheme serves
@@ -14,6 +14,10 @@
 //  - *through_cache*: a CachedMatrix over LMem (the out-of-core path),
 //    where rectangle-family ops map to block accesses and diagonal ops
 //    exercise the scalar-fallback path of the software cache.
+//  - *adaptive*: an adapt::AdaptiveMatrix starting on the chosen scheme,
+//    migrating live as the trace's pattern mix shifts (inline, so the
+//    replay is deterministic); the same word-for-word mirror diffs the
+//    migrating engine against the static-scheme oracle.
 //
 // Verification is threefold, against the same canonical data model the
 // recorder used: every read is compared word-for-word with a host-memory
@@ -42,11 +46,23 @@ struct ReplayOptions {
   /// Compare computed checksums against the ones recorded in the trace
   /// (off replays traces without `sum` fields silently).
   bool verify_checksums = true;
+  /// Route through the adaptive layout engine (src/adapt): `scheme` is
+  /// only the *initial* scheme; the profiler/policy migrate the matrix
+  /// as the trace's pattern mix shifts. Migrations run inline (no pool),
+  /// so the replay — including every migration decision — is
+  /// deterministic, and each one is verified bit-identical before its
+  /// epoch flip. Mutually exclusive with through_cache.
+  bool adaptive = false;
+  /// Profiler window for adaptive mode; 0 derives one from the trace
+  /// length (accesses / 6, clamped to [64, 4096]) so short traces can
+  /// still migrate.
+  std::int64_t adaptive_window = 0;
 };
 
 struct ReplayReport {
-  maf::Scheme scheme = maf::Scheme::kReRo;
+  maf::Scheme scheme = maf::Scheme::kReRo;  ///< initial scheme
   bool through_cache = false;
+  bool adaptive = false;
 
   std::int64_t ops = 0;
   std::int64_t reads = 0, writes = 0;       ///< parallel accesses by dir
@@ -58,12 +74,19 @@ struct ReplayReport {
   std::int64_t data_mismatches = 0;         ///< read words != host mirror
   bool final_image_ok = false;              ///< end-state memory == mirror
 
+  /// Populated in adaptive mode.
+  maf::Scheme final_scheme = maf::Scheme::kReRo;
+  std::int64_t migrations = 0;              ///< completed epoch flips
+  std::int64_t migrations_aborted = 0;
+  std::int64_t migration_mismatches = 0;    ///< migration-oracle word diffs
+  std::int64_t forwarded_words = 0;         ///< writes forwarded to epoch B
+
   /// Populated in through_cache mode.
   cache::CacheStats cache_stats;
 
   bool verified() const {
     return checksum_mismatches == 0 && data_mismatches == 0 &&
-           final_image_ok;
+           migration_mismatches == 0 && final_image_ok;
   }
   std::string summary() const;
 };

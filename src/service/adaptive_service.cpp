@@ -1,0 +1,107 @@
+#include "service/adaptive_service.hpp"
+
+#include "common/error.hpp"
+#include "core/access_batch.hpp"
+
+namespace polymem::service {
+
+AdaptiveService::AdaptiveService(AdaptiveServiceOptions options)
+    : options_(std::move(options)) {
+  options_.tenant_config.validate();
+}
+
+adapt::AdaptiveMatrix& AdaptiveService::tenant_matrix(Tenant tenant) {
+  {
+    std::shared_lock lock(tenants_mutex_);
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end()) return *it->second;
+  }
+  std::unique_lock lock(tenants_mutex_);
+  auto& slot = tenants_[tenant];
+  if (!slot) {
+    slot = std::make_unique<adapt::AdaptiveMatrix>(options_.tenant_config,
+                                                   options_.adaptive);
+  }
+  return *slot;
+}
+
+Status AdaptiveService::validate(std::int64_t count,
+                                 std::size_t span_words) const {
+  const core::PolyMemConfig& cfg = options_.tenant_config;
+  if (count <= 0) return Status::kRejected;
+  if (span_words != static_cast<std::size_t>(count) * cfg.lanes()) {
+    return Status::kRejected;
+  }
+  return Status::kAccepted;
+}
+
+Status AdaptiveService::read(Tenant tenant, const access::ParallelAccess& where,
+                             std::span<Word> out) {
+  return read_run(tenant, where, {0, 0}, 1, out);
+}
+
+Status AdaptiveService::write(Tenant tenant,
+                              const access::ParallelAccess& where,
+                              std::span<const Word> data) {
+  return write_run(tenant, where, {0, 0}, 1, data);
+}
+
+Status AdaptiveService::read_run(Tenant tenant,
+                                 const access::ParallelAccess& first,
+                                 access::Coord stride, std::int64_t count,
+                                 std::span<Word> out) {
+  if (Status s = validate(count, out.size()); s != Status::kAccepted) {
+    return s;
+  }
+  const core::PolyMemConfig& cfg = options_.tenant_config;
+  // Anchors move linearly, so the run stays in bounds iff its endpoints do.
+  const access::ParallelAccess last{
+      first.kind,
+      {first.anchor.i + (count - 1) * stride.i,
+       first.anchor.j + (count - 1) * stride.j}};
+  if (!access::fits(first, cfg.p, cfg.q, cfg.height, cfg.width) ||
+      !access::fits(last, cfg.p, cfg.q, cfg.height, cfg.width)) {
+    return Status::kRejected;
+  }
+  tenant_matrix(tenant).read_batch(
+      core::AccessBatch::strided(first.kind, first.anchor, stride, count),
+      out);
+  return Status::kOk;
+}
+
+Status AdaptiveService::write_run(Tenant tenant,
+                                  const access::ParallelAccess& first,
+                                  access::Coord stride, std::int64_t count,
+                                  std::span<const Word> data) {
+  if (Status s = validate(count, data.size()); s != Status::kAccepted) {
+    return s;
+  }
+  const core::PolyMemConfig& cfg = options_.tenant_config;
+  const access::ParallelAccess last{
+      first.kind,
+      {first.anchor.i + (count - 1) * stride.i,
+       first.anchor.j + (count - 1) * stride.j}};
+  if (!access::fits(first, cfg.p, cfg.q, cfg.height, cfg.width) ||
+      !access::fits(last, cfg.p, cfg.q, cfg.height, cfg.width)) {
+    return Status::kRejected;
+  }
+  tenant_matrix(tenant).write_batch(
+      core::AccessBatch::strided(first.kind, first.anchor, stride, count),
+      data);
+  return Status::kOk;
+}
+
+std::vector<Tenant> AdaptiveService::tenants() const {
+  std::shared_lock lock(tenants_mutex_);
+  std::vector<Tenant> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, mat] : tenants_) out.push_back(id);
+  return out;
+}
+
+void AdaptiveService::wait_idle() {
+  std::shared_lock lock(tenants_mutex_);
+  for (auto& [id, mat] : tenants_) mat->wait_idle();
+}
+
+}  // namespace polymem::service

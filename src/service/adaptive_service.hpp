@@ -1,0 +1,89 @@
+// AdaptiveService — per-tenant adaptive matrices behind the service
+// request plane.
+//
+// ShardedService scales one matrix across shards; AdaptiveService scales
+// *layouts* across tenants. Every tenant owns a private
+// adapt::AdaptiveMatrix (same geometry, independent profiler + policy +
+// epoch), so a tenant that scans rows converges to a row-friendly scheme
+// while its neighbour scanning diagonals converges to ReO — the paper's
+// polymorphism applied per client instead of per build. Migrations for
+// all tenants share one runtime::ThreadPool (AdaptiveOptions::pool), and
+// every one is differentially verified before its epoch flip, so a
+// tenant's layout can change under live traffic without the service ever
+// returning a stale or torn word.
+//
+// The request plane is the same typed one as service/engine.hpp
+// (Status::kRejected for malformed accesses), but served synchronously:
+// AdaptiveMatrix already serializes client ops internally, so reads and
+// writes from any thread are safe, and runs submitted via read_run /
+// write_run profile as aligned runs (the signal kAligned schemes need).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "adapt/adaptive_matrix.hpp"
+#include "core/polymem.hpp"
+#include "service/request.hpp"
+
+namespace polymem::service {
+
+struct AdaptiveServiceOptions {
+  /// Geometry of every tenant's private matrix (scheme = each tenant's
+  /// *initial* scheme; the engine migrates from there independently).
+  core::PolyMemConfig tenant_config;
+  /// Profiler/policy/migration knobs, shared by all tenants. Set
+  /// `adaptive.pool` to host the copy-forward migrations off the request
+  /// path; nullptr runs them inline on the triggering request.
+  adapt::AdaptiveOptions adaptive;
+};
+
+class AdaptiveService {
+ public:
+  explicit AdaptiveService(AdaptiveServiceOptions options);
+
+  AdaptiveService(const AdaptiveService&) = delete;
+  AdaptiveService& operator=(const AdaptiveService&) = delete;
+
+  /// The tenant's matrix, created on first use (thread-safe; the
+  /// reference stays valid for the service's lifetime).
+  adapt::AdaptiveMatrix& tenant_matrix(Tenant tenant);
+
+  /// Synchronous single-access ops. Return kOk, or kRejected when the
+  /// access leaves the tenant's space or the span size != lanes().
+  Status read(Tenant tenant, const access::ParallelAccess& where,
+              std::span<Word> out);
+  Status write(Tenant tenant, const access::ParallelAccess& where,
+               std::span<const Word> data);
+
+  /// Constant-stride runs (count accesses, spans of count * lanes()
+  /// words) — the coalesced form the profiler sees as one aligned run.
+  Status read_run(Tenant tenant, const access::ParallelAccess& first,
+                  access::Coord stride, std::int64_t count,
+                  std::span<Word> out);
+  Status write_run(Tenant tenant, const access::ParallelAccess& first,
+                   access::Coord stride, std::int64_t count,
+                   std::span<const Word> data);
+
+  /// Tenants materialized so far, in id order.
+  std::vector<Tenant> tenants() const;
+
+  /// Blocks until no tenant has a migration in flight.
+  void wait_idle();
+
+  const AdaptiveServiceOptions& options() const { return options_; }
+  unsigned lanes() const { return options_.tenant_config.lanes(); }
+
+ private:
+  Status validate(std::int64_t count, std::size_t span_words) const;
+
+  AdaptiveServiceOptions options_;
+  mutable std::shared_mutex tenants_mutex_;
+  std::map<Tenant, std::unique_ptr<adapt::AdaptiveMatrix>> tenants_;
+};
+
+}  // namespace polymem::service

@@ -1,0 +1,226 @@
+#include "adapt/adaptive_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace polymem::adapt {
+namespace {
+
+using access::Coord;
+using access::PatternKind;
+using core::AccessBatch;
+using maf::Scheme;
+
+core::PolyMemConfig cfg_16x32(Scheme scheme = Scheme::kReRo) {
+  core::PolyMemConfig c;
+  c.scheme = scheme;
+  c.p = 2;
+  c.q = 4;
+  c.height = 16;
+  c.width = 32;
+  return c;
+}
+
+/// Distinct per-cell fill so any misplaced word is visible.
+void fill_cells(AdaptiveMatrix& mat) {
+  for (std::int64_t i = 0; i < mat.height(); ++i) {
+    for (std::int64_t j = 0; j < mat.width(); ++j) {
+      mat.store({i, j}, static_cast<core::Word>(i * 1000 + j));
+    }
+  }
+}
+
+::testing::AssertionResult cells_intact(const AdaptiveMatrix& mat) {
+  for (std::int64_t i = 0; i < mat.height(); ++i) {
+    for (std::int64_t j = 0; j < mat.width(); ++j) {
+      const auto got = mat.load({i, j});
+      const auto want = static_cast<core::Word>(i * 1000 + j);
+      if (got != want) {
+        return ::testing::AssertionFailure()
+               << "cell (" << i << ", " << j << "): got " << got
+               << ", want " << want;
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+AdaptiveOptions static_opts() {
+  AdaptiveOptions o;
+  o.adapt = false;
+  return o;
+}
+
+TEST(AdaptiveMatrix, ServesSupportedBatchesCompiledAndRestFallback) {
+  AdaptiveMatrix mat(cfg_16x32(), static_opts());
+  fill_cells(mat);
+
+  // ReRo serves rows conflict-free: the batched engine path.
+  const auto rows = AccessBatch::strided(PatternKind::kRow, {3, 0}, {0, 8}, 4);
+  std::vector<core::Word> out(4 * 8);
+  mat.read_batch(rows, out);
+  for (std::int64_t t = 0; t < 4; ++t) {
+    for (std::int64_t l = 0; l < 8; ++l) {
+      EXPECT_EQ(out[static_cast<std::size_t>(t * 8 + l)],
+                static_cast<core::Word>(3 * 1000 + t * 8 + l));
+    }
+  }
+
+  // ReRo cannot serve cols: the same call falls back to scalar lanes
+  // and still returns the right words.
+  const auto cols = AccessBatch::strided(PatternKind::kCol, {0, 5}, {0, 1}, 2);
+  std::vector<core::Word> col_out(2 * 8);
+  mat.read_batch(cols, col_out);
+  for (std::int64_t t = 0; t < 2; ++t) {
+    for (std::int64_t l = 0; l < 8; ++l) {
+      EXPECT_EQ(col_out[static_cast<std::size_t>(t * 8 + l)],
+                static_cast<core::Word>(l * 1000 + 5 + t));
+    }
+  }
+
+  const auto s = mat.stats();
+  EXPECT_EQ(s.batched_accesses, 4u);
+  EXPECT_EQ(s.fallback_accesses, 2u);
+  EXPECT_EQ(s.reads, 6u);
+  EXPECT_TRUE(mat.run_supported(rows));
+  EXPECT_FALSE(mat.run_supported(cols));
+}
+
+TEST(AdaptiveMatrix, RejectsWrongSpanSizes) {
+  AdaptiveMatrix mat(cfg_16x32(), static_opts());
+  const auto b = AccessBatch::strided(PatternKind::kRow, {0, 0}, {1, 0}, 2);
+  std::vector<core::Word> wrong(8);  // needs 2 * 8
+  EXPECT_THROW(mat.read_batch(b, wrong), InvalidArgument);
+  EXPECT_THROW(mat.write_batch(b, wrong), InvalidArgument);
+}
+
+TEST(AdaptiveMatrix, InlineMigrationIsBitIdenticalAndBumpsEpoch) {
+  AdaptiveMatrix mat(cfg_16x32(), static_opts());
+  fill_cells(mat);
+  ASSERT_EQ(mat.scheme(), Scheme::kReRo);
+  ASSERT_EQ(mat.epoch(), 0u);
+
+  EXPECT_TRUE(mat.migrate_to(Scheme::kReCo));
+  EXPECT_EQ(mat.scheme(), Scheme::kReCo);
+  EXPECT_EQ(mat.epoch(), 1u);
+  EXPECT_TRUE(cells_intact(mat));
+
+  // After the flip the new layout serves cols on the compiled path.
+  EXPECT_TRUE(mat.run_supported(
+      AccessBatch::strided(PatternKind::kCol, {0, 0}, {0, 1}, 4)));
+
+  const auto s = mat.stats();
+  EXPECT_EQ(s.migrations_started, 1u);
+  EXPECT_EQ(s.migrations_completed, 1u);
+  EXPECT_EQ(s.migrations_aborted, 0u);
+  EXPECT_EQ(s.mismatched_words, 0u);
+  // The differential oracle read back the whole matrix from both epochs.
+  EXPECT_EQ(s.verified_words, 16u * 32u);
+  ASSERT_EQ(s.history.size(), 1u);
+  EXPECT_EQ(s.history[0].from, Scheme::kReRo);
+  EXPECT_EQ(s.history[0].to, Scheme::kReCo);
+  EXPECT_EQ(s.history[0].epoch, 1u);
+  EXPECT_FALSE(s.history[0].aborted);
+}
+
+TEST(AdaptiveMatrix, MigrateToActiveSchemeRefuses) {
+  AdaptiveMatrix mat(cfg_16x32(), static_opts());
+  EXPECT_FALSE(mat.migrate_to(Scheme::kReRo));
+  EXPECT_EQ(mat.stats().migrations_started, 0u);
+}
+
+TEST(AdaptiveMatrix, InjectedFaultRollsBackWithoutFlipping) {
+  AdaptiveMatrix mat(cfg_16x32(), static_opts());
+  fill_cells(mat);
+
+  // The copier "crashes" when it reaches band 2: the target epoch is
+  // discarded, the active epoch stays authoritative and untouched.
+  mat.set_fault_band(2);
+  EXPECT_TRUE(mat.migrate_to(Scheme::kReCo));
+  EXPECT_EQ(mat.scheme(), Scheme::kReRo);
+  EXPECT_EQ(mat.epoch(), 0u);
+  EXPECT_TRUE(cells_intact(mat));
+
+  const auto s = mat.stats();
+  EXPECT_EQ(s.migrations_started, 1u);
+  EXPECT_EQ(s.migrations_completed, 0u);
+  EXPECT_EQ(s.migrations_aborted, 1u);
+  ASSERT_EQ(s.history.size(), 1u);
+  EXPECT_TRUE(s.history[0].aborted);
+  EXPECT_EQ(s.history[0].epoch, 0u);
+
+  // The fault hook is one-shot: the retry completes cleanly.
+  EXPECT_TRUE(mat.migrate_to(Scheme::kReCo));
+  EXPECT_EQ(mat.scheme(), Scheme::kReCo);
+  EXPECT_TRUE(cells_intact(mat));
+}
+
+TEST(AdaptiveMatrix, AbortOnPoolLeavesAConsistentMatrix) {
+  AdaptiveOptions opts = static_opts();
+  runtime::ThreadPool pool(1);
+  opts.pool = &pool;
+  AdaptiveMatrix mat(cfg_16x32(), opts);
+  fill_cells(mat);
+
+  EXPECT_TRUE(mat.migrate_to(Scheme::kRoCo));
+  mat.abort_migration();  // may land mid-copy or after the flip
+  EXPECT_FALSE(mat.migration_in_progress());
+
+  const auto s = mat.stats();
+  EXPECT_EQ(s.migrations_started, 1u);
+  EXPECT_EQ(s.migrations_completed + s.migrations_aborted, 1u);
+  EXPECT_EQ(s.mismatched_words, 0u);
+  // Whichever epoch won, the data is whole.
+  EXPECT_TRUE(mat.scheme() == Scheme::kReRo || mat.scheme() == Scheme::kRoCo);
+  EXPECT_TRUE(cells_intact(mat));
+}
+
+TEST(AdaptiveMatrix, AdaptsToAColumnPhaseAndStaysCorrect) {
+  AdaptiveOptions opts;
+  opts.adapt = true;
+  opts.profiler.window = 64;
+  opts.policy.persistence = 2;
+  AdaptiveMatrix mat(cfg_16x32(), opts);  // inline migrations
+  fill_cells(mat);
+
+  // A column phase: 32 cols x 2 anchor rows per pass. ReRo serves none
+  // of it, so the policy must elect a col-friendly scheme.
+  const auto cols =
+      AccessBatch{PatternKind::kCol, {0, 0}, {0, 1}, 32, {8, 0}, 2};
+  std::vector<core::Word> out(static_cast<std::size_t>(cols.count()) * 8);
+  for (int pass = 0; pass < 8; ++pass) {
+    mat.read_batch(cols, out);
+  }
+
+  const auto s = mat.stats();
+  EXPECT_GE(s.migrations_completed, 1u);
+  EXPECT_EQ(s.migrations_aborted, 0u);
+  EXPECT_EQ(s.mismatched_words, 0u);
+  EXPECT_GE(s.windows_profiled, 2u);
+  EXPECT_GT(s.epoch, 0u);
+  // The elected scheme serves the column phase on the compiled path.
+  EXPECT_TRUE(mat.run_supported(
+      AccessBatch::strided(PatternKind::kCol, {0, 0}, {0, 1}, 4)));
+  EXPECT_GT(s.batched_accesses, 0u);
+  EXPECT_TRUE(cells_intact(mat));
+}
+
+TEST(AdaptiveMatrix, FillAndDumpRectRoundTrip) {
+  AdaptiveMatrix mat(cfg_16x32(), static_opts());
+  std::vector<core::Word> in(4 * 8);
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    in[k] = static_cast<core::Word>(k + 100);
+  }
+  mat.fill_rect({2, 8}, 4, 8, in);
+  std::vector<core::Word> back(in.size());
+  mat.dump_rect({2, 8}, 4, 8, back);
+  EXPECT_EQ(in, back);
+  EXPECT_EQ(mat.load({2, 8}), 100u);
+}
+
+}  // namespace
+}  // namespace polymem::adapt

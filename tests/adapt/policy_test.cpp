@@ -1,0 +1,160 @@
+#include "adapt/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace polymem::adapt {
+namespace {
+
+using access::PatternKind;
+using maf::Scheme;
+using maf::SupportLevel;
+
+// All policy tests run at the 2x4 geometry of the machine-checked
+// support table: rows are served (kAny) by ReRo and RoCo, cols by ReCo
+// and RoCo, main diagonals by ReRo and ReCo.
+MigrationPolicy make_policy(PolicyOptions opts = {},
+                            std::int64_t cells = 64 * 64) {
+  return MigrationPolicy(2, 4, cells, opts);
+}
+
+WindowProfile pure_window(PatternKind kind, std::int64_t accesses,
+                          std::int64_t aligned = 0) {
+  WindowProfile w;
+  w.accesses = accesses;
+  w.reads = accesses;
+  w.kinds[static_cast<std::size_t>(kind)].reads = accesses;
+  w.kinds[static_cast<std::size_t>(kind)].aligned = aligned;
+  return w;
+}
+
+TEST(MigrationPolicy, SupportMatchesMachineCheckedTable) {
+  const MigrationPolicy policy = make_policy();
+  EXPECT_EQ(policy.support(Scheme::kReRo, PatternKind::kRow),
+            SupportLevel::kAny);
+  EXPECT_EQ(policy.support(Scheme::kRoCo, PatternKind::kRow),
+            SupportLevel::kAny);
+  EXPECT_EQ(policy.support(Scheme::kReCo, PatternKind::kCol),
+            SupportLevel::kAny);
+  EXPECT_EQ(policy.support(Scheme::kReRo, PatternKind::kMainDiag),
+            SupportLevel::kAny);
+  EXPECT_EQ(policy.support(Scheme::kReCo, PatternKind::kMainDiag),
+            SupportLevel::kAny);
+  // ReO is the rectangle-only baseline; ReTr is the only scheme that
+  // serves transposed rectangles.
+  EXPECT_EQ(policy.support(Scheme::kReO, PatternKind::kRow),
+            SupportLevel::kNone);
+  EXPECT_EQ(policy.support(Scheme::kReTr, PatternKind::kTRect),
+            SupportLevel::kAny);
+  EXPECT_EQ(policy.support(Scheme::kReO, PatternKind::kRect),
+            SupportLevel::kAny);
+}
+
+TEST(MigrationPolicy, WindowCostChargesFallbackPerLane) {
+  const MigrationPolicy policy = make_policy();
+  const WindowProfile w = pure_window(PatternKind::kCol, 1024);
+  // ReCo serves cols at 1 slot per access; ReRo cannot and pays the
+  // 8-lane scalar fallback per access.
+  EXPECT_DOUBLE_EQ(policy.window_cost(Scheme::kReCo, w), 1024.0);
+  EXPECT_DOUBLE_EQ(policy.window_cost(Scheme::kReRo, w), 1024.0 * 8);
+}
+
+TEST(MigrationPolicy, AlignedSupportSplitsByAlignedShare) {
+  const MigrationPolicy policy = make_policy();
+  // RoCo serves rects only when aligned: 100 aligned + 28 unaligned.
+  const WindowProfile w = pure_window(PatternKind::kRect, 128, 100);
+  ASSERT_EQ(policy.support(Scheme::kRoCo, PatternKind::kRect),
+            SupportLevel::kAligned);
+  EXPECT_DOUBLE_EQ(policy.window_cost(Scheme::kRoCo, w), 100.0 + 28.0 * 8);
+}
+
+TEST(MigrationPolicy, ScoreRatesAllSchemesInOrder) {
+  const MigrationPolicy policy = make_policy();
+  const auto scores = policy.score(pure_window(PatternKind::kRow, 256));
+  ASSERT_EQ(scores.size(), std::size(maf::kAllSchemes));
+  for (std::size_t k = 0; k < scores.size(); ++k) {
+    EXPECT_EQ(scores[k].scheme, maf::kAllSchemes[k]);
+    EXPECT_TRUE(scores[k].available) << "scheme index " << k;
+  }
+}
+
+TEST(MigrationPolicy, MigrationCostIsOneFullCopy) {
+  const MigrationPolicy policy = make_policy({}, /*cells=*/4096);
+  EXPECT_DOUBLE_EQ(policy.migration_cost_accesses(), 2.0 * 4096 / 8);
+}
+
+TEST(MigrationPolicy, DecideWaitsForPersistenceThenFires) {
+  PolicyOptions opts;
+  opts.persistence = 2;
+  MigrationPolicy policy = make_policy(opts);
+  const WindowProfile cols = pure_window(PatternKind::kCol, 4096);
+  // Window 1 elects a col-friendly scheme but the streak is too short.
+  EXPECT_EQ(policy.decide(Scheme::kReRo, cols), std::nullopt);
+  // Window 2, same winner: fire. The winner must actually serve cols.
+  const auto target = policy.decide(Scheme::kReRo, cols);
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(policy.support(*target, PatternKind::kCol), SupportLevel::kAny);
+  // The streak was consumed by the decision.
+  EXPECT_EQ(policy.decide(Scheme::kReRo, cols), std::nullopt);
+}
+
+TEST(MigrationPolicy, NoMigrationWhenCurrentAlreadyWins) {
+  PolicyOptions opts;
+  opts.persistence = 1;
+  MigrationPolicy policy = make_policy(opts);
+  const WindowProfile rows = pure_window(PatternKind::kRow, 4096);
+  EXPECT_EQ(policy.decide(Scheme::kReRo, rows), std::nullopt);
+}
+
+TEST(MigrationPolicy, PaybackVetoesSmallWins) {
+  PolicyOptions opts;
+  opts.persistence = 1;
+  opts.payback_windows = 1.0;
+  // Huge matrix: one copy costs 2 * 2^20 / 8 = 262144 slots; a 4096-
+  // access window can win at most 4096 * 7 = 28672. Vetoed.
+  MigrationPolicy policy = make_policy(opts, /*cells=*/1 << 20);
+  EXPECT_EQ(policy.decide(Scheme::kReRo, pure_window(PatternKind::kCol, 4096)),
+            std::nullopt);
+  // The same mix on a small matrix pays back immediately.
+  MigrationPolicy small = make_policy(opts, /*cells=*/4096);
+  EXPECT_TRUE(
+      small.decide(Scheme::kReRo, pure_window(PatternKind::kCol, 4096))
+          .has_value());
+}
+
+TEST(MigrationPolicy, ChangingWinnerRestartsTheStreak) {
+  PolicyOptions opts;
+  opts.persistence = 2;
+  MigrationPolicy policy = make_policy(opts);
+  EXPECT_EQ(policy.decide(Scheme::kReO, pure_window(PatternKind::kCol, 4096)),
+            std::nullopt);
+  // Different winner in the next window (only ReTr serves transposed
+  // rectangles, and it does not serve cols): streak restarts at 1.
+  EXPECT_EQ(policy.decide(Scheme::kReO, pure_window(PatternKind::kTRect, 4096)),
+            std::nullopt);
+  EXPECT_EQ(policy.decide(Scheme::kReO, pure_window(PatternKind::kCol, 4096)),
+            std::nullopt);
+  EXPECT_TRUE(
+      policy.decide(Scheme::kReO, pure_window(PatternKind::kCol, 4096))
+          .has_value());
+}
+
+TEST(MigrationPolicy, ResetClearsTheStreak) {
+  PolicyOptions opts;
+  opts.persistence = 2;
+  MigrationPolicy policy = make_policy(opts);
+  const WindowProfile cols = pure_window(PatternKind::kCol, 4096);
+  EXPECT_EQ(policy.decide(Scheme::kReRo, cols), std::nullopt);
+  policy.reset();
+  EXPECT_EQ(policy.decide(Scheme::kReRo, cols), std::nullopt);
+  EXPECT_TRUE(policy.decide(Scheme::kReRo, cols).has_value());
+}
+
+TEST(MigrationPolicy, EmptyWindowIsANoOp) {
+  PolicyOptions opts;
+  opts.persistence = 1;
+  MigrationPolicy policy = make_policy(opts);
+  EXPECT_EQ(policy.decide(Scheme::kReRo, WindowProfile{}), std::nullopt);
+}
+
+}  // namespace
+}  // namespace polymem::adapt

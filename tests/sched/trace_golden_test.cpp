@@ -47,7 +47,8 @@ TEST_P(GoldenTrace, ChecksumsMatchTheHostOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Fixtures, GoldenTrace,
                          ::testing::Values("transpose_8x8.trace",
-                                           "histogram_16bins.trace"),
+                                           "histogram_16bins.trace",
+                                           "phase_change_64x64.trace"),
                          [](const auto& info) {
                            std::string name = info.param;
                            return name.substr(0, name.find('.'));

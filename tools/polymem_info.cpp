@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "adapt/policy.hpp"
 #include "common/config.hpp"
 #include "core/frame_pool.hpp"
 #include "dse/explorer.hpp"
@@ -38,7 +39,9 @@ constexpr const char* kExample =
     "# service_ports = 2      # optional: request-engine submit queues\n"
     "# service_queue_bound = 256   # per-port admission bound\n"
     "# service_shards = 2     # multi-tenant shard count\n"
-    "# service_max_coalesce = 64   # longest run one drain serves\n";
+    "# service_max_coalesce = 64   # longest run one drain serves\n"
+    "# adapt_window = 4096    # adaptive profiler window (accesses)\n"
+    "# adapt_band_rows = 2    # migration band height (defaults to p)\n";
 
 }  // namespace
 
@@ -163,6 +166,51 @@ int main(int argc, char** argv) {
     std::printf("  admission      : typed shedding (kOverloaded) beyond "
                 "%llu queued; in-flight retires in cycle order\n",
                 static_cast<unsigned long long>(svc_bound));
+
+    // Adaptive layout engine (src/adapt): how this geometry would
+    // profile and migrate at runtime, plus every scheme's projected
+    // cost for a uniform pattern mix — the policy's view when the
+    // workload gives it no preference.
+    {
+      adapt::ProfilerOptions prof_defaults;
+      const auto window = file.get_int_or("adapt_window",
+                                          prof_defaults.window);
+      const auto band_rows = file.get_int_or("adapt_band_rows", cfg.p);
+      const std::int64_t bands = (cfg.height + band_rows - 1) / band_rows;
+      const std::int64_t cells = cfg.height * cfg.width;
+      const adapt::MigrationPolicy policy(cfg.p, cfg.q, cells);
+      std::printf("\nadaptive layout engine (src/adapt):\n");
+      std::printf("  profiler window: %lld parallel accesses\n",
+                  static_cast<long long>(window));
+      std::printf("  migration bands: %lld bands x %lld rows "
+                  "(copy-forward granularity)\n",
+                  static_cast<long long>(bands),
+                  static_cast<long long>(band_rows));
+      std::printf("  migration cost : %.0f access slots (one full copy, "
+                  "2*cells/lanes)\n",
+                  policy.migration_cost_accesses());
+      adapt::WindowProfile uniform;
+      const std::int64_t per_kind = window / std::ssize(access::kAllPatterns);
+      for (access::PatternKind kind : access::kAllPatterns) {
+        uniform.kinds[static_cast<std::size_t>(kind)].reads = per_kind;
+        uniform.accesses += per_kind;
+        uniform.reads += per_kind;
+      }
+      std::printf("  uniform-mix scheme costs (%lld accesses, "
+                  "lower is better):\n",
+                  static_cast<long long>(uniform.accesses));
+      for (const adapt::SchemeScore& s : policy.score(uniform)) {
+        if (!s.available) {
+          std::printf("    %-4s: no MAF at %ux%u\n",
+                      maf::scheme_name(s.scheme), p, q);
+          continue;
+        }
+        std::printf("    %-4s: cost %-9.0f affine %u/%u%s\n",
+                    maf::scheme_name(s.scheme), s.cost, s.affine_served,
+                    s.affine_any,
+                    s.scheme == scheme ? "   <- configured" : "");
+      }
+    }
 
     const double port_bw = bandwidth_bytes_per_s(cfg.lanes(), 64, mhz * 1e6);
     std::printf("\nbandwidth at %.0f MHz:\n", mhz);

@@ -12,6 +12,11 @@
 //                      default ReRo; `all` replays every scheme)
 //   --ports <N>        read ports to round-robin batched reads over
 //   --cache            route through the CachedMatrix/LMem software cache
+//   --adaptive         route through the adaptive layout engine: --scheme
+//                      is the initial scheme only; the engine migrates
+//                      live as the pattern mix shifts, and the same host
+//                      oracle diffs the migrating run (not with --cache)
+//   --window <N>       adaptive profiler window (default: derived)
 //   --write-through    write-through instead of write-back (with --cache)
 //   --no-checksums     skip recorded-checksum comparison
 //   --lint             additionally re-lint the trace (support, bounds,
@@ -49,7 +54,8 @@ constexpr const char* kExample =
 
 void usage(std::ostream& out) {
   out << "usage: polymem_replay [--scheme S|all] [--ports N] [--cache]\n"
-         "                      [--write-through] [--no-checksums] [--lint]\n"
+         "                      [--adaptive] [--window N] [--write-through]\n"
+         "                      [--no-checksums] [--lint]\n"
          "                      [--format=text|json] <trace-file>\n"
          "       polymem_replay --example\n";
 }
@@ -80,6 +86,7 @@ void print_json(std::ostream& out, const std::vector<ReplayReport>& reports,
         << "\",\n"
         << "      \"through_cache\": " << (r.through_cache ? "true" : "false")
         << ",\n"
+        << "      \"adaptive\": " << (r.adaptive ? "true" : "false") << ",\n"
         << "      \"ops\": " << r.ops << ",\n"
         << "      \"reads\": " << r.reads << ",\n"
         << "      \"writes\": " << r.writes << ",\n"
@@ -91,6 +98,15 @@ void print_json(std::ostream& out, const std::vector<ReplayReport>& reports,
         << "      \"final_image_ok\": " << (r.final_image_ok ? "true" : "false")
         << ",\n"
         << "      \"verified\": " << (r.verified() ? "true" : "false");
+    if (r.adaptive) {
+      out << ",\n      \"final_scheme\": \""
+          << polymem::maf::scheme_name(r.final_scheme) << "\",\n"
+          << "      \"migrations\": " << r.migrations << ",\n"
+          << "      \"migrations_aborted\": " << r.migrations_aborted << ",\n"
+          << "      \"migration_mismatches\": " << r.migration_mismatches
+          << ",\n"
+          << "      \"forwarded_words\": " << r.forwarded_words;
+    }
     if (k < lints.size()) {
       out << ",\n      \"lint\": {\"errors\": " << lints[k].errors()
           << ", \"warnings\": " << lints[k].warnings()
@@ -133,6 +149,10 @@ int main(int argc, char** argv) {
       base.read_ports = static_cast<unsigned>(std::stoul(next()));
     } else if (arg == "--cache") {
       base.through_cache = true;
+    } else if (arg == "--adaptive") {
+      base.adaptive = true;
+    } else if (arg == "--window") {
+      base.adaptive_window = std::stol(next());
     } else if (arg == "--write-through") {
       base.write_policy = polymem::cache::WritePolicy::kWriteThrough;
     } else if (arg == "--no-checksums") {
@@ -160,6 +180,12 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (path.empty() || (format != "text" && format != "json")) {
+    usage(std::cerr);
+    return 2;
+  }
+  if (base.adaptive && base.through_cache) {
+    std::cerr << "--adaptive does not route through the cache; "
+                 "drop one of --adaptive/--cache\n";
     usage(std::cerr);
     return 2;
   }
